@@ -1,0 +1,196 @@
+// Experiment M1: engine microbenchmarks (google-benchmark) — throughput of
+// the operators the iterative dataflows are built from, plus one full
+// superstep of each algorithm. These pin the constant factors behind the
+// C1/C2 simulated-time numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "algos/connected_components.h"
+#include "algos/datasets.h"
+#include "algos/pagerank.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "dataflow/executor.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace flinkless;
+using dataflow::MakeRecord;
+using dataflow::PartitionedDataset;
+using dataflow::Plan;
+using dataflow::Record;
+
+PartitionedDataset RandomPairs(int64_t n, int64_t key_space, int parts,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    records.push_back(MakeRecord(
+        static_cast<int64_t>(rng.NextBounded(key_space)), i));
+  }
+  return PartitionedDataset::RoundRobin(std::move(records), parts);
+}
+
+void BM_Shuffle(benchmark::State& state) {
+  const int parts = 4;
+  auto input = RandomPairs(state.range(0), state.range(0), parts, 1);
+  dataflow::Executor executor({parts, nullptr, nullptr});
+  for (auto _ : state) {
+    auto out = executor.Shuffle(input, {0}, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Shuffle)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_Map(benchmark::State& state) {
+  const int parts = 4;
+  auto input = RandomPairs(state.range(0), state.range(0), parts, 2);
+  Plan plan;
+  auto src = plan.Source("in");
+  auto mapped = plan.Map(
+      src,
+      [](const Record& r) {
+        return MakeRecord(r[0].AsInt64(), r[1].AsInt64() + 1);
+      },
+      "inc");
+  plan.Output(mapped, "out");
+  dataflow::Executor executor({parts, nullptr, nullptr});
+  for (auto _ : state) {
+    auto out = executor.Execute(plan, {{"in", &input}}, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Map)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  const int parts = 4;
+  auto input = RandomPairs(state.range(0), state.range(0) / 8, parts, 3);
+  Plan plan;
+  auto src = plan.Source("in");
+  auto reduced = plan.ReduceByKey(
+      src, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(a[0].AsInt64(), a[1].AsInt64() + b[1].AsInt64());
+      },
+      "sum");
+  plan.Output(reduced, "out");
+  dataflow::Executor executor({parts, nullptr, nullptr});
+  for (auto _ : state) {
+    auto out = executor.Execute(plan, {{"in", &input}}, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceByKey)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_HashJoin(benchmark::State& state) {
+  const int parts = 4;
+  auto left = RandomPairs(state.range(0), state.range(0) / 2, parts, 4);
+  auto right = RandomPairs(state.range(0), state.range(0) / 2, parts, 5);
+  Plan plan;
+  auto l = plan.Source("l");
+  auto r = plan.Source("r");
+  auto joined = plan.Join(
+      l, r, {0}, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(a[0].AsInt64(), a[1].AsInt64(), b[1].AsInt64());
+      },
+      "join");
+  plan.Output(joined, "out");
+  dataflow::Executor executor({parts, nullptr, nullptr});
+  for (auto _ : state) {
+    auto out = executor.Execute(plan, {{"l", &left}, {"r", &right}}, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_HashJoin)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_RecordSerialization(benchmark::State& state) {
+  std::vector<Record> records;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    records.push_back(MakeRecord(i, static_cast<double>(i) * 0.5));
+  }
+  for (auto _ : state) {
+    auto bytes = dataflow::SerializeRecords(records);
+    auto back = dataflow::DeserializeRecords(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecordSerialization)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_PageRankSuperstep(benchmark::State& state) {
+  Rng rng(6);
+  graph::Graph g = graph::Rmat(static_cast<int>(state.range(0)), 8, &rng);
+  const int parts = 4;
+  Plan plan = algos::BuildPageRankPlan(g.num_vertices(), 0.85);
+  auto links = algos::Links(g, parts);
+  auto dangling = algos::DanglingVertices(g, parts);
+  auto zero_mass = PartitionedDataset::HashPartitioned(
+      {MakeRecord(int64_t{0}, 0.0)}, {0}, parts);
+  auto ranks = algos::InitialRanks(g, parts);
+  dataflow::Bindings bindings{{"state", &ranks},
+                              {"links", &links},
+                              {"dangling", &dangling},
+                              {"zero_mass", &zero_mass}};
+  dataflow::Executor executor({parts, nullptr, nullptr});
+  for (auto _ : state) {
+    auto out = executor.Execute(plan, bindings, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_PageRankSuperstep)->Arg(8)->Arg(11);
+
+void BM_CcSuperstep(benchmark::State& state) {
+  Rng rng(7);
+  graph::Graph g =
+      graph::PreferentialAttachment(state.range(0), 2, &rng);
+  const int parts = 4;
+  Plan plan = algos::BuildConnectedComponentsPlan();
+  auto edges = algos::EdgePairs(g, parts);
+  auto labels = algos::InitialLabels(g);
+  auto workset = PartitionedDataset::HashPartitioned(labels, {0}, parts);
+  auto solution = PartitionedDataset::HashPartitioned(labels, {0}, parts);
+  dataflow::Bindings bindings{
+      {"workset", &workset}, {"solution", &solution}, {"edges", &edges}};
+  dataflow::Executor executor({parts, nullptr, nullptr});
+  for (auto _ : state) {
+    auto out = executor.Execute(plan, bindings, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CcSuperstep)->Arg(256)->Arg(2048);
+
+void BM_CheckpointPartition(benchmark::State& state) {
+  std::vector<Record> records;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    records.push_back(MakeRecord(i, static_cast<double>(i)));
+  }
+  iteration::BulkState bulk(
+      PartitionedDataset::HashPartitioned(records, {0}, 1));
+  runtime::StableStorage storage(nullptr, nullptr);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto blob = bulk.SerializePartition(0);
+    Status s = storage.Write("bench/" + std::to_string(i++ % 4), std::move(blob));
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CheckpointPartition)->Arg(1 << 12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flinkless::SetLogLevel(flinkless::LogLevel::kWarning);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

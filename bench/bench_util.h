@@ -1,0 +1,87 @@
+// Shared plumbing for the experiment harnesses: a bundled job environment
+// (clock + storage + metrics + failure schedule) and series printing.
+//
+// Every bench binary regenerates one table/figure of DESIGN.md's
+// per-experiment index and prints (a) an aligned ASCII table of the series
+// the paper plots and (b) the same data as CSV prefixed with "csv:", so the
+// output is both readable and machine-parsable.
+
+#ifndef FLINKLESS_BENCH_BENCH_UTIL_H_
+#define FLINKLESS_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.h"
+#include "iteration/context.h"
+#include "runtime/cluster.h"
+#include "runtime/cost_model.h"
+#include "runtime/failure.h"
+#include "runtime/metrics.h"
+#include "runtime/sim_clock.h"
+#include "runtime/stable_storage.h"
+
+namespace flinkless::bench {
+
+/// Owns one job run's runtime services and hands out a JobEnv view.
+class JobHarness {
+ public:
+  explicit JobHarness(std::string job_id)
+      : storage_(&clock_, &costs_), job_id_(std::move(job_id)) {}
+
+  /// Installs a failure schedule (copied).
+  void SetFailures(runtime::FailureSchedule failures) {
+    failures_ = std::move(failures);
+  }
+
+  iteration::JobEnv Env() {
+    iteration::JobEnv env;
+    env.clock = &clock_;
+    env.costs = &costs_;
+    env.storage = &storage_;
+    env.metrics = &metrics_;
+    env.failures = &failures_;
+    env.job_id = job_id_;
+    return env;
+  }
+
+  runtime::SimClock& clock() { return clock_; }
+  runtime::CostModel& costs() { return costs_; }
+  runtime::StableStorage& storage() { return storage_; }
+  runtime::MetricsRegistry& metrics() { return metrics_; }
+  runtime::FailureSchedule& failures() { return failures_; }
+
+ private:
+  runtime::SimClock clock_;
+  runtime::CostModel costs_;
+  runtime::StableStorage storage_;
+  runtime::MetricsRegistry metrics_;
+  runtime::FailureSchedule failures_;
+  std::string job_id_;
+};
+
+/// Prints the experiment banner.
+inline void Banner(const std::string& experiment_id,
+                   const std::string& description) {
+  std::cout << "==================================================\n"
+            << experiment_id << ": " << description << "\n"
+            << "==================================================\n";
+}
+
+/// Prints a table twice: human-readable and as CSV lines prefixed "csv:".
+inline void Emit(const TablePrinter& table) {
+  table.PrintAscii(std::cout);
+  std::ostringstream csv;
+  table.PrintCsv(csv);
+  std::string line;
+  std::istringstream lines(csv.str());
+  while (std::getline(lines, line)) {
+    std::cout << "csv: " << line << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace flinkless::bench
+
+#endif  // FLINKLESS_BENCH_BENCH_UTIL_H_

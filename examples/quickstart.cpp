@@ -1,0 +1,107 @@
+// Quickstart: run Connected Components and PageRank on the demo graphs,
+// inject a failure into each, and recover optimistically with compensation
+// functions — the whole paper in ~100 lines.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "common/logging.h"
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "runtime/failure.h"
+#include "runtime/metrics.h"
+
+using namespace flinkless;
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  // ---------------------------------------------------------------- CC ----
+  graph::Graph cc_graph = graph::DemoGraph();
+  std::cout << "Connected Components on " << cc_graph.ToString() << "\n";
+
+  std::vector<int64_t> true_labels =
+      graph::ReferenceConnectedComponents(cc_graph);
+
+  // Fail partition 0 at the end of iteration 2 (as an attendee clicking a
+  // task in the GUI would).
+  runtime::FailureSchedule failures(std::vector<runtime::FailureEvent>{{2, {0}}});
+  runtime::MetricsRegistry metrics;
+  iteration::JobEnv env;
+  env.failures = &failures;
+  env.metrics = &metrics;
+  env.job_id = "quickstart-cc";
+
+  algos::FixComponentsCompensation fix_components(&cc_graph);
+  core::OptimisticRecoveryPolicy optimistic(&fix_components);
+
+  algos::ConnectedComponentsOptions cc_options;
+  cc_options.num_partitions = 4;
+  auto cc = algos::RunConnectedComponents(cc_graph, cc_options, env,
+                                          &optimistic, &true_labels);
+  if (!cc.ok()) {
+    std::cerr << "CC failed: " << cc.status() << "\n";
+    return 1;
+  }
+  std::cout << "  converged after " << cc->iterations << " iterations, "
+            << cc->failures_recovered << " failure(s) recovered\n";
+  bool correct = cc->labels == true_labels;
+  std::cout << "  labels match union-find ground truth: "
+            << (correct ? "yes" : "NO") << "\n";
+  std::cout << "  per-iteration converged vertices:";
+  for (const auto& it : metrics.iterations()) {
+    std::cout << " " << static_cast<int64_t>(it.Gauge("converged_vertices"))
+              << (it.failure_injected ? "*" : "");
+  }
+  std::cout << "   (* = failure injected + compensated)\n\n";
+
+  // ---------------------------------------------------------------- PR ----
+  graph::Graph pr_graph = graph::DemoDirectedGraph();
+  std::cout << "PageRank on " << pr_graph.ToString() << "\n";
+
+  algos::PageRankOptions pr_options;
+  pr_options.num_partitions = 4;
+  pr_options.max_iterations = 60;
+  std::vector<double> true_ranks = graph::ReferencePageRank(
+      pr_graph, pr_options.damping, 200, 1e-12);
+
+  runtime::FailureSchedule pr_failures(std::vector<runtime::FailureEvent>{{5, {1}}});
+  runtime::MetricsRegistry pr_metrics;
+  iteration::JobEnv pr_env;
+  pr_env.failures = &pr_failures;
+  pr_env.metrics = &pr_metrics;
+  pr_env.job_id = "quickstart-pagerank";
+
+  algos::FixRanksCompensation fix_ranks(pr_graph.num_vertices());
+  core::OptimisticRecoveryPolicy pr_optimistic(&fix_ranks);
+
+  auto pr = algos::RunPageRank(pr_graph, pr_options, pr_env, &pr_optimistic,
+                               &true_ranks);
+  if (!pr.ok()) {
+    std::cerr << "PageRank failed: " << pr.status() << "\n";
+    return 1;
+  }
+  std::cout << "  converged=" << (pr->converged ? "yes" : "no") << " after "
+            << pr->iterations << " iterations, " << pr->failures_recovered
+            << " failure(s) recovered, final L1 diff = " << pr->final_l1
+            << "\n";
+  double max_err = 0.0;
+  for (size_t v = 0; v < true_ranks.size(); ++v) {
+    max_err = std::max(max_err, std::abs(pr->ranks[v] - true_ranks[v]));
+  }
+  std::cout << "  max |rank - true rank| = " << max_err << "\n";
+  std::cout << "  per-iteration L1 diff (note the spike after the failure "
+               "at iteration 5):\n   ";
+  for (const auto& it : pr_metrics.iterations()) {
+    std::printf(" %.2e%s", it.Gauge("convergence_metric"),
+                it.failure_injected ? "*" : "");
+    if (it.iteration >= 10) break;
+  }
+  std::cout << "\n";
+  return 0;
+}

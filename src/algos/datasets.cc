@@ -1,0 +1,115 @@
+#include "algos/datasets.h"
+
+#include "common/logging.h"
+#include "dataflow/record.h"
+
+namespace flinkless::algos {
+
+using dataflow::MakeRecord;
+using dataflow::PartitionedDataset;
+using dataflow::Record;
+
+int PartitionOfVertex(int64_t vertex, int num_partitions) {
+  Record key = MakeRecord(vertex);
+  return PartitionedDataset::PartitionOf(key, {0}, num_partitions);
+}
+
+std::vector<Record> InitialLabels(const graph::Graph& graph) {
+  std::vector<Record> out;
+  out.reserve(graph.num_vertices());
+  for (int64_t v = 0; v < graph.num_vertices(); ++v) {
+    out.push_back(MakeRecord(v, v));
+  }
+  return out;
+}
+
+PartitionedDataset EdgePairs(const graph::Graph& graph, int num_partitions) {
+  std::vector<Record> edges;
+  edges.reserve(graph.num_edges() * (graph.directed() ? 1 : 2));
+  for (const graph::Edge& e : graph.edges()) {
+    edges.push_back(MakeRecord(e.src, e.dst));
+    if (!graph.directed() && e.src != e.dst) {
+      edges.push_back(MakeRecord(e.dst, e.src));
+    }
+  }
+  return PartitionedDataset::HashPartitioned(std::move(edges), {0},
+                                             num_partitions);
+}
+
+PartitionedDataset Links(const graph::Graph& graph, int num_partitions) {
+  FLINKLESS_CHECK(graph.directed(), "Links expects a directed graph");
+  std::vector<Record> links;
+  links.reserve(graph.num_edges());
+  for (int64_t v = 0; v < graph.num_vertices(); ++v) {
+    const auto& out = graph.Neighbors(v);
+    if (out.empty()) continue;
+    double prob = 1.0 / static_cast<double>(out.size());
+    for (int64_t u : out) {
+      links.push_back(MakeRecord(v, u, prob));
+    }
+  }
+  return PartitionedDataset::HashPartitioned(std::move(links), {0},
+                                             num_partitions);
+}
+
+PartitionedDataset DanglingVertices(const graph::Graph& graph,
+                                    int num_partitions) {
+  std::vector<Record> dangling;
+  for (int64_t v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.Neighbors(v).empty()) dangling.push_back(MakeRecord(v));
+  }
+  return PartitionedDataset::HashPartitioned(std::move(dangling), {0},
+                                             num_partitions);
+}
+
+PartitionedDataset InitialRanks(const graph::Graph& graph,
+                                int num_partitions) {
+  std::vector<Record> ranks;
+  ranks.reserve(graph.num_vertices());
+  double uniform = 1.0 / static_cast<double>(graph.num_vertices());
+  for (int64_t v = 0; v < graph.num_vertices(); ++v) {
+    ranks.push_back(MakeRecord(v, uniform));
+  }
+  return PartitionedDataset::HashPartitioned(std::move(ranks), {0},
+                                             num_partitions);
+}
+
+Result<std::vector<int64_t>> ToInt64Vector(const std::vector<Record>& records,
+                                           int64_t num_vertices,
+                                           int64_t fallback) {
+  std::vector<int64_t> out(num_vertices, fallback);
+  for (const Record& r : records) {
+    if (r.size() < 2) {
+      return Status::InvalidArgument("record " + RecordToString(r) +
+                                     " has no value column");
+    }
+    int64_t v = r[0].AsInt64();
+    if (v < 0 || v >= num_vertices) {
+      return Status::OutOfRange("vertex " + std::to_string(v) +
+                                " out of range");
+    }
+    out[v] = r[1].AsInt64();
+  }
+  return out;
+}
+
+Result<std::vector<double>> ToDoubleVector(const std::vector<Record>& records,
+                                           int64_t num_vertices,
+                                           double fallback) {
+  std::vector<double> out(num_vertices, fallback);
+  for (const Record& r : records) {
+    if (r.size() < 2) {
+      return Status::InvalidArgument("record " + RecordToString(r) +
+                                     " has no value column");
+    }
+    int64_t v = r[0].AsInt64();
+    if (v < 0 || v >= num_vertices) {
+      return Status::OutOfRange("vertex " + std::to_string(v) +
+                                " out of range");
+    }
+    out[v] = r[1].AsNumeric();
+  }
+  return out;
+}
+
+}  // namespace flinkless::algos

@@ -1,0 +1,58 @@
+// Conversions between graphs and the datasets the dataflow programs consume
+// (the paper's "labels", "graph", "ranks", "links" inputs), plus extraction
+// of algorithm results back out of datasets.
+
+#ifndef FLINKLESS_ALGOS_DATASETS_H_
+#define FLINKLESS_ALGOS_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/dataset.h"
+#include "graph/graph.h"
+
+namespace flinkless::algos {
+
+/// Partition a single vertex id would be hashed to (all algorithm state is
+/// keyed by vertex in column 0).
+int PartitionOfVertex(int64_t vertex, int num_partitions);
+
+/// (vertex, vertex): the initial Connected Components labels — every vertex
+/// starts out as its own component.
+std::vector<dataflow::Record> InitialLabels(const graph::Graph& graph);
+
+/// Edge pairs (src, dst) hash-partitioned by src; undirected graphs emit
+/// both orientations so a join on src reaches every neighbor.
+dataflow::PartitionedDataset EdgePairs(const graph::Graph& graph,
+                                       int num_partitions);
+
+/// PageRank links (src, dst, transition_probability) with prob =
+/// 1/out_degree(src), hash-partitioned by src. Directed graphs only.
+dataflow::PartitionedDataset Links(const graph::Graph& graph,
+                                   int num_partitions);
+
+/// (vertex) records for every dangling vertex (no out-edges).
+dataflow::PartitionedDataset DanglingVertices(const graph::Graph& graph,
+                                              int num_partitions);
+
+/// The uniform initial rank vector (vertex, 1/n), hash-partitioned by
+/// vertex.
+dataflow::PartitionedDataset InitialRanks(const graph::Graph& graph,
+                                          int num_partitions);
+
+/// Reads a per-vertex int64 column-1 value out of records (vertex, value).
+/// Vertices absent from the dataset get `fallback`. Fails on out-of-range
+/// vertex ids.
+Result<std::vector<int64_t>> ToInt64Vector(
+    const std::vector<dataflow::Record>& records, int64_t num_vertices,
+    int64_t fallback);
+
+/// Same for a double column-1 value.
+Result<std::vector<double>> ToDoubleVector(
+    const std::vector<dataflow::Record>& records, int64_t num_vertices,
+    double fallback);
+
+}  // namespace flinkless::algos
+
+#endif  // FLINKLESS_ALGOS_DATASETS_H_

@@ -1,0 +1,292 @@
+#include "algos/pagerank.h"
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "algos/datasets.h"
+#include "common/logging.h"
+#include "dataflow/executor.h"
+
+namespace flinkless::algos {
+
+using dataflow::MakeRecord;
+using dataflow::PartitionedDataset;
+using dataflow::Plan;
+using dataflow::Record;
+
+Plan BuildPageRankPlan(int64_t num_vertices, double damping) {
+  Plan plan;
+  const double n = static_cast<double>(num_vertices);
+  const double teleport = (1.0 - damping) / n;
+
+  auto ranks = plan.Source("state");
+  auto links = plan.Source("links");
+  auto dangling = plan.Source("dangling");
+  auto zero_mass = plan.Source("zero_mass");
+
+  // Every vertex propagates a fraction of its rank to its neighbors.
+  auto contributions = plan.Join(
+      ranks, links, {0}, {0},
+      [](const Record& r, const Record& l) {
+        return MakeRecord(l[1].AsInt64(),
+                          r[1].AsDouble() * l[2].AsDouble());
+      },
+      "find-neighbors");
+
+  // Vertices with no in-links would vanish from the reduce; a zero
+  // contribution per vertex keeps everyone present.
+  auto base = plan.Map(
+      ranks,
+      [](const Record& r) { return MakeRecord(r[0].AsInt64(), 0.0); },
+      "base-contribution");
+  auto all_contributions =
+      plan.Union(contributions, base, "contributions");
+
+  // Re-compute the rank of each vertex from its neighbors' contributions.
+  auto sums = plan.ReduceByKey(
+      all_contributions, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(a[0].AsInt64(),
+                          a[1].AsDouble() + b[1].AsDouble());
+      },
+      "recompute-ranks");
+
+  // Aggregate the rank mass sitting on dangling vertices into one scalar
+  // (seeded with 0.0 so the aggregate exists even without dangling
+  // vertices)...
+  auto dangling_ranks = plan.Join(
+      ranks, dangling, {0}, {0},
+      [](const Record& r, const Record&) {
+        return MakeRecord(int64_t{0}, r[1].AsDouble());
+      },
+      "dangling-ranks");
+  auto dangling_seeded =
+      plan.Union(dangling_ranks, zero_mass, "dangling-seeded");
+  auto dangling_mass = plan.ReduceByKey(
+      dangling_seeded, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(int64_t{0}, a[1].AsDouble() + b[1].AsDouble());
+      },
+      "dangling-mass");
+
+  // ...and broadcast it to all partitions: rank = teleport + d*contrib +
+  // d*dangling/n. Keeps the global invariant sum(rank) == 1.
+  auto next = plan.Cross(
+      sums, dangling_mass,
+      [teleport, damping, n](const Record& s, const Record& m) {
+        return MakeRecord(s[0].AsInt64(),
+                          teleport + damping * s[1].AsDouble() +
+                              damping * m[1].AsDouble() / n);
+      },
+      "apply-teleport");
+
+  plan.Output(next, "next_state");
+  return plan;
+}
+
+std::string RankCompensationVariantName(RankCompensationVariant variant) {
+  switch (variant) {
+    case RankCompensationVariant::kRedistributeLostMass:
+      return "redistribute-lost-mass";
+    case RankCompensationVariant::kUniformReinit:
+      return "uniform-reinit";
+    case RankCompensationVariant::kFullReinit:
+      return "full-reinit";
+  }
+  return "?";
+}
+
+FixRanksCompensation::FixRanksCompensation(int64_t num_vertices,
+                                           RankCompensationVariant variant)
+    : num_vertices_(num_vertices), variant_(variant) {
+  FLINKLESS_CHECK(num_vertices_ > 0, "fix-ranks needs a non-empty graph");
+}
+
+Status FixRanksCompensation::Compensate(
+    const iteration::IterationContext& ctx, iteration::IterationState* state,
+    const std::vector<int>& lost) {
+  (void)ctx;
+  if (state->kind() != iteration::StateKind::kBulk) {
+    return Status::InvalidArgument(
+        "fix-ranks compensates bulk iterations only");
+  }
+  auto* bulk = static_cast<iteration::BulkState*>(state);
+  const int num_partitions = bulk->num_partitions();
+  std::set<int> lost_set(lost.begin(), lost.end());
+  const double uniform = 1.0 / static_cast<double>(num_vertices_);
+
+  if (variant_ == RankCompensationVariant::kFullReinit) {
+    for (int p = 0; p < num_partitions; ++p) {
+      bulk->data().ClearPartition(p);
+    }
+    for (int64_t v = 0; v < num_vertices_; ++v) {
+      int p = PartitionOfVertex(v, num_partitions);
+      bulk->data().partition(p).push_back(MakeRecord(v, uniform));
+    }
+    return Status::OK();
+  }
+
+  // Vertices whose rank was lost (they hash into a lost partition).
+  std::vector<int64_t> lost_vertices;
+  for (int64_t v = 0; v < num_vertices_; ++v) {
+    if (lost_set.count(PartitionOfVertex(v, num_partitions)) > 0) {
+      lost_vertices.push_back(v);
+    }
+  }
+  if (lost_vertices.empty()) return Status::OK();
+
+  double fill = uniform;
+  if (variant_ == RankCompensationVariant::kRedistributeLostMass) {
+    // Surviving probability mass; whatever is missing from 1.0 was lost.
+    double surviving = 0.0;
+    for (int p = 0; p < num_partitions; ++p) {
+      if (lost_set.count(p) > 0) continue;
+      for (const Record& r : bulk->data().partition(p)) {
+        surviving += r[1].AsDouble();
+      }
+    }
+    double lost_mass = std::max(0.0, 1.0 - surviving);
+    fill = lost_mass / static_cast<double>(lost_vertices.size());
+  }
+
+  for (int p : lost_set) bulk->data().ClearPartition(p);
+  for (int64_t v : lost_vertices) {
+    int p = PartitionOfVertex(v, num_partitions);
+    bulk->data().partition(p).push_back(MakeRecord(v, fill));
+  }
+  return Status::OK();
+}
+
+Result<PageRankResult> RunPageRank(const graph::Graph& graph,
+                                   const PageRankOptions& options,
+                                   iteration::JobEnv env,
+                                   iteration::FaultTolerancePolicy* policy,
+                                   const std::vector<double>* true_ranks) {
+  return RunPageRankWithSnapshots(graph, options, std::move(env), policy,
+                                  true_ranks, PrSnapshotFn());
+}
+
+Result<PageRankResult> RunPageRankWithSnapshots(
+    const graph::Graph& graph, const PageRankOptions& options,
+    iteration::JobEnv env, iteration::FaultTolerancePolicy* policy,
+    const std::vector<double>* true_ranks, PrSnapshotFn snapshot) {
+  if (!graph.directed()) {
+    return Status::InvalidArgument("PageRank expects a directed graph");
+  }
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("PageRank expects a non-empty graph");
+  }
+
+  Plan plan = BuildPageRankPlan(graph.num_vertices(), options.damping);
+
+  PartitionedDataset links = Links(graph, options.num_partitions);
+  PartitionedDataset dangling =
+      DanglingVertices(graph, options.num_partitions);
+  PartitionedDataset zero_mass = PartitionedDataset::HashPartitioned(
+      {MakeRecord(int64_t{0}, 0.0)}, {0}, options.num_partitions);
+
+  dataflow::Bindings statics;
+  statics["links"] = &links;
+  statics["dangling"] = &dangling;
+  statics["zero_mass"] = &zero_mass;
+
+  iteration::BulkIterationConfig config;
+  config.max_iterations = options.max_iterations;
+  config.state_key = {0};
+  const double tolerance = options.l1_tolerance;
+  // The paper's compare-to-old-rank: L1 norm of the difference between the
+  // current estimate and the previous one (bottom-right plot of Figure 4).
+  config.convergence = [tolerance](const PartitionedDataset& prev,
+                                   const PartitionedDataset& next,
+                                   double* metric) {
+    std::unordered_map<int64_t, double> old_ranks;
+    old_ranks.reserve(prev.NumRecords());
+    for (int p = 0; p < prev.num_partitions(); ++p) {
+      for (const Record& r : prev.partition(p)) {
+        old_ranks[r[0].AsInt64()] = r[1].AsDouble();
+      }
+    }
+    double l1 = 0.0;
+    for (int p = 0; p < next.num_partitions(); ++p) {
+      for (const Record& r : next.partition(p)) {
+        auto it = old_ranks.find(r[0].AsInt64());
+        double old_rank = it == old_ranks.end() ? 0.0 : it->second;
+        l1 += std::abs(r[1].AsDouble() - old_rank);
+      }
+    }
+    *metric = l1;
+    return l1 < tolerance;
+  };
+  if (true_ranks != nullptr || snapshot) {
+    const double eps = options.converged_tolerance;
+    const runtime::FailureSchedule* failures = env.failures;
+    const int64_t num_vertices = graph.num_vertices();
+    config.stats_hook = [true_ranks, eps, snapshot, failures, num_vertices](
+                            int iteration, const PartitionedDataset& data,
+                            runtime::IterationStats* stats) {
+      int64_t converged = 0;
+      double mass = 0.0;
+      std::vector<double> ranks;
+      if (snapshot) ranks.assign(num_vertices, 0.0);
+      for (int p = 0; p < data.num_partitions(); ++p) {
+        for (const Record& r : data.partition(p)) {
+          int64_t v = r[0].AsInt64();
+          double rank = r[1].AsDouble();
+          mass += rank;
+          if (snapshot && v >= 0 && v < num_vertices) ranks[v] = rank;
+          if (true_ranks != nullptr &&
+              v >= 0 && v < static_cast<int64_t>(true_ranks->size()) &&
+              std::abs(rank - (*true_ranks)[v]) <= eps) {
+            ++converged;
+          }
+        }
+      }
+      if (true_ranks != nullptr) {
+        stats->gauges["converged_vertices"] = static_cast<double>(converged);
+        stats->gauges["total_mass"] = mass;
+      }
+      if (snapshot) {
+        std::vector<int> lost_partitions;
+        if (stats->failure_injected && failures != nullptr) {
+          for (const auto& event : failures->events()) {
+            if (event.iteration == iteration) {
+              lost_partitions.insert(lost_partitions.end(),
+                                     event.partitions.begin(),
+                                     event.partitions.end());
+            }
+          }
+        }
+        snapshot(iteration, ranks, lost_partitions, stats->failure_injected,
+                 stats->Gauge("convergence_metric", 0.0),
+                 true_ranks != nullptr ? converged : -1);
+      }
+    };
+  }
+
+  dataflow::ExecOptions exec;
+  exec.num_partitions = options.num_partitions;
+  exec.clock = env.clock;
+  exec.costs = env.costs;
+
+  iteration::BulkIterationDriver driver(&plan, statics, config, exec, env);
+  FLINKLESS_ASSIGN_OR_RETURN(
+      iteration::BulkIterationResult run,
+      driver.Run(InitialRanks(graph, options.num_partitions), policy));
+
+  PageRankResult result;
+  FLINKLESS_ASSIGN_OR_RETURN(
+      result.ranks,
+      ToDoubleVector(run.final_state.Collect(), graph.num_vertices(), 0.0));
+  result.iterations = run.iterations;
+  result.supersteps_executed = run.supersteps_executed;
+  result.converged = run.converged;
+  result.failures_recovered = run.failures_recovered;
+  if (env.metrics != nullptr && !env.metrics->iterations().empty()) {
+    result.final_l1 =
+        env.metrics->iterations().back().Gauge("convergence_metric", 0.0);
+  }
+  return result;
+}
+
+}  // namespace flinkless::algos

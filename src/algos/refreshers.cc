@@ -1,0 +1,59 @@
+#include "algos/refreshers.h"
+
+#include <set>
+
+#include "algos/datasets.h"
+#include "common/logging.h"
+
+namespace flinkless::algos {
+
+using dataflow::MakeRecord;
+using dataflow::Record;
+
+core::WorksetRefresher MakeNeighborhoodRefresher(
+    const graph::Graph* graph,
+    std::function<bool(const Record&)> should_propagate) {
+  FLINKLESS_CHECK(graph != nullptr, "refresher needs the graph");
+  return [graph, should_propagate](
+             const iteration::IterationContext& ctx,
+             iteration::DeltaState* state,
+             const std::vector<int>& lost) -> Status {
+    (void)ctx;
+    const int num_partitions = state->num_partitions();
+    std::set<int> lost_set(lost.begin(), lost.end());
+
+    // The vertices whose solution entries were just replaced by stale
+    // checkpointed values, plus their neighbors, must propagate again.
+    std::set<int64_t> propagators;
+    for (int64_t v = 0; v < graph->num_vertices(); ++v) {
+      if (lost_set.count(PartitionOfVertex(v, num_partitions)) == 0) {
+        continue;
+      }
+      propagators.insert(v);
+      for (int64_t u : graph->Neighbors(v)) propagators.insert(u);
+    }
+
+    std::vector<std::set<int64_t>> queued(num_partitions);
+    for (int p = 0; p < num_partitions; ++p) {
+      for (const Record& r : state->workset().partition(p)) {
+        queued[p].insert(r[0].AsInt64());
+      }
+    }
+    for (int64_t v : propagators) {
+      const Record* entry = state->solution().Lookup(MakeRecord(v));
+      if (entry == nullptr) {
+        return Status::Internal("vertex " + std::to_string(v) +
+                                " missing from solution set after confined "
+                                "restore");
+      }
+      if (should_propagate && !should_propagate(*entry)) continue;
+      int p = PartitionOfVertex(v, num_partitions);
+      if (queued[p].insert(v).second) {
+        state->workset().partition(p).push_back(*entry);
+      }
+    }
+    return Status::OK();
+  };
+}
+
+}  // namespace flinkless::algos

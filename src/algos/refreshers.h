@@ -1,0 +1,29 @@
+// Workset refreshers for confined rollback: after the lost solution
+// partitions were restored from a stale checkpoint, the restored vertices
+// and their neighbors must re-propagate their current values so the
+// affected region re-converges — the same workset logic the compensation
+// functions use (paper §3.2).
+
+#ifndef FLINKLESS_ALGOS_REFRESHERS_H_
+#define FLINKLESS_ALGOS_REFRESHERS_H_
+
+#include <functional>
+
+#include "core/policies.h"
+#include "dataflow/record.h"
+#include "graph/graph.h"
+
+namespace flinkless::algos {
+
+/// Builds a refresher that enqueues every vertex of the lost partitions
+/// plus all their graph neighbors, each carrying its current solution-set
+/// record. `should_propagate` (optional) filters entries with nothing
+/// useful to send — SSSP passes a predicate that skips infinite distances.
+/// The graph is borrowed and must outlive the refresher.
+core::WorksetRefresher MakeNeighborhoodRefresher(
+    const graph::Graph* graph,
+    std::function<bool(const dataflow::Record&)> should_propagate = {});
+
+}  // namespace flinkless::algos
+
+#endif  // FLINKLESS_ALGOS_REFRESHERS_H_

@@ -1,0 +1,28 @@
+#include "common/hash.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace flinkless {
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  // Extra avalanche: FNV-1a alone is weak in the low bits.
+  return Mix64(h);
+}
+
+uint64_t HashDouble(double d) {
+  if (std::isnan(d)) return Mix64(0x7ff8000000000000ULL);
+  if (d == 0.0) d = 0.0;  // collapse -0.0 onto +0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return Mix64(bits);
+}
+
+}  // namespace flinkless

@@ -1,0 +1,47 @@
+// Hashing used for shuffle partitioning and hash joins.
+//
+// Partitioning quality matters: a biased hash would skew partition sizes and
+// distort the message counts the experiments report, so we use a
+// finalized-avalanche 64-bit mix (MurmurHash3 finalizer) rather than identity
+// hashing of keys.
+
+#ifndef FLINKLESS_COMMON_HASH_H_
+#define FLINKLESS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace flinkless {
+
+/// MurmurHash3 64-bit finalizer: full-avalanche mix of one 64-bit word.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a hash with a new value, order-dependent (boost::hash_combine
+/// style, widened to 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// FNV-1a over raw bytes.
+uint64_t HashBytes(const void* data, size_t len);
+
+/// FNV-1a over a string.
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Hash of a double that respects equality (0.0 == -0.0, NaNs collapse).
+uint64_t HashDouble(double d);
+
+}  // namespace flinkless
+
+#endif  // FLINKLESS_COMMON_HASH_H_

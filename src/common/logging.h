@@ -1,0 +1,114 @@
+// Minimal leveled logging and CHECK macros.
+//
+// Log lines go to stderr as "[LEVEL] message". The active level is a process
+// global; benchmarks lower it to kWarning to keep output machine-readable.
+
+#ifndef FLINKLESS_COMMON_LOGGING_H_
+#define FLINKLESS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flinkless {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Currently active minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace flinkless
+
+#define FLINKLESS_LOG_AT(level)                                      \
+  (static_cast<int>(level) < static_cast<int>(::flinkless::GetLogLevel())) \
+      ? void(0)                                                      \
+      : (void)::flinkless::internal::LogMessage(level, __FILE__, __LINE__) \
+            .stream()
+
+#define FLOG_DEBUG(msg)                                                     \
+  do {                                                                      \
+    if (static_cast<int>(::flinkless::LogLevel::kDebug) >=                  \
+        static_cast<int>(::flinkless::GetLogLevel()))                       \
+      ::flinkless::internal::LogMessage(::flinkless::LogLevel::kDebug,      \
+                                        __FILE__, __LINE__)                 \
+              .stream()                                                     \
+          << msg;                                                           \
+  } while (0)
+
+#define FLOG_INFO(msg)                                                      \
+  do {                                                                      \
+    if (static_cast<int>(::flinkless::LogLevel::kInfo) >=                   \
+        static_cast<int>(::flinkless::GetLogLevel()))                       \
+      ::flinkless::internal::LogMessage(::flinkless::LogLevel::kInfo,       \
+                                        __FILE__, __LINE__)                 \
+              .stream()                                                     \
+          << msg;                                                           \
+  } while (0)
+
+#define FLOG_WARN(msg)                                                      \
+  do {                                                                      \
+    if (static_cast<int>(::flinkless::LogLevel::kWarning) >=                \
+        static_cast<int>(::flinkless::GetLogLevel()))                       \
+      ::flinkless::internal::LogMessage(::flinkless::LogLevel::kWarning,    \
+                                        __FILE__, __LINE__)                 \
+              .stream()                                                     \
+          << msg;                                                           \
+  } while (0)
+
+#define FLOG_ERROR(msg)                                                     \
+  do {                                                                      \
+    ::flinkless::internal::LogMessage(::flinkless::LogLevel::kError,        \
+                                      __FILE__, __LINE__)                   \
+            .stream()                                                       \
+        << msg;                                                             \
+  } while (0)
+
+/// Aborts the process with a message when `cond` does not hold. Used for
+/// internal invariants, never for user input (user input yields Status).
+#define FLINKLESS_CHECK(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::flinkless::internal::LogMessage(::flinkless::LogLevel::kFatal,      \
+                                        __FILE__, __LINE__)                 \
+              .stream()                                                     \
+          << "CHECK failed: " #cond ": " << msg;                            \
+    }                                                                       \
+  } while (0)
+
+#endif  // FLINKLESS_COMMON_LOGGING_H_

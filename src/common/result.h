@@ -1,0 +1,93 @@
+// Result<T>: a value or a Status, in the spirit of arrow::Result /
+// absl::StatusOr. Accessing the value of an errored Result aborts the
+// process (programming error), mirroring the CHECK-fail behaviour of the
+// reference libraries.
+
+#ifndef FLINKLESS_COMMON_RESULT_H_
+#define FLINKLESS_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace flinkless {
+
+/// Holds either a successfully computed T or the Status explaining why the
+/// computation failed.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. Constructing from an OK status is a
+  /// programming error and aborts.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Status of the computation; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Aborts if !ok().
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  /// The contained value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result<T>::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value:
+///   FLINKLESS_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define FLINKLESS_RESULT_CONCAT_INNER_(a, b) a##b
+#define FLINKLESS_RESULT_CONCAT_(a, b) FLINKLESS_RESULT_CONCAT_INNER_(a, b)
+#define FLINKLESS_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                      \
+  if (!tmp.ok()) {                                        \
+    return tmp.status();                                  \
+  }                                                       \
+  decl = std::move(tmp).ValueOrDie()
+#define FLINKLESS_ASSIGN_OR_RETURN(decl, expr)                             \
+  FLINKLESS_ASSIGN_OR_RETURN_IMPL_(                                        \
+      FLINKLESS_RESULT_CONCAT_(_flinkless_result_, __LINE__), decl, expr)
+
+}  // namespace flinkless
+
+#endif  // FLINKLESS_COMMON_RESULT_H_

@@ -1,0 +1,42 @@
+// Small string helpers shared across modules.
+
+#ifndef FLINKLESS_COMMON_STRINGS_H_
+#define FLINKLESS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flinkless {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a signed 64-bit integer. Returns false on any trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a double. Returns false on any trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("1.25", "3", "0.001").
+std::string FormatDouble(double value, int digits = 6);
+
+/// Human-readable byte count ("1.5 KiB", "3.2 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace flinkless
+
+#endif  // FLINKLESS_COMMON_STRINGS_H_

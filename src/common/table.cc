@@ -1,0 +1,120 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace flinkless {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TablePrinter::RowBuilder::~RowBuilder() { table_->AddRow(std::move(cells_)); }
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(
+    const std::string& v) {
+  cells_.push_back(v);
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(const char* v) {
+  cells_.emplace_back(v);
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(uint64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(int v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(double v) {
+  cells_.push_back(FormatDouble(v));
+  return *this;
+}
+
+void TablePrinter::PrintAscii(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ',';
+      os << CsvEscape(c < row.size() ? row[c] : std::string());
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string AsciiPlot(const std::vector<double>& values, int height,
+                      const std::string& title) {
+  std::string out = title + "\n";
+  if (values.empty() || height <= 0) return out + "(no data)\n";
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double span = hi - lo;
+  if (span <= 0) span = 1.0;
+  // Rows from top (hi) to bottom (lo).
+  for (int r = height - 1; r >= 0; --r) {
+    double cut = lo + span * r / height;
+    std::string line = "  ";
+    for (double v : values) {
+      line += (v > cut || (r == 0 && v >= lo)) ? '#' : ' ';
+    }
+    out += line + "\n";
+  }
+  out += "  " + std::string(values.size(), '-') + "\n";
+  out += "  min=" + FormatDouble(lo) + " max=" + FormatDouble(hi) +
+         " n=" + std::to_string(values.size()) + "\n";
+  return out;
+}
+
+}  // namespace flinkless

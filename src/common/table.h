@@ -1,0 +1,68 @@
+// TablePrinter: aligned ASCII tables and CSV output for the benchmark
+// harnesses. Every experiment binary prints its series through this class so
+// the output is uniform and machine-parsable.
+
+#ifndef FLINKLESS_COMMON_TABLE_H_
+#define FLINKLESS_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flinkless {
+
+/// Collects rows of string cells and renders them either as an aligned ASCII
+/// table or as CSV.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: builds the row by formatting each value.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TablePrinter* table) : table_(table) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& Cell(const std::string& v);
+    RowBuilder& Cell(const char* v);
+    RowBuilder& Cell(int64_t v);
+    RowBuilder& Cell(uint64_t v);
+    RowBuilder& Cell(int v);
+    RowBuilder& Cell(double v);
+
+   private:
+    TablePrinter* table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders an aligned ASCII table with a header separator.
+  void PrintAscii(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a crude ASCII plot of `values` (one column per value, `height`
+/// rows), used by the demo drivers to mimic the paper's GUI statistic plots.
+std::string AsciiPlot(const std::vector<double>& values, int height,
+                      const std::string& title);
+
+}  // namespace flinkless
+
+#endif  // FLINKLESS_COMMON_TABLE_H_

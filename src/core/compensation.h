@@ -1,0 +1,55 @@
+// CompensationFunction: the user-supplied piece at the heart of optimistic
+// recovery (paper §2.2, Schelter et al. CIKM'13).
+//
+// After a failure destroys some partitions of the iteration state, the
+// system does NOT have a checkpoint to restore. Instead it invokes the
+// algorithm's compensation function, which must transform the damaged state
+// into a *consistent* one — any state from which the fixpoint algorithm
+// still converges to the correct solution. For Connected Components that
+// means re-initializing lost vertices to their initial labels; for PageRank
+// it means redistributing the lost probability mass so ranks sum to one
+// again.
+//
+// The function is invoked with the full state view (all partitions), because
+// consistency can be a global property: PageRank's FixRanks must know how
+// much mass survived before it can decide what the lost vertices get.
+
+#ifndef FLINKLESS_CORE_COMPENSATION_H_
+#define FLINKLESS_CORE_COMPENSATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "iteration/context.h"
+#include "iteration/state.h"
+
+namespace flinkless::core {
+
+/// Restores a consistent iteration state after data loss.
+class CompensationFunction {
+ public:
+  virtual ~CompensationFunction() = default;
+
+  /// Display name ("fix-components", "fix-ranks").
+  virtual std::string name() const = 0;
+
+  /// Repairs `state` after the partitions in `lost` were cleared (their
+  /// workers crashed) and reassigned to fresh workers. On return the state
+  /// must be consistent: every partition populated with records the next
+  /// superstep can consume, and any global invariant of the algorithm
+  /// (e.g. "ranks sum to one") re-established. May touch surviving
+  /// partitions too — the paper invokes the compensation on all partitions.
+  ///
+  /// For delta iterations the function must also repopulate the workset so
+  /// the algorithm re-propagates whatever information the lost partitions
+  /// need to re-converge (for Connected Components: the restored vertices
+  /// and their neighbors propagate their labels again, §3.2).
+  virtual Status Compensate(const iteration::IterationContext& ctx,
+                            iteration::IterationState* state,
+                            const std::vector<int>& lost) = 0;
+};
+
+}  // namespace flinkless::core
+
+#endif  // FLINKLESS_CORE_COMPENSATION_H_

@@ -1,0 +1,419 @@
+#include "core/policies.h"
+
+#include <cstdio>
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace flinkless::core {
+
+using iteration::IterationContext;
+using iteration::IterationState;
+using iteration::RecoveryOutcome;
+
+Result<RecoveryOutcome> NoFaultTolerancePolicy::OnFailure(
+    const IterationContext& ctx, IterationState* state,
+    const std::vector<int>& lost) {
+  (void)state;
+  FLOG_WARN("job '" << ctx.job_id << "': " << lost.size()
+                    << " partitions lost at iteration " << ctx.iteration
+                    << " with no fault tolerance configured");
+  return RecoveryOutcome::Abort();
+}
+
+Result<RecoveryOutcome> RestartPolicy::OnFailure(
+    const IterationContext& ctx, IterationState* state,
+    const std::vector<int>& lost) {
+  (void)state;
+  (void)lost;
+  FLOG_INFO("job '" << ctx.job_id << "': restarting from scratch after "
+                    << "failure at iteration " << ctx.iteration);
+  return RecoveryOutcome::Restart();
+}
+
+CheckpointRollbackPolicy::CheckpointRollbackPolicy(int interval,
+                                                   bool keep_only_latest,
+                                                   bool incremental)
+    : interval_(interval),
+      keep_only_latest_(keep_only_latest),
+      incremental_(incremental) {
+  FLINKLESS_CHECK(interval_ >= 1, "checkpoint interval must be >= 1");
+}
+
+std::string CheckpointRollbackPolicy::CheckpointKey(const std::string& job_id,
+                                                    int iteration,
+                                                    int partition) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/ckpt/%08d/%06d", iteration, partition);
+  return job_id + buf;
+}
+
+Status CheckpointRollbackPolicy::WriteCheckpoint(
+    const IterationContext& ctx, const IterationState& state) {
+  if (ctx.storage == nullptr) {
+    return Status::FailedPrecondition(
+        "rollback recovery requires stable storage in the job environment");
+  }
+  for (int p = 0; p < state.num_partitions(); ++p) {
+    std::vector<uint8_t> blob = state.SerializePartition(p);
+    uint64_t hash = HashBytes(blob.data(), blob.size());
+    if (incremental_) {
+      auto it = content_hash_.find(p);
+      if (it != content_hash_.end() && it->second == hash &&
+          ctx.storage->Exists(manifest_[p])) {
+        // Unchanged since the previous checkpoint: keep referencing the
+        // existing blob, write nothing.
+        continue;
+      }
+    }
+    std::string key = CheckpointKey(ctx.job_id, ctx.iteration, p);
+    FLINKLESS_RETURN_NOT_OK(ctx.storage->Write(key, std::move(blob)));
+    manifest_[p] = std::move(key);
+    content_hash_[p] = hash;
+  }
+  if (keep_only_latest_) {
+    // Drop every blob of this job that the fresh manifest does not
+    // reference (with full snapshots that is exactly "all older
+    // checkpoints").
+    std::set<std::string> referenced;
+    for (const auto& [p, key] : manifest_) referenced.insert(key);
+    for (const std::string& key :
+         ctx.storage->ListWithPrefix(ctx.job_id + "/ckpt/")) {
+      if (referenced.count(key) == 0) ctx.storage->Delete(key);
+    }
+  }
+  last_checkpoint_ = ctx.iteration;
+  return Status::OK();
+}
+
+Status CheckpointRollbackPolicy::OnJobStart(const IterationContext& ctx,
+                                            IterationState* state) {
+  // A fresh job run: forget checkpoints of previous runs under this id.
+  if (ctx.storage != nullptr) {
+    ctx.storage->DeleteWithPrefix(ctx.job_id + "/ckpt/");
+  }
+  last_checkpoint_ = -1;
+  manifest_.clear();
+  content_hash_.clear();
+  // Checkpoint the initial state so a failure in the first interval has a
+  // snapshot to roll back to.
+  return WriteCheckpoint(ctx, *state);
+}
+
+Status CheckpointRollbackPolicy::AfterIteration(const IterationContext& ctx,
+                                                IterationState* state) {
+  if (ctx.iteration % interval_ != 0) return Status::OK();
+  return WriteCheckpoint(ctx, *state);
+}
+
+Result<RecoveryOutcome> CheckpointRollbackPolicy::OnFailure(
+    const IterationContext& ctx, IterationState* state,
+    const std::vector<int>& lost) {
+  (void)lost;
+  if (ctx.storage == nullptr) {
+    return Status::FailedPrecondition(
+        "rollback recovery requires stable storage in the job environment");
+  }
+  if (last_checkpoint_ < 0) {
+    return Status::DataLoss("no checkpoint available for job '" + ctx.job_id +
+                            "'");
+  }
+  // Synchronous rollback: every partition is restored to the snapshot, not
+  // just the lost ones — the surviving partitions' progress since the
+  // checkpoint is discarded too.
+  for (int p = 0; p < state->num_partitions(); ++p) {
+    auto it = manifest_.find(p);
+    if (it == manifest_.end()) {
+      return Status::DataLoss("no checkpointed blob for partition " +
+                              std::to_string(p) + " of job '" + ctx.job_id +
+                              "'");
+    }
+    FLINKLESS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                               ctx.storage->Read(it->second));
+    FLINKLESS_RETURN_NOT_OK(state->RestorePartition(p, blob));
+  }
+  FLOG_INFO("job '" << ctx.job_id << "': rolled back from iteration "
+                    << ctx.iteration << " to checkpoint at iteration "
+                    << last_checkpoint_);
+  return RecoveryOutcome::Rewind(last_checkpoint_);
+}
+
+ConfinedRollbackPolicy::ConfinedRollbackPolicy(int interval,
+                                               WorksetRefresher refresher)
+    : interval_(interval), refresher_(std::move(refresher)) {
+  FLINKLESS_CHECK(interval_ >= 1, "checkpoint interval must be >= 1");
+}
+
+std::string ConfinedRollbackPolicy::CheckpointKey(const std::string& job_id,
+                                                  int partition) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/confined/%06d", partition);
+  return job_id + buf;
+}
+
+Status ConfinedRollbackPolicy::WriteCheckpoint(
+    const IterationContext& ctx, const IterationState& state) {
+  if (ctx.storage == nullptr) {
+    return Status::FailedPrecondition(
+        "confined rollback requires stable storage in the job environment");
+  }
+  // No rewinding means only the latest snapshot is ever read; each write
+  // overwrites in place.
+  for (int p = 0; p < state.num_partitions(); ++p) {
+    FLINKLESS_RETURN_NOT_OK(ctx.storage->Write(
+        CheckpointKey(ctx.job_id, p), state.SerializePartition(p)));
+  }
+  have_checkpoint_ = true;
+  return Status::OK();
+}
+
+Status ConfinedRollbackPolicy::OnJobStart(const IterationContext& ctx,
+                                          IterationState* state) {
+  if (ctx.storage != nullptr) {
+    ctx.storage->DeleteWithPrefix(ctx.job_id + "/confined/");
+  }
+  have_checkpoint_ = false;
+  return WriteCheckpoint(ctx, *state);
+}
+
+Status ConfinedRollbackPolicy::AfterIteration(const IterationContext& ctx,
+                                              IterationState* state) {
+  if (ctx.iteration % interval_ != 0) return Status::OK();
+  return WriteCheckpoint(ctx, *state);
+}
+
+Result<RecoveryOutcome> ConfinedRollbackPolicy::OnFailure(
+    const IterationContext& ctx, IterationState* state,
+    const std::vector<int>& lost) {
+  if (ctx.storage == nullptr) {
+    return Status::FailedPrecondition(
+        "confined rollback requires stable storage in the job environment");
+  }
+  if (!have_checkpoint_) {
+    return Status::DataLoss("no checkpoint available for job '" + ctx.job_id +
+                            "'");
+  }
+  // Confined restore: only the lost partitions come back from the (stale)
+  // snapshot; the survivors keep their current, newer state.
+  for (int p : lost) {
+    FLINKLESS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                               ctx.storage->Read(CheckpointKey(ctx.job_id,
+                                                               p)));
+    FLINKLESS_RETURN_NOT_OK(state->RestorePartition(p, blob));
+  }
+  if (state->kind() == iteration::StateKind::kDelta) {
+    if (!refresher_) {
+      return Status::FailedPrecondition(
+          "confined rollback on a delta iteration needs a workset "
+          "refresher");
+    }
+    FLINKLESS_RETURN_NOT_OK(refresher_(
+        ctx, static_cast<iteration::DeltaState*>(state), lost));
+  }
+  FLOG_INFO("job '" << ctx.job_id << "': confined restore of "
+                    << lost.size() << " partitions at iteration "
+                    << ctx.iteration << " (survivors keep their progress)");
+  return RecoveryOutcome::Continue();
+}
+
+namespace {
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+bool GetU64(const std::vector<uint8_t>& bytes, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > bytes.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(bytes[*offset + i]) << (8 * i);
+  }
+  *offset += 8;
+  return true;
+}
+
+/// Frames one partition's checkpoint piece: changed solution entries plus
+/// the current workset.
+std::vector<uint8_t> FrameDeltaBlob(
+    const std::vector<dataflow::Record>& solution_entries,
+    const std::vector<dataflow::Record>& workset_records) {
+  std::vector<uint8_t> solution_blob =
+      dataflow::SerializeRecords(solution_entries);
+  std::vector<uint8_t> workset_blob =
+      dataflow::SerializeRecords(workset_records);
+  std::vector<uint8_t> out;
+  out.reserve(8 + solution_blob.size() + workset_blob.size());
+  PutU64(solution_blob.size(), &out);
+  out.insert(out.end(), solution_blob.begin(), solution_blob.end());
+  out.insert(out.end(), workset_blob.begin(), workset_blob.end());
+  return out;
+}
+
+Status UnframeDeltaBlob(const std::vector<uint8_t>& blob,
+                        std::vector<dataflow::Record>* solution_entries,
+                        std::vector<dataflow::Record>* workset_records) {
+  size_t offset = 0;
+  uint64_t solution_len = 0;
+  if (!GetU64(blob, &offset, &solution_len) ||
+      offset + solution_len > blob.size()) {
+    return Status::DataLoss("truncated delta-checkpoint blob");
+  }
+  std::vector<uint8_t> solution_blob(blob.begin() + offset,
+                                     blob.begin() + offset + solution_len);
+  std::vector<uint8_t> workset_blob(blob.begin() + offset + solution_len,
+                                    blob.end());
+  FLINKLESS_ASSIGN_OR_RETURN(*solution_entries,
+                             dataflow::DeserializeRecords(solution_blob));
+  FLINKLESS_ASSIGN_OR_RETURN(*workset_records,
+                             dataflow::DeserializeRecords(workset_blob));
+  return Status::OK();
+}
+
+}  // namespace
+
+DeltaCheckpointPolicy::DeltaCheckpointPolicy(int interval, int compact_every)
+    : interval_(interval), compact_every_(compact_every) {
+  FLINKLESS_CHECK(interval_ >= 1, "checkpoint interval must be >= 1");
+  FLINKLESS_CHECK(compact_every_ >= 1, "compact_every must be >= 1");
+}
+
+std::string DeltaCheckpointPolicy::BlobKey(const std::string& job_id,
+                                           int sequence,
+                                           int partition) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/dckpt/%08d/%06d", sequence, partition);
+  return job_id + buf;
+}
+
+Status DeltaCheckpointPolicy::WriteCheckpoint(
+    const IterationContext& ctx, const iteration::DeltaState& state,
+    bool full) {
+  if (ctx.storage == nullptr) {
+    return Status::FailedPrecondition(
+        "delta checkpointing requires stable storage in the job "
+        "environment");
+  }
+  int sequence = next_sequence_++;
+  const uint64_t since = full ? 0 : last_version_;
+  for (int p = 0; p < state.num_partitions(); ++p) {
+    FLINKLESS_RETURN_NOT_OK(ctx.storage->Write(
+        BlobKey(ctx.job_id, sequence, p),
+        FrameDeltaBlob(state.solution().EntriesSince(p, since),
+                       state.workset().partition(p))));
+  }
+  if (full) {
+    // The old chain is superseded.
+    for (int old_sequence : chain_) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "/dckpt/%08d/", old_sequence);
+      ctx.storage->DeleteWithPrefix(ctx.job_id + buf);
+    }
+    chain_.clear();
+  }
+  chain_.push_back(sequence);
+  last_version_ = state.solution().version();
+  last_checkpoint_ = ctx.iteration;
+  return Status::OK();
+}
+
+Status DeltaCheckpointPolicy::OnJobStart(const IterationContext& ctx,
+                                         IterationState* state) {
+  if (state->kind() != iteration::StateKind::kDelta) {
+    return Status::InvalidArgument(
+        "delta checkpointing applies to delta iterations only");
+  }
+  if (ctx.storage != nullptr) {
+    ctx.storage->DeleteWithPrefix(ctx.job_id + "/dckpt/");
+  }
+  last_checkpoint_ = -1;
+  last_version_ = 0;
+  next_sequence_ = 0;
+  chain_.clear();
+  return WriteCheckpoint(ctx, *static_cast<iteration::DeltaState*>(state),
+                         /*full=*/true);
+}
+
+Status DeltaCheckpointPolicy::AfterIteration(const IterationContext& ctx,
+                                             IterationState* state) {
+  if (ctx.iteration % interval_ != 0) return Status::OK();
+  if (state->kind() != iteration::StateKind::kDelta) {
+    return Status::InvalidArgument(
+        "delta checkpointing applies to delta iterations only");
+  }
+  bool compact = static_cast<int>(chain_.size()) >= compact_every_;
+  return WriteCheckpoint(ctx, *static_cast<iteration::DeltaState*>(state),
+                         compact);
+}
+
+Result<RecoveryOutcome> DeltaCheckpointPolicy::OnFailure(
+    const IterationContext& ctx, IterationState* state,
+    const std::vector<int>& lost) {
+  (void)lost;
+  if (ctx.storage == nullptr) {
+    return Status::FailedPrecondition(
+        "delta checkpointing requires stable storage in the job "
+        "environment");
+  }
+  if (state->kind() != iteration::StateKind::kDelta) {
+    return Status::InvalidArgument(
+        "delta checkpointing applies to delta iterations only");
+  }
+  if (chain_.empty()) {
+    return Status::DataLoss("no delta checkpoint available for job '" +
+                            ctx.job_id + "'");
+  }
+  auto* delta = static_cast<iteration::DeltaState*>(state);
+  // Replay the chain: base entries first, newer deltas overwrite older
+  // ones; the workset comes from the newest checkpoint alone.
+  for (int p = 0; p < delta->num_partitions(); ++p) {
+    delta->solution().ClearPartition(p);
+    delta->workset().ClearPartition(p);
+  }
+  for (size_t link = 0; link < chain_.size(); ++link) {
+    bool newest = link + 1 == chain_.size();
+    for (int p = 0; p < delta->num_partitions(); ++p) {
+      FLINKLESS_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> blob,
+          ctx.storage->Read(BlobKey(ctx.job_id, chain_[link], p)));
+      std::vector<dataflow::Record> entries;
+      std::vector<dataflow::Record> workset_records;
+      FLINKLESS_RETURN_NOT_OK(
+          UnframeDeltaBlob(blob, &entries, &workset_records));
+      for (auto& record : entries) {
+        delta->solution().Upsert(std::move(record));
+      }
+      if (newest) delta->workset().partition(p) = std::move(workset_records);
+    }
+  }
+  // Everything just restored carries fresh versions; the next delta must
+  // capture only post-restore changes.
+  last_version_ = delta->solution().version();
+  FLOG_INFO("job '" << ctx.job_id << "': replayed a " << chain_.size()
+                    << "-link delta-checkpoint chain back to iteration "
+                    << last_checkpoint_);
+  return RecoveryOutcome::Rewind(last_checkpoint_);
+}
+
+OptimisticRecoveryPolicy::OptimisticRecoveryPolicy(
+    CompensationFunction* compensation)
+    : compensation_(compensation) {
+  FLINKLESS_CHECK(compensation_ != nullptr,
+                  "optimistic recovery needs a compensation function");
+}
+
+Result<RecoveryOutcome> OptimisticRecoveryPolicy::OnFailure(
+    const IterationContext& ctx, IterationState* state,
+    const std::vector<int>& lost) {
+  // No checkpoint, no lineage: re-initialize the lost partitions through the
+  // user-supplied compensation function and keep going from the current
+  // iteration. The subsequent iterations of the fixpoint algorithm correct
+  // the errors the data loss introduced (paper §2.2).
+  FLINKLESS_RETURN_NOT_OK(compensation_->Compensate(ctx, state, lost));
+  FLOG_INFO("job '" << ctx.job_id << "': compensated " << lost.size()
+                    << " lost partitions at iteration " << ctx.iteration
+                    << " with '" << compensation_->name() << "'");
+  return RecoveryOutcome::Continue();
+}
+
+}  // namespace flinkless::core

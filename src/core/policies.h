@@ -1,0 +1,232 @@
+// The fault-tolerance strategies compared throughout the paper:
+//
+//   * NoFaultTolerance   — fastest failure-free run; any failure kills the
+//                          job (the baseline that motivates the work).
+//   * RestartPolicy      — re-run the whole job from scratch after a
+//                          failure; what lineage-based recovery degenerates
+//                          to for iterative jobs with wide dependencies
+//                          (paper §2.2).
+//   * CheckpointRollback — the classic pessimistic approach: checkpoint the
+//                          iteration state to stable storage every k
+//                          iterations, restore the latest snapshot on
+//                          failure and rewind (paper §2.2, Elnozahy et al.).
+//   * OptimisticRecovery — the paper's contribution: no checkpoints at all;
+//                          on failure, run the algorithm's compensation
+//                          function and continue from the current iteration.
+
+#ifndef FLINKLESS_CORE_POLICIES_H_
+#define FLINKLESS_CORE_POLICIES_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compensation.h"
+#include "iteration/policy.h"
+
+namespace flinkless::core {
+
+/// No checkpoints, no recovery: a failure aborts the job with DataLoss.
+class NoFaultTolerancePolicy final : public iteration::FaultTolerancePolicy {
+ public:
+  std::string name() const override { return "none"; }
+  Result<iteration::RecoveryOutcome> OnFailure(
+      const iteration::IterationContext& ctx,
+      iteration::IterationState* state,
+      const std::vector<int>& lost) override;
+};
+
+/// No checkpoints; a failure restarts the whole job from its initial state.
+class RestartPolicy final : public iteration::FaultTolerancePolicy {
+ public:
+  std::string name() const override { return "restart"; }
+  Result<iteration::RecoveryOutcome> OnFailure(
+      const iteration::IterationContext& ctx,
+      iteration::IterationState* state,
+      const std::vector<int>& lost) override;
+};
+
+/// Pessimistic rollback recovery: synchronous checkpoints of every state
+/// partition to stable storage every `interval` iterations (plus iteration
+/// 0), full restore + rewind on failure.
+///
+/// With `incremental` set, a partition whose serialized content did not
+/// change since the last checkpoint is not rewritten — its previous blob is
+/// kept and referenced by the new checkpoint's manifest. For delta
+/// iterations this shrinks checkpoint I/O dramatically once parts of the
+/// solution set converge (ablation A4 in DESIGN.md).
+class CheckpointRollbackPolicy final
+    : public iteration::FaultTolerancePolicy {
+ public:
+  /// `interval` >= 1: checkpoint after every interval-th iteration. When
+  /// `keep_only_latest` is set, blobs no longer referenced by the latest
+  /// checkpoint are garbage-collected after it is safely written.
+  explicit CheckpointRollbackPolicy(int interval, bool keep_only_latest = true,
+                                    bool incremental = false);
+
+  std::string name() const override {
+    return std::string("rollback(k=") + std::to_string(interval_) +
+           (incremental_ ? ",inc" : "") + ")";
+  }
+
+  Status OnJobStart(const iteration::IterationContext& ctx,
+                    iteration::IterationState* state) override;
+  Status AfterIteration(const iteration::IterationContext& ctx,
+                        iteration::IterationState* state) override;
+  Result<iteration::RecoveryOutcome> OnFailure(
+      const iteration::IterationContext& ctx,
+      iteration::IterationState* state,
+      const std::vector<int>& lost) override;
+
+  /// Iteration of the most recent checkpoint (-1 before OnJobStart).
+  int last_checkpoint_iteration() const { return last_checkpoint_; }
+
+ private:
+  std::string CheckpointKey(const std::string& job_id, int iteration,
+                            int partition) const;
+  Status WriteCheckpoint(const iteration::IterationContext& ctx,
+                         const iteration::IterationState& state);
+
+  int interval_;
+  bool keep_only_latest_;
+  bool incremental_;
+  int last_checkpoint_ = -1;
+  /// partition -> blob key holding that partition's state as of the last
+  /// checkpoint (for incremental mode the keys can be from different
+  /// iterations).
+  std::map<int, std::string> manifest_;
+  /// partition -> content hash of the blob the manifest references.
+  std::map<int, uint64_t> content_hash_;
+};
+
+/// Repopulates a delta iteration's workset after lost solution partitions
+/// were restored from a (stale) checkpoint, so the affected region
+/// re-propagates and re-converges. Mirrors what compensation functions do
+/// for the workset; see MakeNeighborhoodRefresher in algos.
+using WorksetRefresher = std::function<Status(
+    const iteration::IterationContext& ctx, iteration::DeltaState* state,
+    const std::vector<int>& lost)>;
+
+/// Confined rollback (in the spirit of CoRAL, Vora et al.): checkpoints
+/// like CheckpointRollbackPolicy, but on failure restores ONLY the lost
+/// partitions from the snapshot and keeps the survivors' newer state —
+/// then continues from the *current* iteration instead of rewinding.
+///
+/// The mixed state (survivors at iteration i, restored partitions at the
+/// checkpoint's iteration k <= i) is not a consistent global snapshot; the
+/// job converges anyway for exactly the class of fixpoint algorithms the
+/// paper's optimistic recovery targets (self-correcting iterations). So
+/// this strategy sits between rollback (pays checkpoints, loses survivors'
+/// progress) and optimistic (pays nothing, loses the failed partitions'
+/// progress entirely): it pays checkpoints but loses almost no progress.
+class ConfinedRollbackPolicy final : public iteration::FaultTolerancePolicy {
+ public:
+  /// `refresher` is required for delta iterations (bulk iterations need no
+  /// workset fix-up) and may be empty otherwise.
+  explicit ConfinedRollbackPolicy(int interval,
+                                  WorksetRefresher refresher = {});
+
+  std::string name() const override {
+    return "confined(k=" + std::to_string(interval_) + ")";
+  }
+
+  Status OnJobStart(const iteration::IterationContext& ctx,
+                    iteration::IterationState* state) override;
+  Status AfterIteration(const iteration::IterationContext& ctx,
+                        iteration::IterationState* state) override;
+  Result<iteration::RecoveryOutcome> OnFailure(
+      const iteration::IterationContext& ctx,
+      iteration::IterationState* state,
+      const std::vector<int>& lost) override;
+
+ private:
+  std::string CheckpointKey(const std::string& job_id, int partition) const;
+  Status WriteCheckpoint(const iteration::IterationContext& ctx,
+                         const iteration::IterationState& state);
+
+  int interval_;
+  WorksetRefresher refresher_;
+  bool have_checkpoint_ = false;
+};
+
+/// Entry-level incremental checkpointing for delta iterations: each
+/// checkpoint writes only the solution-set entries modified since the
+/// previous checkpoint (plus the small current workset), forming a chain
+/// base + delta + delta + ...; recovery replays the chain. Because
+/// solution-set entries stop changing once their region of the graph
+/// converges, the written bytes shrink with convergence even under hash
+/// partitioning — where partition-granular incremental checkpointing (see
+/// CheckpointRollbackPolicy) saves nothing, since every partition holds
+/// some still-changing entries. Solution sets must be upsert-only (true
+/// for Flink-style delta iterations).
+class DeltaCheckpointPolicy final : public iteration::FaultTolerancePolicy {
+ public:
+  /// Checkpoint after every `interval`-th iteration. After `compact_every`
+  /// chained deltas a full snapshot is written and the chain restarts,
+  /// bounding recovery replay length.
+  explicit DeltaCheckpointPolicy(int interval, int compact_every = 16);
+
+  std::string name() const override {
+    return "delta-ckpt(k=" + std::to_string(interval_) + ")";
+  }
+
+  Status OnJobStart(const iteration::IterationContext& ctx,
+                    iteration::IterationState* state) override;
+  Status AfterIteration(const iteration::IterationContext& ctx,
+                        iteration::IterationState* state) override;
+  Result<iteration::RecoveryOutcome> OnFailure(
+      const iteration::IterationContext& ctx,
+      iteration::IterationState* state,
+      const std::vector<int>& lost) override;
+
+  /// Iteration of the most recent checkpoint (-1 before OnJobStart).
+  int last_checkpoint_iteration() const { return last_checkpoint_; }
+
+  /// Number of checkpoints in the current chain (1 = base only).
+  size_t chain_length() const { return chain_.size(); }
+
+ private:
+  std::string BlobKey(const std::string& job_id, int sequence,
+                      int partition) const;
+  Status WriteCheckpoint(const iteration::IterationContext& ctx,
+                         const iteration::DeltaState& state, bool full);
+
+  int interval_;
+  int compact_every_;
+  int last_checkpoint_ = -1;
+  /// Version of the solution set as of the last checkpoint.
+  uint64_t last_version_ = 0;
+  /// Monotonic sequence number used in blob keys (never reused, so a
+  /// compaction cannot collide with the chain it replaces).
+  int next_sequence_ = 0;
+  /// Sequence numbers of the chain's checkpoints, oldest (the base) first.
+  std::vector<int> chain_;
+};
+
+/// The paper's optimistic recovery: zero failure-free overhead; on failure,
+/// invoke the compensation function on the (partially lost) state and
+/// continue with the current iteration.
+class OptimisticRecoveryPolicy final
+    : public iteration::FaultTolerancePolicy {
+ public:
+  /// `compensation` is borrowed and must outlive the policy.
+  explicit OptimisticRecoveryPolicy(CompensationFunction* compensation);
+
+  std::string name() const override {
+    return "optimistic(" + compensation_->name() + ")";
+  }
+
+  Result<iteration::RecoveryOutcome> OnFailure(
+      const iteration::IterationContext& ctx,
+      iteration::IterationState* state,
+      const std::vector<int>& lost) override;
+
+ private:
+  CompensationFunction* compensation_;
+};
+
+}  // namespace flinkless::core
+
+#endif  // FLINKLESS_CORE_POLICIES_H_

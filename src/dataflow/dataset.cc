@@ -1,0 +1,72 @@
+#include "dataflow/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flinkless::dataflow {
+
+int PartitionedDataset::PartitionOf(const Record& record,
+                                    const KeyColumns& key,
+                                    int num_partitions) {
+  FLINKLESS_CHECK(num_partitions > 0, "PartitionOf needs >= 1 partition");
+  return static_cast<int>(HashKey(record, key) %
+                          static_cast<uint64_t>(num_partitions));
+}
+
+PartitionedDataset PartitionedDataset::HashPartitioned(
+    std::vector<Record> records, const KeyColumns& key, int num_partitions) {
+  PartitionedDataset ds(num_partitions);
+  for (auto& r : records) {
+    int p = PartitionOf(r, key, num_partitions);
+    ds.partitions_[p].push_back(std::move(r));
+  }
+  return ds;
+}
+
+PartitionedDataset PartitionedDataset::RoundRobin(std::vector<Record> records,
+                                                  int num_partitions) {
+  PartitionedDataset ds(num_partitions);
+  for (size_t i = 0; i < records.size(); ++i) {
+    ds.partitions_[i % num_partitions].push_back(std::move(records[i]));
+  }
+  return ds;
+}
+
+uint64_t PartitionedDataset::NumRecords() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.size();
+  return total;
+}
+
+std::vector<Record> PartitionedDataset::Collect() const {
+  std::vector<Record> out;
+  out.reserve(NumRecords());
+  for (const auto& p : partitions_) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<Record> PartitionedDataset::CollectSorted() const {
+  std::vector<Record> out = Collect();
+  std::sort(out.begin(), out.end(), RecordLess);
+  return out;
+}
+
+uint64_t PartitionedDataset::SerializedSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions_) total += SerializedSize(p);
+  return total;
+}
+
+bool PartitionedDataset::IsPartitionedBy(const KeyColumns& key) const {
+  for (int p = 0; p < num_partitions(); ++p) {
+    for (const Record& r : partitions_[p]) {
+      if (PartitionOf(r, key, num_partitions()) != p) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace flinkless::dataflow

@@ -1,0 +1,376 @@
+#include "dataflow/executor.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flinkless::dataflow {
+
+namespace {
+
+using GroupMap = std::map<Record, std::vector<Record>, RecordOrder>;
+
+GroupMap GroupByKey(const std::vector<Record>& records,
+                    const KeyColumns& key) {
+  GroupMap groups;
+  for (const Record& r : records) {
+    groups[ExtractKey(r, key)].push_back(r);
+  }
+  return groups;
+}
+
+}  // namespace
+
+void ExecStats::MergeFrom(const ExecStats& other) {
+  records_processed += other.records_processed;
+  messages_shuffled += other.messages_shuffled;
+  for (const auto& [name, count] : other.node_output_counts) {
+    node_output_counts[name] += count;
+  }
+}
+
+Executor::Executor(ExecOptions options) : options_(options) {
+  FLINKLESS_CHECK(options_.num_partitions > 0,
+                  "executor needs at least one partition");
+}
+
+void Executor::ChargeCompute(uint64_t records) const {
+  if (options_.clock != nullptr && options_.costs != nullptr) {
+    options_.clock->Add(runtime::Charge::kCompute,
+                        options_.costs->cpu_per_record_ns *
+                            static_cast<int64_t>(records));
+  }
+}
+
+PartitionedDataset Executor::Shuffle(const PartitionedDataset& input,
+                                     const KeyColumns& key,
+                                     ExecStats* stats) const {
+  const int n = options_.num_partitions;
+  PartitionedDataset out(n);
+  uint64_t moved = 0;
+  for (int p = 0; p < input.num_partitions(); ++p) {
+    for (const Record& r : input.partition(p)) {
+      int target = PartitionedDataset::PartitionOf(r, key, n);
+      if (target != p) ++moved;
+      out.partition(target).push_back(r);
+    }
+  }
+  ChargeCompute(input.NumRecords());
+  if (options_.clock != nullptr && options_.costs != nullptr) {
+    options_.clock->Add(runtime::Charge::kNetwork,
+                        options_.costs->network_per_record_ns *
+                            static_cast<int64_t>(moved));
+  }
+  if (stats != nullptr) stats->messages_shuffled += moved;
+  return out;
+}
+
+Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
+    const Plan& plan, const Bindings& bindings, ExecStats* stats) const {
+  FLINKLESS_RETURN_NOT_OK(plan.Validate());
+  const int n = options_.num_partitions;
+
+  ExecStats local_stats;
+  std::vector<PartitionedDataset> results;
+  results.reserve(plan.num_nodes());
+
+  auto count_output = [&](const PlanNode& node,
+                          const PartitionedDataset& ds) {
+    local_stats.node_output_counts[node.name] += ds.NumRecords();
+  };
+
+  for (const PlanNode& node : plan.nodes()) {
+    switch (node.kind) {
+      case OpKind::kSource: {
+        auto it = bindings.find(node.source_name);
+        if (it == bindings.end() || it->second == nullptr) {
+          return Status::NotFound("no binding for source '" +
+                                  node.source_name + "'");
+        }
+        if (it->second->num_partitions() != n) {
+          return Status::InvalidArgument(
+              "binding '" + node.source_name + "' has " +
+              std::to_string(it->second->num_partitions()) +
+              " partitions, executor expects " + std::to_string(n));
+        }
+        results.push_back(*it->second);
+        break;
+      }
+
+      case OpKind::kMap: {
+        const PartitionedDataset& in = results[node.inputs[0]];
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          out.partition(p).reserve(in.partition(p).size());
+          for (const Record& r : in.partition(p)) {
+            out.partition(p).push_back(node.map_fn(r));
+          }
+        }
+        local_stats.records_processed += in.NumRecords();
+        ChargeCompute(in.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kFlatMap: {
+        const PartitionedDataset& in = results[node.inputs[0]];
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          for (const Record& r : in.partition(p)) {
+            node.flat_map_fn(r, &out.partition(p));
+          }
+        }
+        local_stats.records_processed += in.NumRecords();
+        ChargeCompute(in.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kFilter: {
+        const PartitionedDataset& in = results[node.inputs[0]];
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          for (const Record& r : in.partition(p)) {
+            if (node.filter_fn(r)) out.partition(p).push_back(r);
+          }
+        }
+        local_stats.records_processed += in.NumRecords();
+        ChargeCompute(in.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kProject: {
+        const PartitionedDataset& in = results[node.inputs[0]];
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          for (const Record& r : in.partition(p)) {
+            Record projected;
+            projected.reserve(node.project_columns.size());
+            for (int col : node.project_columns) {
+              if (col < 0 || static_cast<size_t>(col) >= r.size()) {
+                return Status::OutOfRange(
+                    "Project '" + node.name + "': column " +
+                    std::to_string(col) + " out of range for record " +
+                    RecordToString(r));
+              }
+              projected.push_back(r[col]);
+            }
+            out.partition(p).push_back(std::move(projected));
+          }
+        }
+        local_stats.records_processed += in.NumRecords();
+        ChargeCompute(in.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kReduceByKey: {
+        const PartitionedDataset* in = &results[node.inputs[0]];
+        PartitionedDataset combined;
+        if (node.pre_combine) {
+          // Local pre-aggregation before the shuffle: fewer messages.
+          combined = PartitionedDataset(in->num_partitions());
+          for (int p = 0; p < in->num_partitions(); ++p) {
+            std::map<Record, Record, RecordOrder> acc;
+            for (const Record& r : in->partition(p)) {
+              Record k = ExtractKey(r, node.left_key);
+              auto [it, inserted] = acc.try_emplace(std::move(k), r);
+              if (!inserted) it->second = node.combine_fn(it->second, r);
+            }
+            for (auto& [k, v] : acc) combined.partition(p).push_back(v);
+          }
+          local_stats.records_processed += in->NumRecords();
+          ChargeCompute(in->NumRecords());
+          in = &combined;
+        }
+        PartitionedDataset shuffled = Shuffle(*in, node.left_key,
+                                              &local_stats);
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          std::map<Record, Record, RecordOrder> acc;
+          for (const Record& r : shuffled.partition(p)) {
+            Record k = ExtractKey(r, node.left_key);
+            auto [it, inserted] = acc.try_emplace(std::move(k), r);
+            if (!inserted) {
+              Record folded = node.combine_fn(it->second, r);
+              if (!KeysEqual(folded, node.left_key, r, node.left_key)) {
+                return Status::Internal(
+                    "ReduceByKey '" + node.name +
+                    "': combiner changed the key (got " +
+                    RecordToString(folded) + ")");
+              }
+              it->second = std::move(folded);
+            }
+          }
+          for (auto& [k, v] : acc) out.partition(p).push_back(std::move(v));
+        }
+        local_stats.records_processed += shuffled.NumRecords();
+        ChargeCompute(shuffled.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kGroupReduceByKey: {
+        const PartitionedDataset& in = results[node.inputs[0]];
+        PartitionedDataset shuffled = Shuffle(in, node.left_key, &local_stats);
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          GroupMap groups = GroupByKey(shuffled.partition(p), node.left_key);
+          for (const auto& [key, group] : groups) {
+            out.partition(p).push_back(node.group_reduce_fn(key, group));
+          }
+        }
+        local_stats.records_processed += shuffled.NumRecords();
+        ChargeCompute(shuffled.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kJoin: {
+        PartitionedDataset left =
+            Shuffle(results[node.inputs[0]], node.left_key, &local_stats);
+        PartitionedDataset right =
+            Shuffle(results[node.inputs[1]], node.right_key, &local_stats);
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          GroupMap build = GroupByKey(left.partition(p), node.left_key);
+          for (const Record& r : right.partition(p)) {
+            auto it = build.find(ExtractKey(r, node.right_key));
+            if (it == build.end()) continue;
+            for (const Record& l : it->second) {
+              out.partition(p).push_back(node.join_fn(l, r));
+            }
+          }
+        }
+        local_stats.records_processed +=
+            left.NumRecords() + right.NumRecords();
+        ChargeCompute(left.NumRecords() + right.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kCoGroup: {
+        PartitionedDataset left =
+            Shuffle(results[node.inputs[0]], node.left_key, &local_stats);
+        PartitionedDataset right =
+            Shuffle(results[node.inputs[1]], node.right_key, &local_stats);
+        PartitionedDataset out(n);
+        static const std::vector<Record> kEmptyGroup;
+        for (int p = 0; p < n; ++p) {
+          GroupMap lgroups = GroupByKey(left.partition(p), node.left_key);
+          GroupMap rgroups = GroupByKey(right.partition(p), node.right_key);
+          // Merge the two sorted key sets.
+          auto lit = lgroups.begin();
+          auto rit = rgroups.begin();
+          while (lit != lgroups.end() || rit != rgroups.end()) {
+            bool take_left =
+                rit == rgroups.end() ||
+                (lit != lgroups.end() && RecordLess(lit->first, rit->first));
+            bool take_right =
+                lit == lgroups.end() ||
+                (rit != rgroups.end() && RecordLess(rit->first, lit->first));
+            if (take_left) {
+              node.cogroup_fn(lit->first, lit->second, kEmptyGroup,
+                              &out.partition(p));
+              ++lit;
+            } else if (take_right) {
+              node.cogroup_fn(rit->first, kEmptyGroup, rit->second,
+                              &out.partition(p));
+              ++rit;
+            } else {
+              node.cogroup_fn(lit->first, lit->second, rit->second,
+                              &out.partition(p));
+              ++lit;
+              ++rit;
+            }
+          }
+        }
+        local_stats.records_processed +=
+            left.NumRecords() + right.NumRecords();
+        ChargeCompute(left.NumRecords() + right.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kCross: {
+        const PartitionedDataset& left = results[node.inputs[0]];
+        const PartitionedDataset& right = results[node.inputs[1]];
+        // Broadcast the right side: every record is replicated to every
+        // partition but its own (counted as messages).
+        std::vector<Record> right_all = right.Collect();
+        uint64_t broadcast_messages =
+            right.NumRecords() * static_cast<uint64_t>(n > 0 ? n - 1 : 0);
+        local_stats.messages_shuffled += broadcast_messages;
+        if (options_.clock != nullptr && options_.costs != nullptr) {
+          options_.clock->Add(runtime::Charge::kNetwork,
+                              options_.costs->network_per_record_ns *
+                                  static_cast<int64_t>(broadcast_messages));
+        }
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          out.partition(p).reserve(left.partition(p).size() *
+                                   right_all.size());
+          for (const Record& l : left.partition(p)) {
+            for (const Record& r : right_all) {
+              out.partition(p).push_back(node.join_fn(l, r));
+            }
+          }
+        }
+        local_stats.records_processed +=
+            left.NumRecords() + right.NumRecords();
+        ChargeCompute(left.NumRecords() * right_all.size());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kUnion: {
+        const PartitionedDataset& a = results[node.inputs[0]];
+        const PartitionedDataset& b = results[node.inputs[1]];
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          out.partition(p).reserve(a.partition(p).size() +
+                                   b.partition(p).size());
+          out.partition(p).insert(out.partition(p).end(),
+                                  a.partition(p).begin(),
+                                  a.partition(p).end());
+          out.partition(p).insert(out.partition(p).end(),
+                                  b.partition(p).begin(),
+                                  b.partition(p).end());
+        }
+        local_stats.records_processed += a.NumRecords() + b.NumRecords();
+        ChargeCompute(a.NumRecords() + b.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+
+      case OpKind::kDistinct: {
+        PartitionedDataset shuffled =
+            Shuffle(results[node.inputs[0]], node.left_key, &local_stats);
+        PartitionedDataset out(n);
+        for (int p = 0; p < n; ++p) {
+          std::set<Record, RecordOrder> seen;
+          for (const Record& r : shuffled.partition(p)) {
+            if (seen.insert(r).second) out.partition(p).push_back(r);
+          }
+        }
+        local_stats.records_processed += shuffled.NumRecords();
+        ChargeCompute(shuffled.NumRecords());
+        results.push_back(std::move(out));
+        break;
+      }
+    }
+    count_output(node, results.back());
+  }
+
+  std::map<std::string, PartitionedDataset> outputs;
+  for (const auto& [name, node] : plan.outputs()) {
+    outputs.emplace(name, results[node]);
+  }
+  if (stats != nullptr) stats->MergeFrom(local_stats);
+  return outputs;
+}
+
+}  // namespace flinkless::dataflow

@@ -1,0 +1,83 @@
+// Executor: runs a Plan over hash-partitioned data.
+//
+// The execution model is the paper's: every operator runs independently on
+// each of the N partitions; key-based operators (reduce/join/cogroup/
+// distinct) first shuffle their input so equal keys meet in one partition.
+// Records that cross partitions during a shuffle are the "messages" the
+// paper's GUI plots per iteration; the executor counts them and charges
+// simulated network time for them.
+
+#ifndef FLINKLESS_DATAFLOW_EXECUTOR_H_
+#define FLINKLESS_DATAFLOW_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/dataset.h"
+#include "dataflow/plan.h"
+#include "runtime/cost_model.h"
+#include "runtime/sim_clock.h"
+
+namespace flinkless::dataflow {
+
+/// Input datasets for a plan execution, keyed by source binding name. The
+/// pointed-to datasets are borrowed and must outlive the Execute call.
+using Bindings = std::map<std::string, const PartitionedDataset*>;
+
+/// Work accounting for one plan execution.
+struct ExecStats {
+  /// Records consumed by operators (every operator input record counts).
+  uint64_t records_processed = 0;
+
+  /// Records that moved to a different partition during shuffles — the
+  /// paper's per-iteration "messages".
+  uint64_t messages_shuffled = 0;
+
+  /// Output record count per operator display name (accumulated when names
+  /// repeat).
+  std::map<std::string, uint64_t> node_output_counts;
+
+  /// Merges another stats block into this one.
+  void MergeFrom(const ExecStats& other);
+};
+
+/// Execution configuration. The clock and cost model are optional; when
+/// absent no simulated time is charged.
+struct ExecOptions {
+  int num_partitions = 4;
+  runtime::SimClock* clock = nullptr;
+  const runtime::CostModel* costs = nullptr;
+};
+
+/// Stateless plan interpreter. One Executor can run many plans; options are
+/// fixed at construction.
+class Executor {
+ public:
+  explicit Executor(ExecOptions options);
+
+  /// Runs `plan` against `bindings`. Every source name in the plan must be
+  /// bound to a dataset with exactly `num_partitions` partitions. Returns
+  /// the datasets of the plan's named outputs. `stats` may be nullptr.
+  Result<std::map<std::string, PartitionedDataset>> Execute(
+      const Plan& plan, const Bindings& bindings, ExecStats* stats) const;
+
+  /// Hash-repartitions `input` on `key`, counting moved records into `stats`
+  /// and charging the clock. Exposed because the iteration drivers also need
+  /// to co-partition state.
+  PartitionedDataset Shuffle(const PartitionedDataset& input,
+                             const KeyColumns& key, ExecStats* stats) const;
+
+  int num_partitions() const { return options_.num_partitions; }
+
+ private:
+  void ChargeCompute(uint64_t records) const;
+
+  ExecOptions options_;
+};
+
+}  // namespace flinkless::dataflow
+
+#endif  // FLINKLESS_DATAFLOW_EXECUTOR_H_

@@ -1,0 +1,213 @@
+#include "dataflow/record.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace flinkless::dataflow {
+
+std::string RecordToString(const Record& record) {
+  std::string out = "(";
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (i) out += ", ";
+    out += record[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+uint64_t HashKey(const Record& record, const KeyColumns& key) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (int col : key) {
+    FLINKLESS_CHECK(col >= 0 && static_cast<size_t>(col) < record.size(),
+                    "key column " << col << " out of range for record "
+                                  << RecordToString(record));
+    h = HashCombine(h, record[col].Hash());
+  }
+  return h;
+}
+
+bool KeysEqual(const Record& a, const KeyColumns& a_key, const Record& b,
+               const KeyColumns& b_key) {
+  if (a_key.size() != b_key.size()) return false;
+  for (size_t i = 0; i < a_key.size(); ++i) {
+    if (!(a[a_key[i]] == b[b_key[i]])) return false;
+  }
+  return true;
+}
+
+Record ExtractKey(const Record& record, const KeyColumns& key) {
+  Record out;
+  out.reserve(key.size());
+  for (int col : key) {
+    FLINKLESS_CHECK(col >= 0 && static_cast<size_t>(col) < record.size(),
+                    "key column " << col << " out of range");
+    out.push_back(record[col]);
+  }
+  return out;
+}
+
+bool RecordLess(const Record& a, const Record& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+namespace {
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+bool GetU32(const std::vector<uint8_t>& bytes, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > bytes.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(bytes[*offset + i]) << (8 * i);
+  }
+  *offset += 4;
+  return true;
+}
+
+bool GetU64(const std::vector<uint8_t>& bytes, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > bytes.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(bytes[*offset + i]) << (8 * i);
+  }
+  *offset += 8;
+  return true;
+}
+
+}  // namespace
+
+void SerializeRecord(const Record& record, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(record.size()), out);
+  for (const Value& v : record) {
+    out->push_back(static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kInt64:
+        PutU64(static_cast<uint64_t>(v.AsInt64()), out);
+        break;
+      case ValueType::kDouble: {
+        uint64_t bits;
+        double d = v.AsDouble();
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutU64(bits, out);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = v.AsString();
+        PutU32(static_cast<uint32_t>(s.size()), out);
+        out->insert(out->end(), s.begin(), s.end());
+        break;
+      }
+    }
+  }
+}
+
+Result<Record> DeserializeRecord(const std::vector<uint8_t>& bytes,
+                                 size_t* offset) {
+  uint32_t count = 0;
+  if (!GetU32(bytes, offset, &count)) {
+    return Status::DataLoss("truncated record header");
+  }
+  Record record;
+  record.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (*offset >= bytes.size()) {
+      return Status::DataLoss("truncated field tag");
+    }
+    auto tag = static_cast<ValueType>(bytes[(*offset)++]);
+    switch (tag) {
+      case ValueType::kInt64: {
+        uint64_t v = 0;
+        if (!GetU64(bytes, offset, &v)) {
+          return Status::DataLoss("truncated int64 field");
+        }
+        record.emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits = 0;
+        if (!GetU64(bytes, offset, &bits)) {
+          return Status::DataLoss("truncated double field");
+        }
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        record.emplace_back(d);
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len = 0;
+        if (!GetU32(bytes, offset, &len) || *offset + len > bytes.size()) {
+          return Status::DataLoss("truncated string field");
+        }
+        record.emplace_back(std::string(
+            reinterpret_cast<const char*>(bytes.data() + *offset), len));
+        *offset += len;
+        break;
+      }
+      default:
+        return Status::DataLoss("unknown value tag " +
+                                std::to_string(static_cast<int>(tag)));
+    }
+  }
+  return record;
+}
+
+std::vector<uint8_t> SerializeRecords(const std::vector<Record>& records) {
+  std::vector<uint8_t> out;
+  PutU64(records.size(), &out);
+  for (const Record& r : records) SerializeRecord(r, &out);
+  return out;
+}
+
+Result<std::vector<Record>> DeserializeRecords(
+    const std::vector<uint8_t>& bytes) {
+  size_t offset = 0;
+  uint64_t count = 0;
+  if (!GetU64(bytes, &offset, &count)) {
+    return Status::DataLoss("truncated records header");
+  }
+  std::vector<Record> records;
+  records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FLINKLESS_ASSIGN_OR_RETURN(Record r, DeserializeRecord(bytes, &offset));
+    records.push_back(std::move(r));
+  }
+  if (offset != bytes.size()) {
+    return Status::DataLoss("trailing bytes after records");
+  }
+  return records;
+}
+
+uint64_t SerializedSize(const std::vector<Record>& records) {
+  uint64_t size = 8;  // count header
+  for (const Record& r : records) {
+    size += 4;  // field count
+    for (const Value& v : r) {
+      size += 1;  // tag
+      switch (v.type()) {
+        case ValueType::kInt64:
+        case ValueType::kDouble:
+          size += 8;
+          break;
+        case ValueType::kString:
+          size += 4 + v.AsString().size();
+          break;
+      }
+    }
+  }
+  return size;
+}
+
+}  // namespace flinkless::dataflow

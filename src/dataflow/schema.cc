@@ -1,0 +1,50 @@
+#include "dataflow/schema.h"
+
+namespace flinkless::dataflow {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate(const Record& record) const {
+  if (record.size() != fields_.size()) {
+    return Status::InvalidArgument(
+        "record arity " + std::to_string(record.size()) +
+        " does not match schema " + ToString());
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (record[i].type() != fields_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + fields_[i].name + "' expects " +
+          ValueTypeName(fields_[i].type) + " but record has " +
+          ValueTypeName(record[i].type()) + " in " + RecordToString(record));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name + ": " + ValueTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.fields_.size() != b.fields_.size()) return false;
+  for (size_t i = 0; i < a.fields_.size(); ++i) {
+    if (a.fields_[i].name != b.fields_[i].name ||
+        a.fields_[i].type != b.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace flinkless::dataflow

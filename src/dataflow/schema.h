@@ -1,0 +1,53 @@
+// Schema: named, typed columns of a dataset. Used for plan explanation and
+// for validating records entering the engine through sources.
+
+#ifndef FLINKLESS_DATAFLOW_SCHEMA_H_
+#define FLINKLESS_DATAFLOW_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/record.h"
+
+namespace flinkless::dataflow {
+
+/// One column of a schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// Ordered list of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Builder convenience: Schema::Of({{"vertex", kInt64}, {"rank", kDouble}}).
+  static Schema Of(std::initializer_list<Field> fields) {
+    return Schema(std::vector<Field>(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or -1 when absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Checks arity and per-column type of `record`.
+  Status Validate(const Record& record) const;
+
+  /// "(vertex: int64, rank: double)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace flinkless::dataflow
+
+#endif  // FLINKLESS_DATAFLOW_SCHEMA_H_

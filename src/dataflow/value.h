@@ -1,0 +1,76 @@
+// Value: one field of a record.
+//
+// The engine is dynamically typed at the record level, like a database row:
+// a Value is an int64, a double, or a string. Keeping the model dynamic lets
+// one executor serve every dataflow program (Connected Components ships
+// (vertex, label) pairs, PageRank ships (vertex, rank) pairs, WordCount ships
+// (word, count) pairs) without template instantiation per program.
+
+#ifndef FLINKLESS_DATAFLOW_VALUE_H_
+#define FLINKLESS_DATAFLOW_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace flinkless::dataflow {
+
+/// Runtime type tag of a Value.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Stable name for a value type ("int64", "double", "string").
+std::string ValueTypeName(ValueType type);
+
+/// A dynamically typed field. Equality and ordering are defined across all
+/// values: values of different types order by type tag, values of the same
+/// type by their natural order (this makes test output deterministic; the
+/// engine itself never compares across types).
+class Value {
+ public:
+  /// Defaults to int64 0.
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}                   // NOLINT(runtime/explicit)
+  Value(int v) : v_(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                    // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}    // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  /// Accessors abort on type mismatch (programming error — operator key
+  /// columns are statically known per dataflow).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric value as double: widens int64, passes double through, aborts on
+  /// string.
+  double AsNumeric() const;
+
+  /// Order- and equality-respecting hash.
+  uint64_t Hash() const;
+
+  /// Display form ("42", "0.25", "\"abc\"").
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace flinkless::dataflow
+
+#endif  // FLINKLESS_DATAFLOW_VALUE_H_

@@ -1,0 +1,198 @@
+#include "graph/generators.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace flinkless::graph {
+
+Graph DemoGraph() {
+  // 16 vertices, 3 components:
+  //   component A (min label 0): a ring 0-1-2-3-4-5-0 with chord 1-4
+  //   component B (min label 6): a near-clique 6,7,8,9 plus appendage 10
+  //   component C (min label 11): a star centered at 11 with leaves 12..15
+  Graph g(16, /*directed=*/false);
+  auto add = [&](int64_t u, int64_t v) {
+    Status s = g.AddEdge(u, v);
+    FLINKLESS_CHECK(s.ok(), s.ToString());
+  };
+  add(0, 1);
+  add(1, 2);
+  add(2, 3);
+  add(3, 4);
+  add(4, 5);
+  add(5, 0);
+  add(1, 4);
+  add(6, 7);
+  add(6, 8);
+  add(6, 9);
+  add(7, 8);
+  add(7, 9);
+  add(8, 9);
+  add(9, 10);
+  add(11, 12);
+  add(11, 13);
+  add(11, 14);
+  add(11, 15);
+  return g;
+}
+
+Graph DemoDirectedGraph() {
+  // 10 vertices. Vertex 0 is an authority many pages link to; vertex 9 is
+  // dangling (no out-links) so the dangling-mass path is exercised even in
+  // the walkthrough.
+  Graph g(10, /*directed=*/true);
+  auto add = [&](int64_t u, int64_t v) {
+    Status s = g.AddEdge(u, v);
+    FLINKLESS_CHECK(s.ok(), s.ToString());
+  };
+  add(1, 0);
+  add(2, 0);
+  add(3, 0);
+  add(4, 0);
+  add(0, 1);
+  add(1, 2);
+  add(2, 3);
+  add(3, 4);
+  add(4, 5);
+  add(5, 6);
+  add(6, 7);
+  add(7, 8);
+  add(8, 9);
+  add(5, 0);
+  add(6, 1);
+  add(7, 2);
+  return g;
+}
+
+Graph ErdosRenyi(int64_t n, double p, Rng* rng) {
+  Graph g(n, /*directed=*/false);
+  for (int64_t u = 0; u < n; ++u) {
+    for (int64_t v = u + 1; v < n; ++v) {
+      if (rng->NextBernoulli(p)) {
+        Status s = g.AddEdge(u, v);
+        FLINKLESS_CHECK(s.ok(), s.ToString());
+      }
+    }
+  }
+  return g;
+}
+
+Graph PreferentialAttachment(int64_t n, int edges_per_vertex, Rng* rng) {
+  FLINKLESS_CHECK(n >= 2 && edges_per_vertex >= 1,
+                  "preferential attachment needs n >= 2, m >= 1");
+  Graph g(n, /*directed=*/false);
+  // Repeated-endpoints list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<int64_t> endpoints;
+  auto add = [&](int64_t u, int64_t v) {
+    Status s = g.AddEdge(u, v);
+    FLINKLESS_CHECK(s.ok(), s.ToString());
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  };
+  add(0, 1);
+  for (int64_t v = 2; v < n; ++v) {
+    int64_t m = std::min<int64_t>(edges_per_vertex, v);
+    std::set<int64_t> chosen;
+    // Degree-proportional sampling with rejection of duplicates.
+    int attempts = 0;
+    while (static_cast<int64_t>(chosen.size()) < m) {
+      int64_t target =
+          endpoints[rng->NextBounded(endpoints.size())];
+      if (target != v) chosen.insert(target);
+      if (++attempts > 64 * m) {
+        // Extremely unlikely fallback: fill with uniform picks.
+        while (static_cast<int64_t>(chosen.size()) < m) {
+          int64_t t = static_cast<int64_t>(rng->NextBounded(v));
+          chosen.insert(t);
+        }
+        break;
+      }
+    }
+    for (int64_t target : chosen) add(v, target);
+  }
+  return g;
+}
+
+Graph Rmat(int scale, int edge_factor, Rng* rng, double a, double b,
+           double c) {
+  FLINKLESS_CHECK(scale >= 1 && scale < 31, "rmat scale out of range");
+  FLINKLESS_CHECK(a + b + c < 1.0 + 1e-9, "rmat probabilities exceed 1");
+  const int64_t n = int64_t{1} << scale;
+  const int64_t m = n * edge_factor;
+  Graph g(n, /*directed=*/true);
+  for (int64_t e = 0; e < m; ++e) {
+    int64_t src = 0, dst = 0;
+    for (int level = 0; level < scale; ++level) {
+      double r = rng->NextDouble();
+      int64_t bit_src = 0, bit_dst = 0;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        bit_dst = 1;
+      } else if (r < a + b + c) {
+        bit_src = 1;
+      } else {
+        bit_src = 1;
+        bit_dst = 1;
+      }
+      src = (src << 1) | bit_src;
+      dst = (dst << 1) | bit_dst;
+    }
+    Status s = g.AddEdge(src, dst);
+    FLINKLESS_CHECK(s.ok(), s.ToString());
+  }
+  return g;
+}
+
+Graph GridGraph(int64_t rows, int64_t cols) {
+  Graph g(rows * cols, /*directed=*/false);
+  auto id = [cols](int64_t r, int64_t c) { return r * cols + c; };
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        Status s = g.AddEdge(id(r, c), id(r, c + 1));
+        FLINKLESS_CHECK(s.ok(), s.ToString());
+      }
+      if (r + 1 < rows) {
+        Status s = g.AddEdge(id(r, c), id(r + 1, c));
+        FLINKLESS_CHECK(s.ok(), s.ToString());
+      }
+    }
+  }
+  return g;
+}
+
+Graph ChainGraph(int64_t n) {
+  Graph g(n, /*directed=*/false);
+  for (int64_t v = 0; v + 1 < n; ++v) {
+    Status s = g.AddEdge(v, v + 1);
+    FLINKLESS_CHECK(s.ok(), s.ToString());
+  }
+  return g;
+}
+
+Graph StarGraph(int64_t n) {
+  Graph g(n, /*directed=*/false);
+  for (int64_t v = 1; v < n; ++v) {
+    Status s = g.AddEdge(0, v);
+    FLINKLESS_CHECK(s.ok(), s.ToString());
+  }
+  return g;
+}
+
+Graph DisjointChains(int64_t k, int64_t chain_length) {
+  Graph g(k * chain_length, /*directed=*/false);
+  for (int64_t chain = 0; chain < k; ++chain) {
+    int64_t base = chain * chain_length;
+    for (int64_t i = 0; i + 1 < chain_length; ++i) {
+      Status s = g.AddEdge(base + i, base + i + 1);
+      FLINKLESS_CHECK(s.ok(), s.ToString());
+    }
+  }
+  return g;
+}
+
+}  // namespace flinkless::graph

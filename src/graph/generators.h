@@ -1,0 +1,57 @@
+// Graph generators.
+//
+// The demo runs on "either a small hand-crafted graph or a larger graph
+// derived from real-world data" (a Twitter follower snapshot). We provide a
+// hand-crafted demo graph shaped like the paper's Figures 2/3 (a few
+// clearly separated components) and, since the Twitter snapshot is not
+// redistributable, two heavy-tailed synthetic generators (preferential
+// attachment and RMAT) whose degree skew reproduces the convergence
+// behaviour the demo visualizes on the real graph. See DESIGN.md §2.
+
+#ifndef FLINKLESS_GRAPH_GENERATORS_H_
+#define FLINKLESS_GRAPH_GENERATORS_H_
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace flinkless::graph {
+
+/// The small hand-crafted demo graph: 16 vertices in 3 connected
+/// components of different shapes (a path-heavy component, a clique-ish
+/// component, a star), mirroring the visual demo of Figures 2/3.
+Graph DemoGraph();
+
+/// A tiny directed graph with a clear rank hierarchy and one dangling
+/// vertex, used for the PageRank walkthrough (Figures 4/5).
+Graph DemoDirectedGraph();
+
+/// G(n, p) Erdős–Rényi. Undirected, no self-loops, no duplicate edges.
+Graph ErdosRenyi(int64_t n, double p, Rng* rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+/// Produces the heavy-tailed degree distribution of social graphs.
+Graph PreferentialAttachment(int64_t n, int edges_per_vertex, Rng* rng);
+
+/// RMAT (Chakrabarti et al.) recursive-matrix generator with the canonical
+/// Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05) by default.
+/// Directed; produces 2^scale vertices and edge_factor * 2^scale edges.
+Graph Rmat(int scale, int edge_factor, Rng* rng, double a = 0.57,
+           double b = 0.19, double c = 0.19);
+
+/// rows x cols 4-neighbor grid (undirected).
+Graph GridGraph(int64_t rows, int64_t cols);
+
+/// Path 0-1-2-...-(n-1) (undirected). Worst case for label propagation.
+Graph ChainGraph(int64_t n);
+
+/// Star: vertex 0 connected to all others (undirected).
+Graph StarGraph(int64_t n);
+
+/// `k` disjoint chains of `chain_length` vertices each (undirected) —
+/// a graph with a known number of components for property tests.
+Graph DisjointChains(int64_t k, int64_t chain_length);
+
+}  // namespace flinkless::graph
+
+#endif  // FLINKLESS_GRAPH_GENERATORS_H_

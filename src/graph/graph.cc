@@ -1,0 +1,68 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flinkless::graph {
+
+Result<Graph> Graph::FromEdges(int64_t num_vertices, bool directed,
+                               std::vector<Edge> edges) {
+  Graph g(num_vertices, directed);
+  for (const Edge& e : edges) {
+    FLINKLESS_RETURN_NOT_OK(g.AddEdge(e.src, e.dst));
+  }
+  return g;
+}
+
+Status Graph::AddEdge(int64_t src, int64_t dst) {
+  if (src < 0 || src >= num_vertices_ || dst < 0 || dst >= num_vertices_) {
+    return Status::OutOfRange(
+        "edge (" + std::to_string(src) + ", " + std::to_string(dst) +
+        ") out of range for " + std::to_string(num_vertices_) + " vertices");
+  }
+  edges_.push_back({src, dst});
+  csr_valid_ = false;
+  return Status::OK();
+}
+
+void Graph::EnsureCsr() const {
+  if (csr_valid_) return;
+  adjacency_.assign(num_vertices_, {});
+  for (const Edge& e : edges_) {
+    adjacency_[e.src].push_back(e.dst);
+    if (!directed_ && e.src != e.dst) adjacency_[e.dst].push_back(e.src);
+  }
+  for (auto& neighbors : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  csr_valid_ = true;
+}
+
+const std::vector<int64_t>& Graph::Neighbors(int64_t v) const {
+  FLINKLESS_CHECK(v >= 0 && v < num_vertices_,
+                  "vertex " << v << " out of range");
+  EnsureCsr();
+  return adjacency_[v];
+}
+
+int64_t Graph::OutDegree(int64_t v) const {
+  return static_cast<int64_t>(Neighbors(v).size());
+}
+
+int64_t Graph::CountDangling() const {
+  EnsureCsr();
+  int64_t dangling = 0;
+  for (int64_t v = 0; v < num_vertices_; ++v) {
+    if (adjacency_[v].empty()) ++dangling;
+  }
+  return dangling;
+}
+
+std::string Graph::ToString() const {
+  return std::string("Graph(") + (directed_ ? "directed" : "undirected") +
+         ", " + std::to_string(num_vertices_) + " vertices, " +
+         std::to_string(num_edges()) + " edges)";
+}
+
+}  // namespace flinkless::graph

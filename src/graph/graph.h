@@ -1,0 +1,80 @@
+// Graph: the input datasets of the demo's algorithms. Vertices are dense
+// ids [0, num_vertices). Directed graphs feed PageRank (the "links" input),
+// undirected graphs feed Connected Components (the "graph" input).
+
+#ifndef FLINKLESS_GRAPH_GRAPH_H_
+#define FLINKLESS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace flinkless::graph {
+
+/// A directed edge (for undirected graphs, stored once in either
+/// orientation).
+struct Edge {
+  int64_t src = 0;
+  int64_t dst = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  }
+};
+
+/// Edge-list graph with an on-demand CSR adjacency index.
+class Graph {
+ public:
+  /// An empty graph over `num_vertices` vertices.
+  explicit Graph(int64_t num_vertices = 0, bool directed = false)
+      : num_vertices_(num_vertices), directed_(directed) {}
+
+  /// Builds a graph from an edge list; fails on out-of-range endpoints.
+  static Result<Graph> FromEdges(int64_t num_vertices, bool directed,
+                                 std::vector<Edge> edges);
+
+  int64_t num_vertices() const { return num_vertices_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  bool directed() const { return directed_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Adds one edge; self-loops are allowed, duplicates are kept.
+  Status AddEdge(int64_t src, int64_t dst);
+
+  /// Out-neighbors of `v` (for undirected graphs: all neighbors). Builds the
+  /// CSR index on first use; adding edges invalidates it.
+  const std::vector<int64_t>& Neighbors(int64_t v) const;
+
+  /// Out-degree of `v` (undirected: degree).
+  int64_t OutDegree(int64_t v) const;
+
+  /// Number of vertices with no outgoing edge (PageRank's dangling
+  /// vertices; 0 for undirected graphs with at least one incident edge per
+  /// vertex).
+  int64_t CountDangling() const;
+
+  /// "Graph(directed, 42 vertices, 107 edges)".
+  std::string ToString() const;
+
+ private:
+  void EnsureCsr() const;
+
+  int64_t num_vertices_;
+  bool directed_;
+  std::vector<Edge> edges_;
+
+  // Adjacency cache (lazily built; mutable because building it does not
+  // change the logical graph).
+  mutable bool csr_valid_ = false;
+  mutable std::vector<std::vector<int64_t>> adjacency_;
+};
+
+}  // namespace flinkless::graph
+
+#endif  // FLINKLESS_GRAPH_GRAPH_H_

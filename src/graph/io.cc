@@ -1,0 +1,76 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace flinkless::graph {
+
+Result<Graph> ParseEdgeList(const std::string& text, bool directed,
+                            int64_t num_vertices) {
+  std::vector<Edge> edges;
+  int64_t max_id = -1;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = SplitWhitespace(line);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 'src dst', got '" +
+                                     std::string(line) + "'");
+    }
+    Edge e;
+    if (!ParseInt64(fields[0], &e.src) || !ParseInt64(fields[1], &e.dst) ||
+        e.src < 0 || e.dst < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad vertex ids in '" +
+                                     std::string(line) + "'");
+    }
+    max_id = std::max({max_id, e.src, e.dst});
+    edges.push_back(e);
+  }
+  int64_t n = num_vertices > 0 ? num_vertices : max_id + 1;
+  if (max_id >= n) {
+    return Status::OutOfRange("edge references vertex " +
+                              std::to_string(max_id) + " but only " +
+                              std::to_string(n) + " vertices declared");
+  }
+  return Graph::FromEdges(n, directed, std::move(edges));
+}
+
+Result<Graph> LoadEdgeList(const std::string& path, bool directed,
+                           int64_t num_vertices) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseEdgeList(buffer.str(), directed, num_vertices);
+}
+
+std::string ToEdgeListText(const Graph& graph) {
+  std::string out = "# " + graph.ToString() + "\n";
+  for (const Edge& e : graph.edges()) {
+    out += std::to_string(e.src) + " " + std::to_string(e.dst) + "\n";
+  }
+  return out;
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << ToEdgeListText(graph);
+  if (!out) {
+    return Status::IOError("failed writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace flinkless::graph

@@ -1,0 +1,31 @@
+// Text edge-list I/O ("src dst" per line, '#' comments), the format of the
+// SNAP datasets the original demo's Twitter snapshot ships in.
+
+#ifndef FLINKLESS_GRAPH_IO_H_
+#define FLINKLESS_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace flinkless::graph {
+
+/// Parses an edge list from a string. Vertex ids must be dense 0-based; the
+/// vertex count is max id + 1 unless `num_vertices` (>0) overrides it.
+Result<Graph> ParseEdgeList(const std::string& text, bool directed,
+                            int64_t num_vertices = -1);
+
+/// Loads an edge-list file.
+Result<Graph> LoadEdgeList(const std::string& path, bool directed,
+                           int64_t num_vertices = -1);
+
+/// Serializes a graph back to edge-list text (with a header comment).
+std::string ToEdgeListText(const Graph& graph);
+
+/// Writes a graph to an edge-list file.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace flinkless::graph
+
+#endif  // FLINKLESS_GRAPH_IO_H_

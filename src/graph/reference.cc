@@ -1,0 +1,117 @@
+#include "graph/reference.h"
+
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+
+namespace flinkless::graph {
+
+namespace {
+
+/// Union-find with path compression and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int64_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int64_t Find(int64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int64_t a, int64_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<int64_t> parent_;
+  std::vector<int64_t> size_;
+};
+
+}  // namespace
+
+std::vector<int64_t> ReferenceConnectedComponents(const Graph& graph) {
+  const int64_t n = graph.num_vertices();
+  DisjointSets sets(n);
+  for (const Edge& e : graph.edges()) sets.Union(e.src, e.dst);
+  // Minimum vertex id per component root.
+  std::vector<int64_t> min_label(n, -1);
+  for (int64_t v = 0; v < n; ++v) {
+    int64_t root = sets.Find(v);
+    if (min_label[root] < 0 || v < min_label[root]) min_label[root] = v;
+  }
+  std::vector<int64_t> labels(n);
+  for (int64_t v = 0; v < n; ++v) labels[v] = min_label[sets.Find(v)];
+  return labels;
+}
+
+int64_t CountComponents(const std::vector<int64_t>& labels) {
+  std::set<int64_t> distinct(labels.begin(), labels.end());
+  return static_cast<int64_t>(distinct.size());
+}
+
+std::vector<double> ReferencePageRank(const Graph& graph, double damping,
+                                      int max_iterations, double tolerance) {
+  FLINKLESS_CHECK(graph.directed(), "PageRank expects a directed graph");
+  const int64_t n = graph.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+    for (int64_t v = 0; v < n; ++v) {
+      const auto& out = graph.Neighbors(v);
+      if (out.empty()) {
+        dangling_mass += rank[v];
+        continue;
+      }
+      double share = rank[v] / static_cast<double>(out.size());
+      for (int64_t u : out) next[u] += share;
+    }
+    double teleport = (1.0 - damping) / static_cast<double>(n);
+    double dangling_share = damping * dangling_mass / static_cast<double>(n);
+    double l1 = 0.0;
+    for (int64_t v = 0; v < n; ++v) {
+      next[v] = teleport + damping * next[v] + dangling_share;
+      l1 += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (l1 < tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<int64_t> ReferenceSssp(const Graph& graph, int64_t source) {
+  const int64_t n = graph.num_vertices();
+  FLINKLESS_CHECK(source >= 0 && source < n, "sssp source out of range");
+  std::vector<int64_t> dist(n, -1);
+  std::deque<int64_t> frontier;
+  dist[source] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    int64_t v = frontier.front();
+    frontier.pop_front();
+    for (int64_t u : graph.Neighbors(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace flinkless::graph

@@ -1,0 +1,40 @@
+// Reference solvers: sequential, well-understood implementations of the
+// demo's algorithms. They serve two purposes:
+//   1. Ground truth for correctness tests — the dataflow version must agree
+//      regardless of partitioning, failures and recovery strategy.
+//   2. The paper precomputes the "true" values to plot the number of
+//      vertices converged to their final result per iteration; these
+//      solvers provide that precomputation.
+
+#ifndef FLINKLESS_GRAPH_REFERENCE_H_
+#define FLINKLESS_GRAPH_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flinkless::graph {
+
+/// Connected components via union-find. Returns, per vertex, the minimum
+/// vertex id of its component (the same labels the diffusion algorithm
+/// converges to).
+std::vector<int64_t> ReferenceConnectedComponents(const Graph& graph);
+
+/// Number of distinct components in a labeling.
+int64_t CountComponents(const std::vector<int64_t>& labels);
+
+/// PageRank by dense power iteration with uniform teleport and uniform
+/// redistribution of dangling mass. Iterates until the L1 difference drops
+/// below `tolerance` (or `max_iterations`). Matches the dataflow PageRank's
+/// fixpoint.
+std::vector<double> ReferencePageRank(const Graph& graph, double damping,
+                                      int max_iterations, double tolerance);
+
+/// Single-source shortest paths with unit edge weights (BFS). Unreachable
+/// vertices get -1.
+std::vector<int64_t> ReferenceSssp(const Graph& graph, int64_t source);
+
+}  // namespace flinkless::graph
+
+#endif  // FLINKLESS_GRAPH_REFERENCE_H_

@@ -1,0 +1,193 @@
+#include "iteration/bulk_iteration.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace flinkless::iteration {
+
+using dataflow::PartitionedDataset;
+
+BulkIterationDriver::BulkIterationDriver(const dataflow::Plan* step_plan,
+                                         dataflow::Bindings static_bindings,
+                                         BulkIterationConfig config,
+                                         dataflow::ExecOptions exec_options,
+                                         JobEnv env)
+    : step_plan_(step_plan),
+      static_bindings_(std::move(static_bindings)),
+      config_(std::move(config)),
+      exec_options_(exec_options),
+      env_(std::move(env)) {
+  FLINKLESS_CHECK(step_plan_ != nullptr, "bulk driver needs a step plan");
+}
+
+Result<BulkIterationResult> BulkIterationDriver::Run(
+    PartitionedDataset initial, FaultTolerancePolicy* policy) {
+  FLINKLESS_CHECK(policy != nullptr, "bulk driver needs a policy");
+  const int n = exec_options_.num_partitions;
+  if (initial.num_partitions() != n) {
+    return Status::InvalidArgument(
+        "initial state has " + std::to_string(initial.num_partitions()) +
+        " partitions, executor expects " + std::to_string(n));
+  }
+
+  // Private defaults for optional environment pieces.
+  std::unique_ptr<runtime::Cluster> own_cluster;
+  if (env_.cluster == nullptr) {
+    own_cluster = std::make_unique<runtime::Cluster>(n, env_.clock,
+                                                     env_.costs);
+    env_.cluster = own_cluster.get();
+  }
+  std::unique_ptr<runtime::MetricsRegistry> own_metrics;
+  if (env_.metrics == nullptr) {
+    own_metrics = std::make_unique<runtime::MetricsRegistry>();
+    env_.metrics = own_metrics.get();
+  }
+
+  dataflow::Executor executor(exec_options_);
+
+  auto make_ctx = [&](int iteration) {
+    IterationContext ctx;
+    ctx.iteration = iteration;
+    ctx.num_partitions = n;
+    ctx.clock = env_.clock;
+    ctx.costs = env_.costs;
+    ctx.storage = env_.storage;
+    ctx.cluster = env_.cluster;
+    ctx.job_id = env_.job_id;
+    return ctx;
+  };
+
+  const PartitionedDataset initial_copy = initial;
+  BulkState state(std::move(initial));
+
+  auto checkpoint_bytes_before = [&]() -> uint64_t {
+    return env_.storage != nullptr ? env_.storage->bytes_written() : 0;
+  };
+
+  uint64_t cp_before = checkpoint_bytes_before();
+  FLINKLESS_RETURN_NOT_OK(policy->OnJobStart(make_ctx(0), &state));
+  uint64_t initial_checkpoint_bytes = checkpoint_bytes_before() - cp_before;
+  if (initial_checkpoint_bytes > 0 && env_.metrics != nullptr) {
+    env_.metrics->IncrCounter("initial_checkpoint_bytes",
+                              initial_checkpoint_bytes);
+  }
+
+  BulkIterationResult result;
+  const int max_supersteps =
+      config_.max_iterations * std::max(1, config_.max_total_supersteps_factor);
+
+  int iteration = 1;
+  while (iteration <= config_.max_iterations) {
+    if (result.supersteps_executed >= max_supersteps) {
+      return Status::Aborted(
+          "job '" + env_.job_id + "' exceeded " +
+          std::to_string(max_supersteps) +
+          " supersteps (recovery loop?); aborting");
+    }
+    ++result.supersteps_executed;
+
+    const int64_t sim_before =
+        env_.clock != nullptr ? env_.clock->TotalNs() : 0;
+    runtime::WallTimer wall;
+
+    dataflow::Bindings bindings = static_bindings_;
+    bindings[config_.state_binding] = &state.data();
+    dataflow::ExecStats exec_stats;
+    FLINKLESS_ASSIGN_OR_RETURN(auto outputs,
+                               executor.Execute(*step_plan_, bindings,
+                                                &exec_stats));
+    auto out_it = outputs.find(config_.next_state_output);
+    if (out_it == outputs.end()) {
+      return Status::NotFound("step plan has no output '" +
+                              config_.next_state_output + "'");
+    }
+    PartitionedDataset next = std::move(out_it->second);
+
+    double metric = 0.0;
+    bool converged = false;
+    if (config_.convergence) {
+      converged = config_.convergence(state.data(), next, &metric);
+    }
+    state.data() = std::move(next);
+
+    runtime::IterationStats istats;
+    istats.iteration = iteration;
+    istats.records_processed = exec_stats.records_processed;
+    istats.messages_shuffled = exec_stats.messages_shuffled;
+    for (const auto& [op_name, count] : exec_stats.node_output_counts) {
+      istats.gauges["out:" + op_name] = static_cast<double>(count);
+    }
+    if (config_.convergence) istats.gauges["convergence_metric"] = metric;
+
+    std::vector<int> lost =
+        env_.failures != nullptr ? env_.failures->Fire(iteration)
+                                 : std::vector<int>{};
+    lost.erase(std::remove_if(lost.begin(), lost.end(),
+                              [&](int p) { return p < 0 || p >= n; }),
+               lost.end());
+
+    uint64_t cp_bytes_before = checkpoint_bytes_before();
+    int executed_iteration = iteration;
+
+    if (!lost.empty()) {
+      istats.failure_injected = true;
+      converged = false;
+      ++result.failures_recovered;
+      env_.cluster->KillPartitions(lost);
+      for (int p : lost) state.ClearPartition(p);
+      FLINKLESS_RETURN_NOT_OK(env_.cluster->ReassignToFreshWorkers(lost));
+      FLINKLESS_ASSIGN_OR_RETURN(
+          RecoveryOutcome outcome,
+          policy->OnFailure(make_ctx(iteration), &state, lost));
+      switch (outcome.action) {
+        case RecoveryAction::kContinue:
+          ++iteration;
+          break;
+        case RecoveryAction::kRewind:
+          if (outcome.rewind_to_iteration < 0 ||
+              outcome.rewind_to_iteration > iteration) {
+            return Status::Internal("policy rewound to invalid iteration " +
+                                    std::to_string(
+                                        outcome.rewind_to_iteration));
+          }
+          iteration = outcome.rewind_to_iteration + 1;
+          break;
+        case RecoveryAction::kRestart:
+          state = BulkState(initial_copy);
+          iteration = 1;
+          break;
+        case RecoveryAction::kAbort:
+          return Status::DataLoss("policy '" + policy->name() +
+                                  "' aborted after losing partitions at "
+                                  "iteration " +
+                                  std::to_string(iteration));
+      }
+    } else {
+      FLINKLESS_RETURN_NOT_OK(
+          policy->AfterIteration(make_ctx(iteration), &state));
+      ++iteration;
+    }
+
+    istats.bytes_checkpointed = checkpoint_bytes_before() - cp_bytes_before;
+    if (config_.stats_hook) {
+      config_.stats_hook(executed_iteration, state.data(), &istats);
+    }
+    istats.sim_time_ns =
+        env_.clock != nullptr ? env_.clock->TotalNs() - sim_before : 0;
+    istats.wall_time_ns = wall.ElapsedNs();
+    env_.metrics->RecordIteration(std::move(istats));
+
+    result.iterations = std::max(result.iterations, executed_iteration);
+    if (converged) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.final_state = std::move(state.data());
+  return result;
+}
+
+}  // namespace flinkless::iteration

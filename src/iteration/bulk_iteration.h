@@ -1,0 +1,101 @@
+// Bulk iterations: the whole intermediate dataset is recomputed every
+// superstep by re-running the step plan (paper §2.1, used by PageRank).
+
+#ifndef FLINKLESS_ITERATION_BULK_ITERATION_H_
+#define FLINKLESS_ITERATION_BULK_ITERATION_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "dataflow/executor.h"
+#include "dataflow/plan.h"
+#include "iteration/context.h"
+#include "iteration/policy.h"
+#include "iteration/state.h"
+
+namespace flinkless::iteration {
+
+/// Convergence test for bulk iterations: given the state the superstep
+/// consumed and the state it produced, decide whether the computation has
+/// converged; `metric` (optional output) is recorded as the
+/// "convergence_metric" gauge (PageRank reports the L1 difference here,
+/// matching the paper's bottom-right plot).
+using BulkConvergenceFn =
+    std::function<bool(const dataflow::PartitionedDataset& previous,
+                       const dataflow::PartitionedDataset& next,
+                       double* metric)>;
+
+/// Per-iteration statistics enrichment (e.g. "vertices converged to their
+/// true rank"). Called after failure handling, so the recorded series shows
+/// the paper's plummet at failure iterations.
+using BulkStatsHook =
+    std::function<void(int iteration, const dataflow::PartitionedDataset& state,
+                       runtime::IterationStats* stats)>;
+
+/// Configuration of a bulk-iterative job.
+struct BulkIterationConfig {
+  /// Hard superstep limit (Flink's "predefined number of iterations").
+  int max_iterations = 100;
+
+  /// Key columns the state dataset is partitioned by (the vertex id).
+  dataflow::KeyColumns state_key = {0};
+
+  /// Source binding name under which the current state is visible to the
+  /// step plan.
+  std::string state_binding = "state";
+
+  /// Plan output holding the next state.
+  std::string next_state_output = "next_state";
+
+  /// Optional termination criterion; absent means run max_iterations.
+  BulkConvergenceFn convergence;
+
+  /// Optional per-iteration statistics hook.
+  BulkStatsHook stats_hook;
+
+  /// Safety valve: abort if recoveries push the total executed supersteps
+  /// beyond this multiple of max_iterations.
+  int max_total_supersteps_factor = 20;
+};
+
+/// Result of a bulk-iterative run.
+struct BulkIterationResult {
+  dataflow::PartitionedDataset final_state;
+  /// Highest iteration number reached (the job's logical progress).
+  int iterations = 0;
+  /// Total supersteps actually executed, counting rollback re-execution.
+  int supersteps_executed = 0;
+  bool converged = false;
+  int failures_recovered = 0;
+};
+
+/// Drives a bulk iteration of `step_plan` under a fault-tolerance policy.
+class BulkIterationDriver {
+ public:
+  /// `step_plan` and the datasets referenced by `static_bindings` are
+  /// borrowed and must outlive the driver. The plan must have an output
+  /// named config.next_state_output and may reference config.state_binding
+  /// plus any of the static bindings as sources.
+  BulkIterationDriver(const dataflow::Plan* step_plan,
+                      dataflow::Bindings static_bindings,
+                      BulkIterationConfig config,
+                      dataflow::ExecOptions exec_options, JobEnv env);
+
+  /// Runs to convergence (or max_iterations) from `initial`, which must be
+  /// hash-partitioned by config.state_key. The policy handles any failures
+  /// from env.failures.
+  Result<BulkIterationResult> Run(dataflow::PartitionedDataset initial,
+                                  FaultTolerancePolicy* policy);
+
+ private:
+  const dataflow::Plan* step_plan_;
+  dataflow::Bindings static_bindings_;
+  BulkIterationConfig config_;
+  dataflow::ExecOptions exec_options_;
+  JobEnv env_;
+};
+
+}  // namespace flinkless::iteration
+
+#endif  // FLINKLESS_ITERATION_BULK_ITERATION_H_

@@ -1,0 +1,46 @@
+// JobEnv and IterationContext: the runtime facilities an iterative job and
+// its fault-tolerance policy see.
+
+#ifndef FLINKLESS_ITERATION_CONTEXT_H_
+#define FLINKLESS_ITERATION_CONTEXT_H_
+
+#include <string>
+
+#include "runtime/cluster.h"
+#include "runtime/cost_model.h"
+#include "runtime/failure.h"
+#include "runtime/metrics.h"
+#include "runtime/sim_clock.h"
+#include "runtime/stable_storage.h"
+
+namespace flinkless::iteration {
+
+/// The environment a job runs in. All pointers are borrowed; optional
+/// members may be nullptr and the driver will supply private defaults
+/// (a rollback policy does require `storage`).
+struct JobEnv {
+  runtime::SimClock* clock = nullptr;
+  const runtime::CostModel* costs = nullptr;
+  runtime::StableStorage* storage = nullptr;
+  runtime::Cluster* cluster = nullptr;
+  runtime::MetricsRegistry* metrics = nullptr;
+  runtime::FailureSchedule* failures = nullptr;
+  std::string job_id = "job";
+};
+
+/// What a FaultTolerancePolicy sees when invoked: the environment plus the
+/// current superstep.
+struct IterationContext {
+  /// 1-based superstep just executed (0 in OnJobStart).
+  int iteration = 0;
+  int num_partitions = 0;
+  runtime::SimClock* clock = nullptr;
+  const runtime::CostModel* costs = nullptr;
+  runtime::StableStorage* storage = nullptr;
+  runtime::Cluster* cluster = nullptr;
+  std::string job_id;
+};
+
+}  // namespace flinkless::iteration
+
+#endif  // FLINKLESS_ITERATION_CONTEXT_H_

@@ -1,0 +1,88 @@
+// Delta iterations: a solution set holds the intermediate result, a working
+// set holds pending updates; the step plan consumes the workset, emits
+// updates to the solution set and the next workset, and the job terminates
+// when the workset is empty (paper §2.1, used by Connected Components).
+
+#ifndef FLINKLESS_ITERATION_DELTA_ITERATION_H_
+#define FLINKLESS_ITERATION_DELTA_ITERATION_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "dataflow/executor.h"
+#include "dataflow/plan.h"
+#include "iteration/context.h"
+#include "iteration/policy.h"
+#include "iteration/state.h"
+
+namespace flinkless::iteration {
+
+/// Per-iteration statistics enrichment; sees the solution set and workset
+/// after failure handling.
+using DeltaStatsHook = std::function<void(
+    int iteration, const SolutionSet& solution,
+    const dataflow::PartitionedDataset& workset,
+    runtime::IterationStats* stats)>;
+
+/// Configuration of a delta-iterative job.
+struct DeltaIterationConfig {
+  /// Hard superstep limit.
+  int max_iterations = 1000;
+
+  /// Key columns of the solution set (and of the delta records).
+  dataflow::KeyColumns solution_key = {0};
+
+  /// Source binding names the step plan reads.
+  std::string workset_binding = "workset";
+  std::string solution_binding = "solution";
+
+  /// Plan outputs: records upserted into the solution set, and the next
+  /// workset.
+  std::string delta_output = "delta";
+  std::string next_workset_output = "next_workset";
+
+  /// Optional per-iteration statistics hook.
+  DeltaStatsHook stats_hook;
+
+  /// Safety valve against recovery loops (multiple of max_iterations).
+  int max_total_supersteps_factor = 20;
+};
+
+/// Result of a delta-iterative run.
+struct DeltaIterationResult {
+  SolutionSet final_solution;
+  int iterations = 0;
+  int supersteps_executed = 0;
+  /// True when the workset drained (the delta iteration's convergence).
+  bool converged = false;
+  int failures_recovered = 0;
+};
+
+/// Drives a delta iteration of `step_plan` under a fault-tolerance policy.
+class DeltaIterationDriver {
+ public:
+  DeltaIterationDriver(const dataflow::Plan* step_plan,
+                       dataflow::Bindings static_bindings,
+                       DeltaIterationConfig config,
+                       dataflow::ExecOptions exec_options, JobEnv env);
+
+  /// Runs until the workset drains (or max_iterations). `initial_solution`
+  /// records are indexed by config.solution_key; `initial_workset` must have
+  /// the executor's partition count.
+  Result<DeltaIterationResult> Run(
+      std::vector<dataflow::Record> initial_solution,
+      dataflow::PartitionedDataset initial_workset,
+      FaultTolerancePolicy* policy);
+
+ private:
+  const dataflow::Plan* step_plan_;
+  dataflow::Bindings static_bindings_;
+  DeltaIterationConfig config_;
+  dataflow::ExecOptions exec_options_;
+  JobEnv env_;
+};
+
+}  // namespace flinkless::iteration
+
+#endif  // FLINKLESS_ITERATION_DELTA_ITERATION_H_

@@ -1,0 +1,94 @@
+// FaultTolerancePolicy: the hook interface the iteration drivers invoke
+// around supersteps and on failures. The concrete strategies — none,
+// restart, checkpoint/rollback, and the paper's optimistic recovery — live
+// in src/core.
+
+#ifndef FLINKLESS_ITERATION_POLICY_H_
+#define FLINKLESS_ITERATION_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "iteration/context.h"
+#include "iteration/state.h"
+
+namespace flinkless::iteration {
+
+/// What the driver should do after a policy handled a failure.
+enum class RecoveryAction {
+  /// State is consistent again (compensated or unchanged); continue with the
+  /// next superstep.
+  kContinue,
+
+  /// State was rewound to a checkpoint; re-execute from
+  /// `rewind_to_iteration + 1`.
+  kRewind,
+
+  /// Discard everything and restart the job from its initial state.
+  kRestart,
+
+  /// The policy cannot recover; the driver aborts the job.
+  kAbort,
+};
+
+/// Outcome of FaultTolerancePolicy::OnFailure.
+struct RecoveryOutcome {
+  RecoveryAction action = RecoveryAction::kAbort;
+
+  /// For kRewind: the iteration whose state was restored (execution resumes
+  /// at rewind_to_iteration + 1).
+  int rewind_to_iteration = 0;
+
+  static RecoveryOutcome Continue() {
+    return {RecoveryAction::kContinue, 0};
+  }
+  static RecoveryOutcome Rewind(int to_iteration) {
+    return {RecoveryAction::kRewind, to_iteration};
+  }
+  static RecoveryOutcome Restart() { return {RecoveryAction::kRestart, 0}; }
+  static RecoveryOutcome Abort() { return {RecoveryAction::kAbort, 0}; }
+};
+
+/// Strategy hooks around the iteration loop. Implementations must be
+/// reusable across runs of the same job shape (the drivers call the hooks
+/// strictly in order: OnJobStart, then per superstep either AfterIteration
+/// or OnFailure).
+class FaultTolerancePolicy {
+ public:
+  virtual ~FaultTolerancePolicy() = default;
+
+  /// Display name used in experiment tables ("optimistic",
+  /// "rollback(k=2)", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once before the first superstep with the initial state
+  /// (ctx.iteration == 0). Rollback policies checkpoint here so a failure
+  /// before the first checkpoint interval still has something to restore.
+  virtual Status OnJobStart(const IterationContext& ctx,
+                            IterationState* state) {
+    (void)ctx;
+    (void)state;
+    return Status::OK();
+  }
+
+  /// Called at the end of every failure-free superstep (checkpoint hook).
+  virtual Status AfterIteration(const IterationContext& ctx,
+                                IterationState* state) {
+    (void)ctx;
+    (void)state;
+    return Status::OK();
+  }
+
+  /// Called after the driver cleared the partitions in `lost` and reassigned
+  /// them to fresh workers. The policy must leave `state` consistent (or
+  /// request restart/abort) before returning.
+  virtual Result<RecoveryOutcome> OnFailure(const IterationContext& ctx,
+                                            IterationState* state,
+                                            const std::vector<int>& lost) = 0;
+};
+
+}  // namespace flinkless::iteration
+
+#endif  // FLINKLESS_ITERATION_POLICY_H_

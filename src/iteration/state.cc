@@ -1,0 +1,167 @@
+#include "iteration/state.h"
+
+#include "common/logging.h"
+
+namespace flinkless::iteration {
+
+using dataflow::PartitionedDataset;
+using dataflow::Record;
+
+std::vector<uint8_t> BulkState::SerializePartition(int p) const {
+  return dataflow::SerializeRecords(data_.partition(p));
+}
+
+Status BulkState::RestorePartition(int p, const std::vector<uint8_t>& blob) {
+  FLINKLESS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                             dataflow::DeserializeRecords(blob));
+  data_.partition(p) = std::move(records);
+  return Status::OK();
+}
+
+uint64_t BulkState::PartitionByteSize(int p) const {
+  return dataflow::SerializedSize(data_.partition(p));
+}
+
+SolutionSet::SolutionSet(int num_partitions, dataflow::KeyColumns key)
+    : key_(std::move(key)), parts_(num_partitions) {}
+
+SolutionSet SolutionSet::FromRecords(std::vector<Record> records,
+                                     const dataflow::KeyColumns& key,
+                                     int num_partitions) {
+  SolutionSet set(num_partitions, key);
+  for (auto& r : records) set.Upsert(std::move(r));
+  return set;
+}
+
+bool SolutionSet::Upsert(Record record) {
+  int p = PartitionedDataset::PartitionOf(record, key_, num_partitions());
+  Record k = dataflow::ExtractKey(record, key_);
+  Entry entry{std::move(record), ++version_};
+  auto [it, inserted] =
+      parts_[p].insert_or_assign(std::move(k), std::move(entry));
+  (void)it;
+  return !inserted;
+}
+
+const Record* SolutionSet::Lookup(const Record& key_projection) const {
+  // The projection is hashed with identity key columns (0..k-1).
+  dataflow::KeyColumns identity(key_.size());
+  for (size_t i = 0; i < key_.size(); ++i) identity[i] = static_cast<int>(i);
+  int p = PartitionedDataset::PartitionOf(key_projection, identity,
+                                          num_partitions());
+  auto it = parts_[p].find(key_projection);
+  return it == parts_[p].end() ? nullptr : &it->second.record;
+}
+
+std::vector<Record> SolutionSet::PartitionRecords(int p) const {
+  std::vector<Record> out;
+  out.reserve(parts_[p].size());
+  for (const auto& [k, entry] : parts_[p]) out.push_back(entry.record);
+  return out;
+}
+
+std::vector<Record> SolutionSet::EntriesSince(int p,
+                                              uint64_t since_version) const {
+  std::vector<Record> out;
+  for (const auto& [k, entry] : parts_[p]) {
+    if (entry.version > since_version) out.push_back(entry.record);
+  }
+  return out;
+}
+
+uint64_t SolutionSet::NumEntries() const {
+  uint64_t total = 0;
+  for (const auto& p : parts_) total += p.size();
+  return total;
+}
+
+PartitionedDataset SolutionSet::ToDataset() const {
+  PartitionedDataset ds(num_partitions());
+  for (int p = 0; p < num_partitions(); ++p) {
+    ds.partition(p) = PartitionRecords(p);
+  }
+  return ds;
+}
+
+Status SolutionSet::ReplacePartition(int p, std::vector<Record> records) {
+  if (p < 0 || p >= num_partitions()) {
+    return Status::OutOfRange("solution-set partition " + std::to_string(p));
+  }
+  parts_[p].clear();
+  for (auto& r : records) {
+    int target = PartitionedDataset::PartitionOf(r, key_, num_partitions());
+    if (target != p) {
+      return Status::InvalidArgument(
+          "record " + dataflow::RecordToString(r) + " hashes to partition " +
+          std::to_string(target) + ", not " + std::to_string(p));
+    }
+    Record k = dataflow::ExtractKey(r, key_);
+    Entry entry{std::move(r), ++version_};
+    parts_[p].insert_or_assign(std::move(k), std::move(entry));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+bool GetU64(const std::vector<uint8_t>& bytes, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > bytes.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(bytes[*offset + i]) << (8 * i);
+  }
+  *offset += 8;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> DeltaState::SerializePartition(int p) const {
+  std::vector<uint8_t> solution_blob =
+      dataflow::SerializeRecords(solution_.PartitionRecords(p));
+  std::vector<uint8_t> workset_blob =
+      dataflow::SerializeRecords(workset_.partition(p));
+  std::vector<uint8_t> out;
+  out.reserve(16 + solution_blob.size() + workset_blob.size());
+  PutU64(solution_blob.size(), &out);
+  out.insert(out.end(), solution_blob.begin(), solution_blob.end());
+  out.insert(out.end(), workset_blob.begin(), workset_blob.end());
+  return out;
+}
+
+Status DeltaState::RestorePartition(int p, const std::vector<uint8_t>& blob) {
+  size_t offset = 0;
+  uint64_t solution_len = 0;
+  if (!GetU64(blob, &offset, &solution_len) ||
+      offset + solution_len > blob.size()) {
+    return Status::DataLoss("truncated delta-state snapshot");
+  }
+  std::vector<uint8_t> solution_blob(blob.begin() + offset,
+                                     blob.begin() + offset + solution_len);
+  std::vector<uint8_t> workset_blob(blob.begin() + offset + solution_len,
+                                    blob.end());
+  FLINKLESS_ASSIGN_OR_RETURN(std::vector<Record> solution_records,
+                             dataflow::DeserializeRecords(solution_blob));
+  FLINKLESS_ASSIGN_OR_RETURN(std::vector<Record> workset_records,
+                             dataflow::DeserializeRecords(workset_blob));
+  FLINKLESS_RETURN_NOT_OK(
+      solution_.ReplacePartition(p, std::move(solution_records)));
+  workset_.partition(p) = std::move(workset_records);
+  return Status::OK();
+}
+
+void DeltaState::ClearPartition(int p) {
+  solution_.ClearPartition(p);
+  workset_.ClearPartition(p);
+}
+
+uint64_t DeltaState::PartitionByteSize(int p) const {
+  return 8 + dataflow::SerializedSize(solution_.PartitionRecords(p)) +
+         dataflow::SerializedSize(workset_.partition(p));
+}
+
+}  // namespace flinkless::iteration

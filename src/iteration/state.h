@@ -1,0 +1,159 @@
+// Iteration state containers.
+//
+// The intermediate state of an iterative job is partitioned across the
+// cluster; a failure destroys some partitions of it, a checkpoint serializes
+// all of it, a compensation function rebuilds the lost pieces. IterationState
+// is the partition-structured interface those mechanisms share; BulkState and
+// DeltaState are the two shapes Flink-style iterations use (paper §2.1).
+
+#ifndef FLINKLESS_ITERATION_STATE_H_
+#define FLINKLESS_ITERATION_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/dataset.h"
+#include "dataflow/record.h"
+
+namespace flinkless::iteration {
+
+/// Which iteration mode a state belongs to.
+enum class StateKind { kBulk, kDelta };
+
+/// Partition-structured iteration state: the contract between the iteration
+/// drivers and the fault-tolerance policies.
+class IterationState {
+ public:
+  virtual ~IterationState() = default;
+
+  virtual StateKind kind() const = 0;
+  virtual int num_partitions() const = 0;
+
+  /// Serialized snapshot of one partition (checkpoint granularity).
+  virtual std::vector<uint8_t> SerializePartition(int p) const = 0;
+
+  /// Replaces partition `p` from a snapshot produced by SerializePartition.
+  virtual Status RestorePartition(int p, const std::vector<uint8_t>& blob) = 0;
+
+  /// Destroys partition `p` — the effect of the task holding it crashing.
+  virtual void ClearPartition(int p) = 0;
+
+  /// Serialized size of one partition (what checkpointing it would cost).
+  virtual uint64_t PartitionByteSize(int p) const = 0;
+};
+
+/// Bulk-iteration state: the whole intermediate dataset, recomputed each
+/// superstep (e.g. the PageRank rank vector).
+class BulkState final : public IterationState {
+ public:
+  BulkState() = default;
+  explicit BulkState(dataflow::PartitionedDataset data)
+      : data_(std::move(data)) {}
+
+  StateKind kind() const override { return StateKind::kBulk; }
+  int num_partitions() const override { return data_.num_partitions(); }
+  std::vector<uint8_t> SerializePartition(int p) const override;
+  Status RestorePartition(int p, const std::vector<uint8_t>& blob) override;
+  void ClearPartition(int p) override { data_.ClearPartition(p); }
+  uint64_t PartitionByteSize(int p) const override;
+
+  dataflow::PartitionedDataset& data() { return data_; }
+  const dataflow::PartitionedDataset& data() const { return data_; }
+
+ private:
+  dataflow::PartitionedDataset data_;
+};
+
+/// The indexed solution set of a delta iteration: per partition, a map from
+/// key projection to the full record, co-partitioned by hash of the key.
+class SolutionSet {
+ public:
+  SolutionSet() = default;
+  SolutionSet(int num_partitions, dataflow::KeyColumns key);
+
+  /// Builds a solution set from initial records.
+  static SolutionSet FromRecords(std::vector<dataflow::Record> records,
+                                 const dataflow::KeyColumns& key,
+                                 int num_partitions);
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  const dataflow::KeyColumns& key() const { return key_; }
+
+  /// Inserts or replaces the entry with `record`'s key. Returns true when an
+  /// existing entry was replaced.
+  bool Upsert(dataflow::Record record);
+
+  /// The record with the given key projection, or nullptr.
+  const dataflow::Record* Lookup(const dataflow::Record& key_projection) const;
+
+  /// Entries of one partition in key order.
+  std::vector<dataflow::Record> PartitionRecords(int p) const;
+
+  /// Monotonic modification counter: bumped by every Upsert (and by
+  /// ReplacePartition per record). Lets incremental checkpointing ask
+  /// "what changed since version v".
+  uint64_t version() const { return version_; }
+
+  /// Entries of partition `p` modified strictly after `since_version`, in
+  /// key order. EntriesSince(p, 0) returns the whole partition.
+  std::vector<dataflow::Record> EntriesSince(int p,
+                                             uint64_t since_version) const;
+
+  /// Total entries across partitions.
+  uint64_t NumEntries() const;
+
+  /// Materializes the solution set as a dataset (bound into the step plan
+  /// each superstep).
+  dataflow::PartitionedDataset ToDataset() const;
+
+  void ClearPartition(int p) { parts_[p].clear(); }
+
+  /// Replaces the contents of partition `p` with `records` (entries keyed by
+  /// their key projection). Records whose hash does not map to `p` are a
+  /// programming error.
+  Status ReplacePartition(int p, std::vector<dataflow::Record> records);
+
+ private:
+  struct Entry {
+    dataflow::Record record;
+    /// Value of version_ when this entry was last written.
+    uint64_t version = 0;
+  };
+  using PartitionMap =
+      std::map<dataflow::Record, Entry, dataflow::RecordOrder>;
+  dataflow::KeyColumns key_;
+  std::vector<PartitionMap> parts_;
+  uint64_t version_ = 0;
+};
+
+/// Delta-iteration state: solution set + working set (paper §2.1). A failure
+/// loses both pieces of the affected partitions.
+class DeltaState final : public IterationState {
+ public:
+  DeltaState() = default;
+  DeltaState(SolutionSet solution, dataflow::PartitionedDataset workset)
+      : solution_(std::move(solution)), workset_(std::move(workset)) {}
+
+  StateKind kind() const override { return StateKind::kDelta; }
+  int num_partitions() const override { return solution_.num_partitions(); }
+  std::vector<uint8_t> SerializePartition(int p) const override;
+  Status RestorePartition(int p, const std::vector<uint8_t>& blob) override;
+  void ClearPartition(int p) override;
+  uint64_t PartitionByteSize(int p) const override;
+
+  SolutionSet& solution() { return solution_; }
+  const SolutionSet& solution() const { return solution_; }
+  dataflow::PartitionedDataset& workset() { return workset_; }
+  const dataflow::PartitionedDataset& workset() const { return workset_; }
+
+ private:
+  SolutionSet solution_;
+  dataflow::PartitionedDataset workset_;
+};
+
+}  // namespace flinkless::iteration
+
+#endif  // FLINKLESS_ITERATION_STATE_H_

@@ -1,0 +1,74 @@
+#include "runtime/cluster.h"
+
+#include "common/logging.h"
+
+namespace flinkless::runtime {
+
+Cluster::Cluster(int num_partitions, SimClock* clock, const CostModel* costs)
+    : clock_(clock), costs_(costs) {
+  FLINKLESS_CHECK(num_partitions > 0, "cluster needs at least one partition");
+  assignment_.reserve(num_partitions);
+  for (int p = 0; p < num_partitions; ++p) {
+    assignment_.push_back(NewWorker());
+  }
+}
+
+WorkerId Cluster::NewWorker() {
+  WorkerInfo info;
+  info.id = next_worker_id_++;
+  info.alive = true;
+  info.epoch = epoch_;
+  workers_.push_back(info);
+  return info.id;
+}
+
+Result<WorkerId> Cluster::WorkerOf(int partition) const {
+  if (partition < 0 || partition >= num_partitions()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) +
+                              " out of range [0, " +
+                              std::to_string(num_partitions()) + ")");
+  }
+  return assignment_[partition];
+}
+
+bool Cluster::PartitionHealthy(int partition) const {
+  if (partition < 0 || partition >= num_partitions()) return false;
+  return workers_[assignment_[partition]].alive;
+}
+
+int Cluster::KillPartitions(const std::vector<int>& partitions) {
+  int killed = 0;
+  for (int p : partitions) {
+    if (p < 0 || p >= num_partitions()) continue;
+    WorkerInfo& w = workers_[assignment_[p]];
+    if (w.alive) {
+      w.alive = false;
+      ++killed;
+    }
+  }
+  return killed;
+}
+
+Status Cluster::ReassignToFreshWorkers(const std::vector<int>& partitions) {
+  bool replaced_any = false;
+  // Replacements within one recovery happen in parallel on a real cluster,
+  // so node acquisition is charged once per recovery event, not per node.
+  for (int p : partitions) {
+    if (p < 0 || p >= num_partitions()) {
+      return Status::OutOfRange("cannot reassign partition " +
+                                std::to_string(p));
+    }
+    if (workers_[assignment_[p]].alive) continue;
+    if (!replaced_any) {
+      ++epoch_;
+      replaced_any = true;
+    }
+    assignment_[p] = NewWorker();
+  }
+  if (replaced_any && clock_ != nullptr && costs_ != nullptr) {
+    clock_->Add(Charge::kRecovery, costs_->node_acquisition_ns);
+  }
+  return Status::OK();
+}
+
+}  // namespace flinkless::runtime

@@ -1,0 +1,82 @@
+// Cluster: bookkeeping of workers and the partition -> worker assignment.
+//
+// The engine's data movement is simulated, but the recovery protocol needs a
+// concrete notion of "the worker holding partition p died and its
+// computations were re-assigned to a newly acquired node" (paper §2.2). The
+// Cluster tracks worker identity, liveness, and the assignment, and charges
+// the node-acquisition cost when a replacement is spun up.
+
+#ifndef FLINKLESS_RUNTIME_CLUSTER_H_
+#define FLINKLESS_RUNTIME_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "runtime/cost_model.h"
+#include "runtime/sim_clock.h"
+
+namespace flinkless::runtime {
+
+/// Identifies a (simulated) worker process. Monotonically increasing across
+/// replacements, so a replacement worker is distinguishable from the one it
+/// replaces.
+using WorkerId = int64_t;
+
+/// One worker's record.
+struct WorkerInfo {
+  WorkerId id = -1;
+  bool alive = true;
+  /// Which failure epoch created this worker (0 = initial deployment).
+  int epoch = 0;
+};
+
+/// Tracks workers and the partition assignment for one job.
+class Cluster {
+ public:
+  /// Spins up `num_partitions` workers, one partition each (the demo deploys
+  /// one task per partition). Clock/costs may be nullptr (no charging).
+  Cluster(int num_partitions, SimClock* clock, const CostModel* costs);
+
+  int num_partitions() const { return static_cast<int>(assignment_.size()); }
+
+  /// Worker currently responsible for `partition`.
+  Result<WorkerId> WorkerOf(int partition) const;
+
+  /// True when the worker holding `partition` is alive.
+  bool PartitionHealthy(int partition) const;
+
+  /// Kills the workers holding the given partitions (idempotent per worker).
+  /// Returns how many live workers were killed.
+  int KillPartitions(const std::vector<int>& partitions);
+
+  /// Replaces dead workers for the given partitions with newly acquired
+  /// ones, charging node acquisition once per replacement. Partitions whose
+  /// worker is alive are left untouched.
+  Status ReassignToFreshWorkers(const std::vector<int>& partitions);
+
+  /// Total workers ever created (initial + replacements).
+  int64_t total_workers_created() const { return next_worker_id_; }
+
+  /// Number of failure epochs so far (ReassignToFreshWorkers calls that
+  /// actually replaced something).
+  int epoch() const { return epoch_; }
+
+  const std::vector<WorkerInfo>& workers() const { return workers_; }
+
+ private:
+  WorkerId NewWorker();
+
+  SimClock* clock_;
+  const CostModel* costs_;
+  std::vector<WorkerInfo> workers_;       // indexed by WorkerId
+  std::vector<WorkerId> assignment_;      // partition -> worker
+  WorkerId next_worker_id_ = 0;
+  int epoch_ = 0;
+};
+
+}  // namespace flinkless::runtime
+
+#endif  // FLINKLESS_RUNTIME_CLUSTER_H_

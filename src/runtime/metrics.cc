@@ -1,0 +1,54 @@
+#include "runtime/metrics.h"
+
+namespace flinkless::runtime {
+
+double IterationStats::Gauge(const std::string& name, double fallback) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+void MetricsRegistry::RecordIteration(IterationStats stats) {
+  iterations_.push_back(std::move(stats));
+}
+
+void MetricsRegistry::IncrCounter(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+uint64_t MetricsRegistry::Counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<double> MetricsRegistry::GaugeSeries(const std::string& name,
+                                                 double fallback) const {
+  std::vector<double> out;
+  out.reserve(iterations_.size());
+  for (const auto& it : iterations_) out.push_back(it.Gauge(name, fallback));
+  return out;
+}
+
+uint64_t MetricsRegistry::TotalMessages() const {
+  uint64_t total = 0;
+  for (const auto& it : iterations_) total += it.messages_shuffled;
+  return total;
+}
+
+uint64_t MetricsRegistry::TotalRecords() const {
+  uint64_t total = 0;
+  for (const auto& it : iterations_) total += it.records_processed;
+  return total;
+}
+
+uint64_t MetricsRegistry::TotalCheckpointBytes() const {
+  uint64_t total = 0;
+  for (const auto& it : iterations_) total += it.bytes_checkpointed;
+  return total;
+}
+
+void MetricsRegistry::Reset() {
+  iterations_.clear();
+  counters_.clear();
+}
+
+}  // namespace flinkless::runtime

@@ -1,0 +1,86 @@
+// Metrics: counters and per-iteration statistics series.
+//
+// The paper's GUI plots per-iteration statistics — converged-vertex counts,
+// messages per iteration, the L1 norm of consecutive PageRank estimates. The
+// engine records an IterationStats entry per superstep; algorithms attach
+// custom gauges (e.g. "converged_vertices"), and the bench harnesses read the
+// series back to regenerate the plots.
+
+#ifndef FLINKLESS_RUNTIME_METRICS_H_
+#define FLINKLESS_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace flinkless::runtime {
+
+/// Everything measured about one iteration (superstep) of a job.
+struct IterationStats {
+  /// 1-based iteration number as the paper numbers its plots.
+  int iteration = 0;
+
+  /// Records pushed through operators during this iteration.
+  uint64_t records_processed = 0;
+
+  /// Records that crossed partitions in shuffles — the paper's "messages".
+  uint64_t messages_shuffled = 0;
+
+  /// Bytes checkpointed at the end of this iteration (0 when no checkpoint).
+  uint64_t bytes_checkpointed = 0;
+
+  /// True when a failure was injected (and recovered from) in this iteration.
+  bool failure_injected = false;
+
+  /// Simulated nanoseconds this iteration took.
+  int64_t sim_time_ns = 0;
+
+  /// Wall-clock nanoseconds this iteration took.
+  int64_t wall_time_ns = 0;
+
+  /// Algorithm-specific gauges ("converged_vertices", "l1_diff", ...).
+  std::map<std::string, double> gauges;
+
+  /// Gauge value or `fallback` when the gauge was not set.
+  double Gauge(const std::string& name, double fallback = 0.0) const;
+};
+
+/// Accumulates the per-iteration series plus whole-job counters for one run.
+class MetricsRegistry {
+ public:
+  /// Appends a finished iteration's stats.
+  void RecordIteration(IterationStats stats);
+
+  /// Increments a named whole-job counter.
+  void IncrCounter(const std::string& name, uint64_t delta = 1);
+
+  /// Counter value (0 when never incremented).
+  uint64_t Counter(const std::string& name) const;
+
+  const std::vector<IterationStats>& iterations() const { return iterations_; }
+
+  /// The series of one gauge across iterations, with `fallback` for
+  /// iterations that did not set it.
+  std::vector<double> GaugeSeries(const std::string& name,
+                                  double fallback = 0.0) const;
+
+  /// Sum of messages_shuffled over all iterations.
+  uint64_t TotalMessages() const;
+
+  /// Sum of records_processed over all iterations.
+  uint64_t TotalRecords() const;
+
+  /// Sum of bytes_checkpointed over all iterations.
+  uint64_t TotalCheckpointBytes() const;
+
+  void Reset();
+
+ private:
+  std::vector<IterationStats> iterations_;
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace flinkless::runtime
+
+#endif  // FLINKLESS_RUNTIME_METRICS_H_

@@ -1,0 +1,64 @@
+#include "runtime/sim_clock.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace flinkless::runtime {
+
+std::string ChargeName(Charge c) {
+  switch (c) {
+    case Charge::kCompute:
+      return "compute";
+    case Charge::kNetwork:
+      return "network";
+    case Charge::kCheckpointIo:
+      return "checkpoint_io";
+    case Charge::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+void SimClock::Add(Charge c, int64_t ns) {
+  FLINKLESS_CHECK(ns >= 0, "negative simulated-time charge");
+  ns_[static_cast<int>(c)] += ns;
+}
+
+int64_t SimClock::Of(Charge c) const { return ns_[static_cast<int>(c)]; }
+
+int64_t SimClock::TotalNs() const {
+  int64_t total = 0;
+  for (int64_t v : ns_) total += v;
+  return total;
+}
+
+void SimClock::Reset() { ns_.fill(0); }
+
+std::string SimClock::Summary() const {
+  std::string out = "sim_total=" + FormatDouble(TotalMs()) + "ms (";
+  for (int i = 0; i < kNumCharges; ++i) {
+    if (i) out += ", ";
+    out += ChargeName(static_cast<Charge>(i)) + "=" +
+           FormatDouble(static_cast<double>(ns_[i]) / 1e6) + "ms";
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+WallTimer::WallTimer() : start_ns_(NowNs()) {}
+
+int64_t WallTimer::ElapsedNs() const { return NowNs() - start_ns_; }
+
+void WallTimer::Restart() { start_ns_ = NowNs(); }
+
+}  // namespace flinkless::runtime

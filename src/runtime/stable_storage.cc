@@ -1,0 +1,67 @@
+#include "runtime/stable_storage.h"
+
+namespace flinkless::runtime {
+
+Status StableStorage::Write(const std::string& key,
+                            std::vector<uint8_t> blob) {
+  if (clock_ != nullptr && costs_ != nullptr) {
+    clock_->Add(Charge::kCheckpointIo,
+                costs_->checkpoint_write_per_byte_ns *
+                    static_cast<int64_t>(blob.size()));
+    clock_->Add(Charge::kCheckpointIo, costs_->checkpoint_sync_ns);
+  }
+  bytes_written_ += blob.size();
+  ++num_writes_;
+  blobs_[key] = std::move(blob);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> StableStorage::Read(
+    const std::string& key) const {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Status::NotFound("no blob for key '" + key + "'");
+  }
+  if (clock_ != nullptr && costs_ != nullptr) {
+    clock_->Add(Charge::kCheckpointIo,
+                costs_->checkpoint_read_per_byte_ns *
+                    static_cast<int64_t>(it->second.size()));
+  }
+  bytes_read_ += it->second.size();
+  return it->second;
+}
+
+void StableStorage::Delete(const std::string& key) { blobs_.erase(key); }
+
+size_t StableStorage::DeleteWithPrefix(const std::string& prefix) {
+  auto it = blobs_.lower_bound(prefix);
+  size_t removed = 0;
+  while (it != blobs_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = blobs_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+bool StableStorage::Exists(const std::string& key) const {
+  return blobs_.count(key) > 0;
+}
+
+std::vector<std::string> StableStorage::ListWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = blobs_.lower_bound(prefix);
+       it != blobs_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+uint64_t StableStorage::live_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [key, blob] : blobs_) total += blob.size();
+  return total;
+}
+
+}  // namespace flinkless::runtime

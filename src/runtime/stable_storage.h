@@ -1,0 +1,71 @@
+// StableStorage: the simulated distributed file system checkpoints go to.
+//
+// Rollback recovery ("pessimistic" in the paper) periodically writes the
+// algorithm state here and reads it back after a failure. The store survives
+// worker failures by definition — that is what makes it "stable". Every byte
+// moved is charged to the SimClock so failure-free checkpoint overhead is
+// measurable.
+
+#ifndef FLINKLESS_RUNTIME_STABLE_STORAGE_H_
+#define FLINKLESS_RUNTIME_STABLE_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "runtime/cost_model.h"
+#include "runtime/sim_clock.h"
+
+namespace flinkless::runtime {
+
+/// An in-memory key -> blob store standing in for a replicated DFS.
+/// Writes and reads are charged to the attached SimClock using the attached
+/// CostModel. Thread-compatible (external synchronization if shared).
+class StableStorage {
+ public:
+  /// Neither pointer is owned; both must outlive the storage. Either may be
+  /// nullptr, in which case no time is charged.
+  StableStorage(SimClock* clock, const CostModel* costs)
+      : clock_(clock), costs_(costs) {}
+
+  /// Writes (or overwrites) `key`. Charges write cost per byte plus one sync.
+  Status Write(const std::string& key, std::vector<uint8_t> blob);
+
+  /// Reads `key`. Charges read cost per byte. NotFound if absent.
+  Result<std::vector<uint8_t>> Read(const std::string& key) const;
+
+  /// Removes `key` if present (metadata-only, not charged).
+  void Delete(const std::string& key);
+
+  /// Removes every key with the given prefix. Returns how many were removed.
+  size_t DeleteWithPrefix(const std::string& prefix);
+
+  bool Exists(const std::string& key) const;
+
+  /// All keys with the given prefix, sorted.
+  std::vector<std::string> ListWithPrefix(const std::string& prefix) const;
+
+  /// Cumulative bytes ever written / read (for reports).
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  /// Number of Write() calls (== number of checkpoint syncs charged).
+  uint64_t num_writes() const { return num_writes_; }
+
+  /// Bytes currently held live.
+  uint64_t live_bytes() const;
+
+ private:
+  SimClock* clock_;
+  const CostModel* costs_;
+  std::map<std::string, std::vector<uint8_t>> blobs_;
+  uint64_t bytes_written_ = 0;
+  mutable uint64_t bytes_read_ = 0;
+  uint64_t num_writes_ = 0;
+};
+
+}  // namespace flinkless::runtime
+
+#endif  // FLINKLESS_RUNTIME_STABLE_STORAGE_H_

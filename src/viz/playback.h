@@ -1,0 +1,104 @@
+// Playback: the demo GUI's transport controls ("play", "pause", "backward",
+// §3.1) as a state machine over recorded per-iteration frames. The terminal
+// demo drivers record one frame per superstep and replay them through this
+// controller.
+
+#ifndef FLINKLESS_VIZ_PLAYBACK_H_
+#define FLINKLESS_VIZ_PLAYBACK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace flinkless::viz {
+
+/// Transport state of a playback session.
+enum class PlayState {
+  kPlaying,
+  kPaused,
+  kFinished,
+};
+
+/// Holds recorded frames and a cursor with GUI-like controls. `Frame` is
+/// whatever the demo renders per iteration (labels, ranks, ...).
+template <typename Frame>
+class Playback {
+ public:
+  Playback() = default;
+  explicit Playback(std::vector<Frame> frames)
+      : frames_(std::move(frames)) {}
+
+  /// Appends a frame (recording side).
+  void Record(Frame frame) { frames_.push_back(std::move(frame)); }
+
+  size_t size() const { return frames_.size(); }
+  bool empty() const { return frames_.empty(); }
+
+  /// Index of the frame the cursor is on (0-based). Meaningless when empty.
+  size_t position() const { return position_; }
+
+  PlayState state() const { return state_; }
+
+  /// Current frame; requires !empty().
+  const Frame& Current() const { return frames_[position_]; }
+
+  /// The "play" button: resume advancing (no-op when already finished).
+  void Play() {
+    if (state_ != PlayState::kFinished) state_ = PlayState::kPlaying;
+  }
+
+  /// The "pause" button: stop at the end of the current iteration.
+  void Pause() {
+    if (state_ == PlayState::kPlaying) state_ = PlayState::kPaused;
+  }
+
+  /// The "backward" button: jump to the previous iteration and pause there.
+  /// Returns false at the first frame (cursor unchanged, still pauses).
+  bool StepBackward() {
+    if (state_ == PlayState::kFinished) state_ = PlayState::kPaused;
+    if (state_ == PlayState::kPlaying) state_ = PlayState::kPaused;
+    if (position_ == 0) return false;
+    --position_;
+    return true;
+  }
+
+  /// Advances one frame (used both by "play" ticks and by a manual "next").
+  /// Returns false when already at the last frame, switching to kFinished.
+  bool StepForward() {
+    if (frames_.empty()) {
+      state_ = PlayState::kFinished;
+      return false;
+    }
+    if (position_ + 1 >= frames_.size()) {
+      state_ = PlayState::kFinished;
+      return false;
+    }
+    ++position_;
+    return true;
+  }
+
+  /// Jumps to an absolute frame, clamped to the recorded range; pauses.
+  void Seek(size_t index) {
+    if (frames_.empty()) return;
+    position_ = index < frames_.size() ? index : frames_.size() - 1;
+    if (state_ == PlayState::kFinished && position_ + 1 < frames_.size()) {
+      state_ = PlayState::kPaused;
+    } else if (state_ == PlayState::kPlaying) {
+      state_ = PlayState::kPaused;
+    }
+  }
+
+  /// Back to frame 0, paused (fresh demo run without re-executing the job).
+  void Rewind() {
+    position_ = 0;
+    state_ = frames_.empty() ? PlayState::kFinished : PlayState::kPaused;
+  }
+
+ private:
+  std::vector<Frame> frames_;
+  size_t position_ = 0;
+  PlayState state_ = PlayState::kPaused;
+};
+
+}  // namespace flinkless::viz
+
+#endif  // FLINKLESS_VIZ_PLAYBACK_H_

@@ -1,0 +1,89 @@
+// Terminal rendering of the demo's two visualizations (paper §3.2/§3.3):
+//
+//   * Connected Components: "a distinct color highlights the area enclosing
+//     each connected component"; colors merge as components merge, lost
+//     vertices are highlighted after a failure. We render one cell per
+//     vertex, ANSI-colored by current label, with lost vertices flagged.
+//   * PageRank: "the size of a vertex represents the magnitude of its
+//     PageRank value". We render one bar per vertex, scaled by rank.
+
+#ifndef FLINKLESS_VIZ_RENDER_H_
+#define FLINKLESS_VIZ_RENDER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flinkless::viz {
+
+/// Assigns stable terminal colors to component labels. A label keeps its
+/// color for the lifetime of the assigner, so attendees can watch areas of
+/// one color grow as the algorithm discovers larger components.
+class ColorAssigner {
+ public:
+  /// When `use_ansi` is false, Wrap() returns the text unstyled (for piping
+  /// into files) and ColorOf still provides stable palette indices.
+  explicit ColorAssigner(bool use_ansi = true) : use_ansi_(use_ansi) {}
+
+  /// Stable palette index for a label (first-come, first-served).
+  int ColorOf(int64_t label);
+
+  /// Wraps `text` in the ANSI color assigned to `label`.
+  std::string Wrap(int64_t label, const std::string& text);
+
+  /// Number of distinct labels seen so far.
+  size_t distinct_labels() const { return colors_.size(); }
+
+ private:
+  bool use_ansi_;
+  std::map<int64_t, int> colors_;
+};
+
+/// One recorded Connected Components frame.
+struct ComponentsFrame {
+  int iteration = 0;
+  /// labels[v] = current component label of vertex v.
+  std::vector<int64_t> labels;
+  /// Vertices whose partition was lost this iteration (highlighted).
+  std::set<int64_t> lost_vertices;
+  bool failure = false;
+  int64_t messages = 0;
+  int64_t converged_vertices = -1;  // -1 when no ground truth was supplied
+};
+
+/// Renders one CC frame: vertices grouped by component, colors stable via
+/// `colors`, lost vertices marked with '!'.
+std::string RenderComponents(const ComponentsFrame& frame,
+                             ColorAssigner* colors);
+
+/// One recorded PageRank frame.
+struct RanksFrame {
+  int iteration = 0;
+  std::vector<double> ranks;
+  std::set<int64_t> lost_vertices;
+  bool failure = false;
+  double l1_diff = 0.0;
+  int64_t converged_vertices = -1;
+};
+
+/// Renders one PageRank frame: one bar per vertex, width proportional to
+/// rank (the paper's vertex size), lost vertices marked with '!'.
+std::string RenderRanks(const RanksFrame& frame, int bar_width = 50);
+
+/// Lists the vertices per partition under the engine's hash partitioning —
+/// printed once at demo start so attendees know what clicking "fail
+/// partition p" will destroy.
+std::string DescribePartitions(int64_t num_vertices, int num_partitions);
+
+/// The vertex ids that live in the given partitions.
+std::set<int64_t> VerticesOfPartitions(int64_t num_vertices,
+                                       int num_partitions,
+                                       const std::vector<int>& partitions);
+
+}  // namespace flinkless::viz
+
+#endif  // FLINKLESS_VIZ_RENDER_H_

@@ -1,0 +1,399 @@
+// Unit tests for src/common: Status/Result, Rng, hashing, strings, tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace flinkless {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad key");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad key");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  std::set<std::string_view> names;
+  for (int c = 0; c <= 10; ++c) {
+    names.insert(StatusCodeToString(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  auto fails = []() -> Status { return Status::Aborted("inner"); };
+  auto outer = [&]() -> Status {
+    FLINKLESS_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsAborted());
+}
+
+TEST(StatusTest, StreamInsertionPrintsToString) {
+  std::ostringstream os;
+  os << Status::DataLoss("gone");
+  EXPECT_EQ(os.str(), "DataLoss: gone");
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(42), 42);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("n"); };
+  auto outer = [&]() -> Result<int> {
+    FLINKLESS_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_EQ(outer().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnPassesValue) {
+  auto inner = []() -> Result<int> { return 41; };
+  auto outer = [&]() -> Result<int> {
+    FLINKLESS_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(), 42);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(31);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(20, 7);
+    std::set<size_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), 7u);
+    for (size_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(RngTest, SampleFullPopulation) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashTest, Mix64ChangesInput) {
+  EXPECT_NE(Mix64(1), 1u);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(HashTest, HashBytesDependsOnContent) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString("abc"), HashString("ab"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashTest, HashDoubleCollapsesZeroSigns) {
+  EXPECT_EQ(HashDouble(0.0), HashDouble(-0.0));
+}
+
+TEST(HashTest, HashDoubleNanStable) {
+  EXPECT_EQ(HashDouble(std::nan("1")), HashDouble(std::nan("2")));
+}
+
+TEST(HashTest, HashCombineOrderDependent) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, PartitioningIsRoughlyBalanced) {
+  // The property the message-count experiments rely on.
+  const int parts = 8;
+  std::vector<int> counts(parts, 0);
+  for (int64_t v = 0; v < 8000; ++v) {
+    counts[Mix64(static_cast<uint64_t>(v)) % parts]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsRuns) {
+  auto parts = SplitWhitespace("  a \t b\n\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitWhitespaceEmpty) {
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  abc \t"), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a"), "a");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringsTest, ParseInt64Valid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(StringsTest, ParseInt64Rejects) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+}
+
+TEST(StringsTest, ParseDoubleValid) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &d));
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &d));
+  EXPECT_DOUBLE_EQ(d, -1000.0);
+}
+
+TEST(StringsTest, ParseDoubleRejects) {
+  double d = 0;
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("1.2.3", &d));
+  EXPECT_FALSE(ParseDouble("x", &d));
+}
+
+TEST(StringsTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+}
+
+TEST(StringsTest, FormatBytesUnits) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, AsciiAlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.Row().Cell("pi").Cell(3.14);
+  t.Row().Cell("answer").Cell(int64_t{42});
+  std::ostringstream os;
+  t.PrintAscii(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| answer | 42    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  TablePrinter t({"a", "b"});
+  t.Row().Cell("x,y").Cell("quote\"inside");
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"quote\"\"inside\"\n");
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(TableTest, AsciiPlotShapes) {
+  std::string plot = AsciiPlot({1.0, 2.0, 3.0}, 3, "t");
+  EXPECT_NE(plot.find("t\n"), std::string::npos);
+  EXPECT_NE(plot.find("min=1 max=3 n=3"), std::string::npos);
+  EXPECT_EQ(AsciiPlot({}, 3, "e"), "e\n(no data)\n");
+}
+
+}  // namespace
+}  // namespace flinkless

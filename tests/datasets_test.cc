@@ -1,0 +1,123 @@
+// Tests for the graph <-> dataset conversions in src/algos/datasets.
+
+#include <gtest/gtest.h>
+
+#include "algos/datasets.h"
+#include "graph/generators.h"
+
+namespace flinkless::algos {
+namespace {
+
+using dataflow::MakeRecord;
+using dataflow::Record;
+
+TEST(DatasetsTest, InitialLabelsAreIdentity) {
+  graph::Graph g = graph::ChainGraph(5);
+  auto labels = InitialLabels(g);
+  ASSERT_EQ(labels.size(), 5u);
+  for (int64_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(labels[v][0].AsInt64(), v);
+    EXPECT_EQ(labels[v][1].AsInt64(), v);
+  }
+}
+
+TEST(DatasetsTest, EdgePairsUndirectedEmitsBothDirections) {
+  graph::Graph g(3, false);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  auto ds = EdgePairs(g, 2);
+  EXPECT_EQ(ds.NumRecords(), 4u);
+  EXPECT_TRUE(ds.IsPartitionedBy({0}));
+}
+
+TEST(DatasetsTest, EdgePairsDirectedEmitsOneDirection) {
+  graph::Graph g(3, true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto ds = EdgePairs(g, 2);
+  EXPECT_EQ(ds.NumRecords(), 1u);
+}
+
+TEST(DatasetsTest, EdgePairsSelfLoopEmittedOnce) {
+  graph::Graph g(2, false);
+  ASSERT_TRUE(g.AddEdge(1, 1).ok());
+  auto ds = EdgePairs(g, 2);
+  EXPECT_EQ(ds.NumRecords(), 1u);
+}
+
+TEST(DatasetsTest, LinksCarryTransitionProbabilities) {
+  graph::Graph g(3, true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  auto ds = Links(g, 2);
+  EXPECT_EQ(ds.NumRecords(), 3u);
+  double sum_from_0 = 0;
+  for (const Record& r : ds.Collect()) {
+    if (r[0].AsInt64() == 0) sum_from_0 += r[2].AsDouble();
+    if (r[0].AsInt64() == 1) {
+      EXPECT_DOUBLE_EQ(r[2].AsDouble(), 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(sum_from_0, 1.0);  // probabilities sum to 1 per source
+}
+
+TEST(DatasetsTest, DanglingVerticesOnlyListsSinks) {
+  graph::Graph g(4, true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  auto ds = DanglingVertices(g, 2);
+  auto records = ds.CollectSorted();
+  ASSERT_EQ(records.size(), 2u);  // 2 and 3 have no out-edges
+  EXPECT_EQ(records[0][0].AsInt64(), 2);
+  EXPECT_EQ(records[1][0].AsInt64(), 3);
+}
+
+TEST(DatasetsTest, InitialRanksUniformAndComplete) {
+  graph::Graph g = graph::DemoDirectedGraph();
+  auto ds = InitialRanks(g, 4);
+  EXPECT_EQ(ds.NumRecords(), static_cast<uint64_t>(g.num_vertices()));
+  for (const Record& r : ds.Collect()) {
+    EXPECT_DOUBLE_EQ(r[1].AsDouble(), 0.1);
+  }
+}
+
+TEST(DatasetsTest, PartitionOfVertexMatchesDatasetPlacement) {
+  const int parts = 4;
+  graph::Graph g = graph::ChainGraph(32);
+  auto ds = InitialRanks(g, parts);
+  for (int p = 0; p < parts; ++p) {
+    for (const Record& r : ds.partition(p)) {
+      EXPECT_EQ(PartitionOfVertex(r[0].AsInt64(), parts), p);
+    }
+  }
+}
+
+TEST(DatasetsTest, ToInt64VectorFillsAndValidates) {
+  std::vector<Record> records{MakeRecord(int64_t{0}, int64_t{5}),
+                              MakeRecord(int64_t{2}, int64_t{7})};
+  auto v = ToInt64Vector(records, 4, -1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<int64_t>{5, -1, 7, -1}));
+}
+
+TEST(DatasetsTest, ToInt64VectorRejectsOutOfRange) {
+  std::vector<Record> records{MakeRecord(int64_t{9}, int64_t{1})};
+  EXPECT_FALSE(ToInt64Vector(records, 4, 0).ok());
+}
+
+TEST(DatasetsTest, ToInt64VectorRejectsNarrowRecords) {
+  std::vector<Record> records{MakeRecord(int64_t{0})};
+  EXPECT_FALSE(ToInt64Vector(records, 4, 0).ok());
+}
+
+TEST(DatasetsTest, ToDoubleVectorWidensInts) {
+  std::vector<Record> records{MakeRecord(int64_t{0}, int64_t{3}),
+                              MakeRecord(int64_t{1}, 0.5)};
+  auto v = ToDoubleVector(records, 2, 0.0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ((*v)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*v)[1], 0.5);
+}
+
+}  // namespace
+}  // namespace flinkless::algos

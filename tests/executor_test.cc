@@ -1,0 +1,471 @@
+// Executor semantics: every operator against hand-computed expectations,
+// message accounting, cost charging, and the partition-independence
+// property (the same plan gives the same logical result under any degree of
+// parallelism — the invariant that makes failure experiments comparable).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataflow/executor.h"
+
+namespace flinkless::dataflow {
+namespace {
+
+PartitionedDataset KeyValues(std::vector<std::pair<int64_t, int64_t>> pairs,
+                             int parts) {
+  std::vector<Record> records;
+  for (auto [k, v] : pairs) records.push_back(MakeRecord(k, v));
+  return PartitionedDataset::HashPartitioned(std::move(records), {0}, parts);
+}
+
+std::vector<Record> SortedOut(
+    const std::map<std::string, PartitionedDataset>& outs,
+    const std::string& name) {
+  auto it = outs.find(name);
+  EXPECT_NE(it, outs.end());
+  return it->second.CollectSorted();
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  static constexpr int kParts = 4;
+  Executor executor_{ExecOptions{kParts, nullptr, nullptr}};
+};
+
+TEST_F(ExecutorTest, SourcePassesBindingThrough) {
+  Plan plan;
+  auto src = plan.Source("in");
+  plan.Output(src, "out");
+  auto in = KeyValues({{1, 10}, {2, 20}}, kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out"),
+            (std::vector<Record>{MakeRecord(int64_t{1}, int64_t{10}),
+                                 MakeRecord(int64_t{2}, int64_t{20})}));
+}
+
+TEST_F(ExecutorTest, MissingBindingIsNotFound) {
+  Plan plan;
+  plan.Output(plan.Source("in"), "out");
+  auto outs = executor_.Execute(plan, {}, nullptr);
+  EXPECT_TRUE(outs.status().IsNotFound());
+}
+
+TEST_F(ExecutorTest, PartitionCountMismatchRejected) {
+  Plan plan;
+  plan.Output(plan.Source("in"), "out");
+  auto in = KeyValues({{1, 1}}, kParts + 1);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  EXPECT_EQ(outs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, MapTransformsEveryRecord) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto doubled = plan.Map(
+      src,
+      [](const Record& r) {
+        return MakeRecord(r[0].AsInt64(), r[1].AsInt64() * 2);
+      },
+      "double");
+  plan.Output(doubled, "out");
+  auto in = KeyValues({{1, 10}, {2, 20}, {3, 30}}, kParts);
+  ExecStats stats;
+  auto outs = executor_.Execute(plan, {{"in", &in}}, &stats);
+  ASSERT_TRUE(outs.ok());
+  auto sorted = SortedOut(*outs, "out");
+  EXPECT_EQ(sorted[0][1].AsInt64(), 20);
+  EXPECT_EQ(stats.records_processed, 3u);
+  EXPECT_EQ(stats.messages_shuffled, 0u);  // map is partition-local
+  EXPECT_EQ(stats.node_output_counts.at("double"), 3u);
+}
+
+TEST_F(ExecutorTest, FlatMapCanExplodeAndDrop) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto exploded = plan.FlatMap(
+      src,
+      [](const Record& r, std::vector<Record>* out) {
+        for (int64_t i = 0; i < r[1].AsInt64(); ++i) {
+          out->push_back(MakeRecord(r[0].AsInt64(), i));
+        }
+      },
+      "explode");
+  plan.Output(exploded, "out");
+  auto in = KeyValues({{1, 3}, {2, 0}}, kParts);  // key 2 yields nothing
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out").size(), 3u);
+}
+
+TEST_F(ExecutorTest, FilterKeepsMatching) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto kept = plan.Filter(
+      src, [](const Record& r) { return r[1].AsInt64() >= 20; }, "f");
+  plan.Output(kept, "out");
+  auto in = KeyValues({{1, 10}, {2, 20}, {3, 30}}, kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out").size(), 2u);
+}
+
+TEST_F(ExecutorTest, ProjectReordersColumns) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto projected = plan.Project(src, {1, 0}, "p");
+  plan.Output(projected, "out");
+  auto in = KeyValues({{1, 10}}, kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out")[0],
+            MakeRecord(int64_t{10}, int64_t{1}));
+}
+
+TEST_F(ExecutorTest, ProjectOutOfRangeColumnFails) {
+  Plan plan;
+  auto src = plan.Source("in");
+  plan.Output(plan.Project(src, {5}, "p"), "out");
+  auto in = KeyValues({{1, 10}}, kParts);
+  EXPECT_EQ(executor_.Execute(plan, {{"in", &in}}, nullptr).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ExecutorTest, ReduceByKeySums) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto summed = plan.ReduceByKey(
+      src, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(a[0].AsInt64(), a[1].AsInt64() + b[1].AsInt64());
+      },
+      "sum");
+  plan.Output(summed, "out");
+  auto in = KeyValues({{1, 1}, {1, 2}, {1, 3}, {2, 10}, {2, 20}, {3, 5}},
+                      kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out"),
+            (std::vector<Record>{MakeRecord(int64_t{1}, int64_t{6}),
+                                 MakeRecord(int64_t{2}, int64_t{30}),
+                                 MakeRecord(int64_t{3}, int64_t{5})}));
+}
+
+TEST_F(ExecutorTest, ReduceOutputIsPartitionedByKey) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto reduced = plan.ReduceByKey(
+      src, {0}, [](const Record& a, const Record&) { return a; }, "first");
+  plan.Output(reduced, "out");
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t i = 0; i < 100; ++i) pairs.push_back({i % 10, i});
+  auto in = PartitionedDataset::RoundRobin(
+      [&] {
+        std::vector<Record> records;
+        for (auto [k, v] : pairs) records.push_back(MakeRecord(k, v));
+        return records;
+      }(),
+      kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_TRUE(outs->at("out").IsPartitionedBy({0}));
+}
+
+TEST_F(ExecutorTest, CombinerChangingKeyIsInternalError) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto bad = plan.ReduceByKey(
+      src, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(a[0].AsInt64() + 1000,
+                          a[1].AsInt64() + b[1].AsInt64());
+      },
+      "bad", /*pre_combine=*/false);
+  plan.Output(bad, "out");
+  // Two records with the same key forced into the same group.
+  auto in = KeyValues({{1, 1}, {1, 2}}, kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  EXPECT_EQ(outs.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(ExecutorTest, PreCombineReducesMessages) {
+  // 100 records, only 2 keys: with a combiner each source partition sends at
+  // most 2 records; without, everything shuffles raw.
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 100; ++i) records.push_back(MakeRecord(i % 2, i));
+  auto in = PartitionedDataset::RoundRobin(records, kParts);
+
+  auto run = [&](bool pre_combine) {
+    Plan plan;
+    auto src = plan.Source("in");
+    auto reduced = plan.ReduceByKey(
+        src, {0},
+        [](const Record& a, const Record& b) {
+          return MakeRecord(a[0].AsInt64(), a[1].AsInt64() + b[1].AsInt64());
+        },
+        "sum", pre_combine);
+    plan.Output(reduced, "out");
+    ExecStats stats;
+    auto outs = executor_.Execute(plan, {{"in", &in}}, &stats);
+    EXPECT_TRUE(outs.ok());
+    return std::make_pair(stats.messages_shuffled,
+                          outs->at("out").CollectSorted());
+  };
+
+  auto [with_combiner, result_a] = run(true);
+  auto [without_combiner, result_b] = run(false);
+  EXPECT_EQ(result_a, result_b);  // same answer
+  EXPECT_LT(with_combiner, without_combiner);
+  EXPECT_LE(with_combiner, 2u * kParts);
+}
+
+TEST_F(ExecutorTest, GroupReduceSeesWholeGroup) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto counted = plan.GroupReduceByKey(
+      src, {0},
+      [](const Record& key, const std::vector<Record>& group) {
+        return MakeRecord(key[0].AsInt64(),
+                          static_cast<int64_t>(group.size()));
+      },
+      "count");
+  plan.Output(counted, "out");
+  auto in = KeyValues({{1, 0}, {1, 0}, {1, 0}, {2, 0}}, kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out"),
+            (std::vector<Record>{MakeRecord(int64_t{1}, int64_t{3}),
+                                 MakeRecord(int64_t{2}, int64_t{1})}));
+}
+
+TEST_F(ExecutorTest, JoinMatchesEqualKeysOnly) {
+  Plan plan;
+  auto left = plan.Source("l");
+  auto right = plan.Source("r");
+  auto joined = plan.Join(
+      left, right, {0}, {0},
+      [](const Record& l, const Record& r) {
+        return MakeRecord(l[0].AsInt64(), l[1].AsInt64(), r[1].AsInt64());
+      },
+      "j");
+  plan.Output(joined, "out");
+  auto l = KeyValues({{1, 10}, {2, 20}, {4, 40}}, kParts);
+  auto r = KeyValues({{1, 100}, {2, 200}, {3, 300}}, kParts);
+  auto outs = executor_.Execute(plan, {{"l", &l}, {"r", &r}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out"),
+            (std::vector<Record>{
+                MakeRecord(int64_t{1}, int64_t{10}, int64_t{100}),
+                MakeRecord(int64_t{2}, int64_t{20}, int64_t{200})}));
+}
+
+TEST_F(ExecutorTest, JoinProducesCrossProductPerKey) {
+  Plan plan;
+  auto left = plan.Source("l");
+  auto right = plan.Source("r");
+  auto joined = plan.Join(
+      left, right, {0}, {0},
+      [](const Record& l, const Record& r) {
+        return MakeRecord(l[1].AsInt64(), r[1].AsInt64());
+      },
+      "j");
+  plan.Output(joined, "out");
+  auto l = KeyValues({{1, 10}, {1, 11}}, kParts);
+  auto r = KeyValues({{1, 100}, {1, 101}, {1, 102}}, kParts);
+  auto outs = executor_.Execute(plan, {{"l", &l}, {"r", &r}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out").size(), 6u);
+}
+
+TEST_F(ExecutorTest, JoinOnDifferentKeyColumns) {
+  Plan plan;
+  auto left = plan.Source("l");   // (key, payload)
+  auto right = plan.Source("r");  // (payload, key)
+  auto joined = plan.Join(
+      left, right, {0}, {1},
+      [](const Record& l, const Record& r) {
+        return MakeRecord(l[0].AsInt64(), r[0].AsInt64());
+      },
+      "j");
+  plan.Output(joined, "out");
+  auto l = KeyValues({{7, 1}}, kParts);
+  std::vector<Record> right_records{MakeRecord(int64_t{99}, int64_t{7})};
+  auto r = PartitionedDataset::HashPartitioned(right_records, {1}, kParts);
+  auto outs = executor_.Execute(plan, {{"l", &l}, {"r", &r}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out"),
+            (std::vector<Record>{MakeRecord(int64_t{7}, int64_t{99})}));
+}
+
+TEST_F(ExecutorTest, CoGroupSeesBothSidesIncludingEmpties) {
+  Plan plan;
+  auto left = plan.Source("l");
+  auto right = plan.Source("r");
+  auto cogrouped = plan.CoGroup(
+      left, right, {0}, {0},
+      [](const Record& key, const std::vector<Record>& lg,
+         const std::vector<Record>& rg, std::vector<Record>* out) {
+        out->push_back(MakeRecord(key[0].AsInt64(),
+                                  static_cast<int64_t>(lg.size()),
+                                  static_cast<int64_t>(rg.size())));
+      },
+      "cg");
+  plan.Output(cogrouped, "out");
+  auto l = KeyValues({{1, 0}, {1, 0}, {2, 0}}, kParts);
+  auto r = KeyValues({{2, 0}, {3, 0}}, kParts);
+  auto outs = executor_.Execute(plan, {{"l", &l}, {"r", &r}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out"),
+            (std::vector<Record>{
+                MakeRecord(int64_t{1}, int64_t{2}, int64_t{0}),
+                MakeRecord(int64_t{2}, int64_t{1}, int64_t{1}),
+                MakeRecord(int64_t{3}, int64_t{0}, int64_t{1})}));
+}
+
+TEST_F(ExecutorTest, CrossBroadcastsRightSide) {
+  Plan plan;
+  auto left = plan.Source("l");
+  auto right = plan.Source("r");
+  auto crossed = plan.Cross(
+      left, right,
+      [](const Record& l, const Record& r) {
+        return MakeRecord(l[0].AsInt64(), l[1].AsInt64() + r[1].AsInt64());
+      },
+      "x");
+  plan.Output(crossed, "out");
+  auto l = KeyValues({{1, 10}, {2, 20}, {3, 30}}, kParts);
+  auto r = KeyValues({{0, 1000}}, kParts);  // single scalar record
+  ExecStats stats;
+  auto outs = executor_.Execute(plan, {{"l", &l}, {"r", &r}}, &stats);
+  ASSERT_TRUE(outs.ok());
+  auto sorted = SortedOut(*outs, "out");
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0][1].AsInt64(), 1010);
+  // One scalar broadcast to the other kParts-1 partitions.
+  EXPECT_EQ(stats.messages_shuffled, static_cast<uint64_t>(kParts - 1));
+}
+
+TEST_F(ExecutorTest, CrossWithEmptyRightYieldsNothing) {
+  Plan plan;
+  auto left = plan.Source("l");
+  auto right = plan.Source("r");
+  auto crossed = plan.Cross(
+      left, right, [](const Record& l, const Record&) { return l; }, "x");
+  plan.Output(crossed, "out");
+  auto l = KeyValues({{1, 10}}, kParts);
+  PartitionedDataset r(kParts);
+  auto outs = executor_.Execute(plan, {{"l", &l}, {"r", &r}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_TRUE(SortedOut(*outs, "out").empty());
+}
+
+TEST_F(ExecutorTest, UnionConcatenates) {
+  Plan plan;
+  auto a = plan.Source("a");
+  auto b = plan.Source("b");
+  plan.Output(plan.Union(a, b, "u"), "out");
+  auto da = KeyValues({{1, 1}}, kParts);
+  auto db = KeyValues({{1, 1}, {2, 2}}, kParts);
+  auto outs = executor_.Execute(plan, {{"a", &da}, {"b", &db}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  EXPECT_EQ(SortedOut(*outs, "out").size(), 3u);  // bag semantics, no dedup
+}
+
+TEST_F(ExecutorTest, DistinctRemovesDuplicates) {
+  Plan plan;
+  auto src = plan.Source("in");
+  plan.Output(plan.Distinct(src, {0}, "d"), "out");
+  auto in = KeyValues({{1, 1}, {1, 1}, {1, 2}, {2, 1}}, kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  // (1,1) deduped; (1,2) kept (full-record distinct).
+  EXPECT_EQ(SortedOut(*outs, "out").size(), 3u);
+}
+
+TEST_F(ExecutorTest, StringKeysShuffleAndReduce) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto counted = plan.ReduceByKey(
+      src, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(a[0].AsString(), a[1].AsInt64() + b[1].AsInt64());
+      },
+      "count");
+  plan.Output(counted, "out");
+  std::vector<Record> words{MakeRecord("be", 1), MakeRecord("or", 1),
+                            MakeRecord("not", 1), MakeRecord("to", 1),
+                            MakeRecord("be", 1), MakeRecord("to", 1)};
+  auto in = PartitionedDataset::RoundRobin(words, kParts);
+  auto outs = executor_.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  auto sorted = SortedOut(*outs, "out");
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0], MakeRecord("be", int64_t{2}));
+  EXPECT_EQ(sorted[3], MakeRecord("to", int64_t{2}));
+  EXPECT_TRUE(outs->at("out").IsPartitionedBy({0}));
+}
+
+TEST_F(ExecutorTest, ChargesComputeAndNetworkCosts) {
+  runtime::SimClock clock;
+  runtime::CostModel costs;
+  costs.cpu_per_record_ns = 1;
+  costs.network_per_record_ns = 100;
+  Executor executor(ExecOptions{kParts, &clock, &costs});
+
+  Plan plan;
+  auto src = plan.Source("in");
+  auto reduced = plan.ReduceByKey(
+      src, {0}, [](const Record& a, const Record&) { return a; }, "r",
+      /*pre_combine=*/false);
+  plan.Output(reduced, "out");
+
+  // Round-robin input guarantees records must move to their key partition.
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 40; ++i) records.push_back(MakeRecord(i, i));
+  auto in = PartitionedDataset::RoundRobin(records, kParts);
+  ExecStats stats;
+  ASSERT_TRUE(executor.Execute(plan, {{"in", &in}}, &stats).ok());
+  EXPECT_GT(stats.messages_shuffled, 0u);
+  EXPECT_EQ(clock.Of(runtime::Charge::kNetwork),
+            static_cast<int64_t>(stats.messages_shuffled) * 100);
+  EXPECT_GT(clock.Of(runtime::Charge::kCompute), 0);
+}
+
+// Partition-independence: the same dataflow yields the same sorted output
+// under every degree of parallelism.
+class ParallelismInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelismInvarianceTest, WordcountStyleAggregationIsStable) {
+  const int parts = GetParam();
+  Plan plan;
+  auto src = plan.Source("in");
+  auto counted = plan.ReduceByKey(
+      src, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(a[0].AsInt64(), a[1].AsInt64() + b[1].AsInt64());
+      },
+      "count");
+  plan.Output(counted, "out");
+
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 500; ++i) records.push_back(MakeRecord(i % 37, 1));
+  auto in = PartitionedDataset::RoundRobin(records, parts);
+
+  Executor executor(ExecOptions{parts, nullptr, nullptr});
+  auto outs = executor.Execute(plan, {{"in", &in}}, nullptr);
+  ASSERT_TRUE(outs.ok());
+  auto sorted = outs->at("out").CollectSorted();
+  ASSERT_EQ(sorted.size(), 37u);
+  for (const Record& r : sorted) {
+    int64_t key = r[0].AsInt64();
+    int64_t expected = 500 / 37 + (key < 500 % 37 ? 1 : 0);
+    EXPECT_EQ(r[1].AsInt64(), expected) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, ParallelismInvarianceTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 16));
+
+}  // namespace
+}  // namespace flinkless::dataflow

@@ -1,0 +1,287 @@
+// Tests for the graph substrate: structure, generators, I/O, reference
+// solvers.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/reference.h"
+
+namespace flinkless::graph {
+namespace {
+
+// ----------------------------------------------------------------- Graph --
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(5, false);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+  EXPECT_EQ(g.CountDangling(), 5);
+}
+
+TEST(GraphTest, UndirectedNeighborsBothWays) {
+  Graph g(3, false);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.Neighbors(0), std::vector<int64_t>{1});
+  EXPECT_EQ(g.Neighbors(1), std::vector<int64_t>{0});
+  EXPECT_EQ(g.OutDegree(2), 0);
+}
+
+TEST(GraphTest, DirectedNeighborsOneWay) {
+  Graph g(3, true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.Neighbors(0), std::vector<int64_t>{1});
+  EXPECT_TRUE(g.Neighbors(1).empty());
+  EXPECT_EQ(g.CountDangling(), 2);  // 1 and 2 have no out-edges
+}
+
+TEST(GraphTest, AddEdgeValidatesRange) {
+  Graph g(2, false);
+  EXPECT_FALSE(g.AddEdge(0, 2).ok());
+  EXPECT_FALSE(g.AddEdge(-1, 0).ok());
+  EXPECT_TRUE(g.AddEdge(1, 1).ok());  // self-loop allowed
+}
+
+TEST(GraphTest, SelfLoopAppearsOnceInUndirectedAdjacency) {
+  Graph g(2, false);
+  ASSERT_TRUE(g.AddEdge(0, 0).ok());
+  EXPECT_EQ(g.Neighbors(0), std::vector<int64_t>{0});
+}
+
+TEST(GraphTest, AdjacencyRebuiltAfterMutation) {
+  Graph g(3, false);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.OutDegree(0), 1);  // builds the cache
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_EQ(g.OutDegree(0), 2);  // cache invalidated and rebuilt
+}
+
+TEST(GraphTest, FromEdgesValidates) {
+  EXPECT_TRUE(Graph::FromEdges(3, false, {{0, 1}, {1, 2}}).ok());
+  EXPECT_FALSE(Graph::FromEdges(2, false, {{0, 5}}).ok());
+}
+
+TEST(GraphTest, ToStringMentionsShape) {
+  Graph g(4, true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.ToString(), "Graph(directed, 4 vertices, 1 edges)");
+}
+
+// ------------------------------------------------------------ Generators --
+
+TEST(GeneratorsTest, DemoGraphHasThreeComponents) {
+  Graph g = DemoGraph();
+  EXPECT_EQ(g.num_vertices(), 16);
+  auto labels = ReferenceConnectedComponents(g);
+  EXPECT_EQ(CountComponents(labels), 3);
+  // Component minima are 0, 6, 11 per construction.
+  EXPECT_EQ(labels[5], 0);
+  EXPECT_EQ(labels[10], 6);
+  EXPECT_EQ(labels[15], 11);
+}
+
+TEST(GeneratorsTest, DemoDirectedGraphHasDanglingVertex) {
+  Graph g = DemoDirectedGraph();
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.CountDangling(), 1);
+  EXPECT_TRUE(g.Neighbors(9).empty());
+}
+
+TEST(GeneratorsTest, ErdosRenyiExtremes) {
+  Rng rng(1);
+  Graph none = ErdosRenyi(10, 0.0, &rng);
+  EXPECT_EQ(none.num_edges(), 0);
+  Graph complete = ErdosRenyi(10, 1.0, &rng);
+  EXPECT_EQ(complete.num_edges(), 45);  // C(10,2)
+}
+
+TEST(GeneratorsTest, ErdosRenyiDensityRoughlyMatches) {
+  Rng rng(2);
+  Graph g = ErdosRenyi(100, 0.1, &rng);
+  // Expected 495 edges; allow generous slack.
+  EXPECT_GT(g.num_edges(), 350);
+  EXPECT_LT(g.num_edges(), 650);
+}
+
+TEST(GeneratorsTest, PreferentialAttachmentIsConnectedAndSkewed) {
+  Rng rng(3);
+  Graph g = PreferentialAttachment(300, 2, &rng);
+  EXPECT_EQ(g.num_vertices(), 300);
+  auto labels = ReferenceConnectedComponents(g);
+  EXPECT_EQ(CountComponents(labels), 1);  // attaches to existing graph
+  // Degree skew: max degree far above the mean.
+  int64_t max_degree = 0;
+  for (int64_t v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.OutDegree(v));
+  }
+  double mean_degree =
+      2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(static_cast<double>(max_degree), 4 * mean_degree);
+}
+
+TEST(GeneratorsTest, RmatShapeAndDeterminism) {
+  Rng rng1(4), rng2(4);
+  Graph a = Rmat(8, 4, &rng1);
+  Graph b = Rmat(8, 4, &rng2);
+  EXPECT_EQ(a.num_vertices(), 256);
+  EXPECT_EQ(a.num_edges(), 1024);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int64_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_TRUE(a.edges()[i] == b.edges()[i]);
+  }
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  Rng rng(5);
+  Graph g = Rmat(10, 8, &rng);
+  // The canonical parameters concentrate edges on low ids.
+  int64_t low_half = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.src < g.num_vertices() / 2) ++low_half;
+  }
+  EXPECT_GT(low_half, g.num_edges() * 6 / 10);
+}
+
+TEST(GeneratorsTest, GridChainStarShapes) {
+  Graph grid = GridGraph(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12);
+  EXPECT_EQ(grid.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_EQ(CountComponents(ReferenceConnectedComponents(grid)), 1);
+
+  Graph chain = ChainGraph(5);
+  EXPECT_EQ(chain.num_edges(), 4);
+  EXPECT_EQ(chain.OutDegree(0), 1);
+  EXPECT_EQ(chain.OutDegree(2), 2);
+
+  Graph star = StarGraph(6);
+  EXPECT_EQ(star.num_edges(), 5);
+  EXPECT_EQ(star.OutDegree(0), 5);
+  EXPECT_EQ(star.OutDegree(3), 1);
+}
+
+TEST(GeneratorsTest, DisjointChainsComponentCount) {
+  Graph g = DisjointChains(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(CountComponents(ReferenceConnectedComponents(g)), 4);
+}
+
+// -------------------------------------------------------------------- IO --
+
+TEST(IoTest, ParseEdgeListBasic) {
+  auto g = ParseEdgeList("# comment\n0 1\n1 2\n\n2 0\n", false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 3);
+  EXPECT_EQ(g->num_edges(), 3);
+}
+
+TEST(IoTest, ParseRespectsExplicitVertexCount) {
+  auto g = ParseEdgeList("0 1\n", false, 10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 10);
+}
+
+TEST(IoTest, ParseRejectsBadLines) {
+  EXPECT_FALSE(ParseEdgeList("0\n", false).ok());
+  EXPECT_FALSE(ParseEdgeList("0 1 2\n", false).ok());
+  EXPECT_FALSE(ParseEdgeList("a b\n", false).ok());
+  EXPECT_FALSE(ParseEdgeList("-1 0\n", false).ok());
+  EXPECT_FALSE(ParseEdgeList("0 9\n", false, 5).ok());  // out of range
+}
+
+TEST(IoTest, RoundTripThroughText) {
+  Graph g = DemoGraph();
+  auto back = ParseEdgeList(ToEdgeListText(g), false, g.num_vertices());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  for (int64_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_TRUE(back->edges()[i] == g.edges()[i]);
+  }
+}
+
+TEST(IoTest, SaveAndLoadFile) {
+  Graph g = ChainGraph(4);
+  std::string path = ::testing::TempDir() + "/flinkless_graph_test.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto back = LoadEdgeList(path, false, 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), 3);
+}
+
+TEST(IoTest, LoadMissingFileIsIOError) {
+  auto g = LoadEdgeList("/nonexistent/path/graph.txt", false);
+  EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+}
+
+// ------------------------------------------------------------- Reference --
+
+TEST(ReferenceCcTest, SingletonVerticesAreOwnComponents) {
+  Graph g(3, false);
+  auto labels = ReferenceConnectedComponents(g);
+  EXPECT_EQ(labels, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(CountComponents(labels), 3);
+}
+
+TEST(ReferenceCcTest, LabelsAreComponentMinima) {
+  Graph g(6, false);
+  ASSERT_TRUE(g.AddEdge(5, 3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  auto labels = ReferenceConnectedComponents(g);
+  EXPECT_EQ(labels, (std::vector<int64_t>{0, 1, 1, 3, 3, 3}));
+}
+
+TEST(ReferencePageRankTest, UniformOnSymmetricCycle) {
+  Graph g(4, true);
+  for (int64_t v = 0; v < 4; ++v) {
+    ASSERT_TRUE(g.AddEdge(v, (v + 1) % 4).ok());
+  }
+  auto ranks = ReferencePageRank(g, 0.85, 100, 1e-12);
+  for (double r : ranks) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(ReferencePageRankTest, SumsToOneWithDangling) {
+  Graph g = DemoDirectedGraph();
+  auto ranks = ReferencePageRank(g, 0.85, 200, 1e-12);
+  double sum = std::accumulate(ranks.begin(), ranks.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ReferencePageRankTest, AuthorityOutranksPeriphery) {
+  Graph g = DemoDirectedGraph();
+  auto ranks = ReferencePageRank(g, 0.85, 200, 1e-12);
+  // Vertex 0 receives links from 1..5; it must beat the chain tail.
+  EXPECT_GT(ranks[0], ranks[8]);
+  EXPECT_GT(ranks[0], ranks[9]);
+}
+
+TEST(ReferenceSsspTest, ChainDistances) {
+  Graph g = ChainGraph(5);
+  auto dist = ReferenceSssp(g, 0);
+  EXPECT_EQ(dist, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ReferenceSsspTest, UnreachableIsMinusOne) {
+  Graph g = DisjointChains(2, 3);  // vertices 0-2 and 3-5
+  auto dist = ReferenceSssp(g, 0);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[5], -1);
+}
+
+TEST(ReferenceSsspTest, StarFromCenterAndLeaf) {
+  Graph g = StarGraph(5);
+  auto from_center = ReferenceSssp(g, 0);
+  for (int64_t v = 1; v < 5; ++v) EXPECT_EQ(from_center[v], 1);
+  auto from_leaf = ReferenceSssp(g, 2);
+  EXPECT_EQ(from_leaf[0], 1);
+  EXPECT_EQ(from_leaf[4], 2);
+}
+
+}  // namespace
+}  // namespace flinkless::graph

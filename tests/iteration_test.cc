@@ -1,0 +1,520 @@
+// Tests for the iteration layer: state containers (serialize/clear/restore),
+// the solution set, and the bulk/delta drivers including failure plumbing
+// with scripted policies.
+
+#include <gtest/gtest.h>
+
+#include "dataflow/executor.h"
+#include "iteration/bulk_iteration.h"
+#include "iteration/delta_iteration.h"
+#include "iteration/policy.h"
+#include "iteration/state.h"
+
+namespace flinkless::iteration {
+namespace {
+
+using dataflow::MakeRecord;
+using dataflow::PartitionedDataset;
+using dataflow::Plan;
+using dataflow::Record;
+
+// ------------------------------------------------------------- BulkState --
+
+TEST(BulkStateTest, SerializeRestoreRoundTrip) {
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 20; ++i) records.push_back(MakeRecord(i, i * 2));
+  BulkState state(PartitionedDataset::HashPartitioned(records, {0}, 4));
+
+  auto blob = state.SerializePartition(1);
+  EXPECT_EQ(blob.size(), state.PartitionByteSize(1));
+  auto expected = state.data().partition(1);
+  state.ClearPartition(1);
+  EXPECT_TRUE(state.data().partition(1).empty());
+  ASSERT_TRUE(state.RestorePartition(1, blob).ok());
+  EXPECT_EQ(state.data().partition(1), expected);
+  EXPECT_EQ(state.kind(), StateKind::kBulk);
+}
+
+TEST(BulkStateTest, RestoreRejectsCorruptBlob) {
+  BulkState state(PartitionedDataset(2));
+  EXPECT_FALSE(state.RestorePartition(0, {1, 2, 3}).ok());
+}
+
+// ----------------------------------------------------------- SolutionSet --
+
+TEST(SolutionSetTest, UpsertAndLookup) {
+  SolutionSet set(4, {0});
+  EXPECT_FALSE(set.Upsert(MakeRecord(int64_t{1}, int64_t{10})));
+  EXPECT_FALSE(set.Upsert(MakeRecord(int64_t{2}, int64_t{20})));
+  EXPECT_TRUE(set.Upsert(MakeRecord(int64_t{1}, int64_t{11})));  // replaced
+  EXPECT_EQ(set.NumEntries(), 2u);
+
+  const Record* entry = set.Lookup(MakeRecord(int64_t{1}));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ((*entry)[1].AsInt64(), 11);
+  EXPECT_EQ(set.Lookup(MakeRecord(int64_t{99})), nullptr);
+}
+
+TEST(SolutionSetTest, ToDatasetIsCoPartitioned) {
+  SolutionSet set(4, {0});
+  for (int64_t v = 0; v < 40; ++v) set.Upsert(MakeRecord(v, v));
+  PartitionedDataset ds = set.ToDataset();
+  EXPECT_EQ(ds.NumRecords(), 40u);
+  EXPECT_TRUE(ds.IsPartitionedBy({0}));
+}
+
+TEST(SolutionSetTest, FromRecordsBuildsIndex) {
+  std::vector<Record> records{MakeRecord(int64_t{5}, int64_t{50}),
+                              MakeRecord(int64_t{6}, int64_t{60})};
+  SolutionSet set = SolutionSet::FromRecords(records, {0}, 3);
+  EXPECT_EQ(set.NumEntries(), 2u);
+  EXPECT_EQ((*set.Lookup(MakeRecord(int64_t{6})))[1].AsInt64(), 60);
+}
+
+TEST(SolutionSetTest, ReplacePartitionValidatesRouting) {
+  SolutionSet set(4, {0});
+  // Find a vertex that maps to partition 2.
+  int64_t v = 0;
+  while (PartitionedDataset::PartitionOf(MakeRecord(v), {0}, 4) != 2) ++v;
+  EXPECT_TRUE(set.ReplacePartition(2, {MakeRecord(v, v)}).ok());
+  EXPECT_EQ(set.NumEntries(), 1u);
+  // Same record into the wrong partition is rejected.
+  int wrong = (PartitionedDataset::PartitionOf(MakeRecord(v), {0}, 4) + 1) % 4;
+  EXPECT_FALSE(set.ReplacePartition(wrong, {MakeRecord(v, v)}).ok());
+  EXPECT_FALSE(set.ReplacePartition(-1, {}).ok());
+}
+
+TEST(SolutionSetTest, PartitionRecordsSortedByKey) {
+  SolutionSet set(1, {0});
+  set.Upsert(MakeRecord(int64_t{3}, int64_t{0}));
+  set.Upsert(MakeRecord(int64_t{1}, int64_t{0}));
+  set.Upsert(MakeRecord(int64_t{2}, int64_t{0}));
+  auto records = set.PartitionRecords(0);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0][0].AsInt64(), 1);
+  EXPECT_EQ(records[2][0].AsInt64(), 3);
+}
+
+// ------------------------------------------------------------ DeltaState --
+
+TEST(DeltaStateTest, SerializeRestoreRoundTrip) {
+  SolutionSet solution(3, {0});
+  for (int64_t v = 0; v < 15; ++v) solution.Upsert(MakeRecord(v, v * 3));
+  std::vector<Record> ws;
+  for (int64_t v = 0; v < 6; ++v) ws.push_back(MakeRecord(v, v));
+  DeltaState state(std::move(solution),
+                   PartitionedDataset::HashPartitioned(ws, {0}, 3));
+
+  for (int p = 0; p < 3; ++p) {
+    auto blob = state.SerializePartition(p);
+    EXPECT_EQ(blob.size(), state.PartitionByteSize(p));
+    auto solution_before = state.solution().PartitionRecords(p);
+    auto workset_before = state.workset().partition(p);
+    state.ClearPartition(p);
+    EXPECT_TRUE(state.solution().PartitionRecords(p).empty());
+    EXPECT_TRUE(state.workset().partition(p).empty());
+    ASSERT_TRUE(state.RestorePartition(p, blob).ok());
+    EXPECT_EQ(state.solution().PartitionRecords(p), solution_before);
+    EXPECT_EQ(state.workset().partition(p), workset_before);
+  }
+  EXPECT_EQ(state.kind(), StateKind::kDelta);
+}
+
+TEST(DeltaStateTest, RestoreRejectsTruncatedBlob) {
+  DeltaState state(SolutionSet(2, {0}), PartitionedDataset(2));
+  EXPECT_FALSE(state.RestorePartition(0, {0, 0, 0}).ok());
+}
+
+// --------------------------------------------------- scripted test policy --
+
+/// Counts hook invocations and performs a fixed action on failure.
+class ScriptedPolicy : public FaultTolerancePolicy {
+ public:
+  explicit ScriptedPolicy(RecoveryAction action) : action_(action) {}
+
+  std::string name() const override { return "scripted"; }
+
+  Status OnJobStart(const IterationContext&, IterationState*) override {
+    ++job_starts;
+    return Status::OK();
+  }
+  Status AfterIteration(const IterationContext& ctx,
+                        IterationState*) override {
+    after_iterations.push_back(ctx.iteration);
+    return Status::OK();
+  }
+  Result<RecoveryOutcome> OnFailure(const IterationContext& ctx,
+                                    IterationState* state,
+                                    const std::vector<int>& lost) override {
+    failures.push_back(ctx.iteration);
+    lost_counts.push_back(lost.size());
+    if (action_ == RecoveryAction::kContinue) {
+      if (state->kind() == StateKind::kBulk) {
+        // Rebuild the lost partitions so the job can proceed.
+        auto* bulk = static_cast<BulkState*>(state);
+        for (int p : lost) {
+          (void)bulk;
+          (void)p;
+        }
+      }
+      return RecoveryOutcome::Continue();
+    }
+    if (action_ == RecoveryAction::kRestart) return RecoveryOutcome::Restart();
+    if (action_ == RecoveryAction::kAbort) return RecoveryOutcome::Abort();
+    return RecoveryOutcome::Rewind(0);
+  }
+
+  int job_starts = 0;
+  std::vector<int> after_iterations;
+  std::vector<int> failures;
+  std::vector<size_t> lost_counts;
+
+ private:
+  RecoveryAction action_;
+};
+
+/// A bulk step plan that doubles the value column.
+Plan DoublingPlan() {
+  Plan plan;
+  auto state = plan.Source("state");
+  auto next = plan.Map(
+      state,
+      [](const Record& r) {
+        return MakeRecord(r[0].AsInt64(), r[1].AsInt64() * 2);
+      },
+      "double");
+  plan.Output(next, "next_state");
+  return plan;
+}
+
+PartitionedDataset OnesState(int64_t n, int parts) {
+  std::vector<Record> records;
+  for (int64_t v = 0; v < n; ++v) records.push_back(MakeRecord(v, int64_t{1}));
+  return PartitionedDataset::HashPartitioned(records, {0}, parts);
+}
+
+// ----------------------------------------------------------- Bulk driver --
+
+TEST(BulkDriverTest, RunsFixedIterations) {
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  config.max_iterations = 5;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 4;
+  runtime::MetricsRegistry metrics;
+  JobEnv env;
+  env.metrics = &metrics;
+
+  BulkIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  auto result = driver.Run(OnesState(16, 4), &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 5);
+  EXPECT_EQ(result->supersteps_executed, 5);
+  EXPECT_FALSE(result->converged);  // no criterion configured
+  EXPECT_EQ(policy.job_starts, 1);
+  EXPECT_EQ(policy.after_iterations, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(metrics.iterations().size(), 5u);
+  // Every value should be 2^5.
+  for (const Record& r : result->final_state.CollectSorted()) {
+    EXPECT_EQ(r[1].AsInt64(), 32);
+  }
+}
+
+TEST(BulkDriverTest, ConvergenceStopsEarly) {
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  config.max_iterations = 50;
+  int calls = 0;
+  config.convergence = [&calls](const PartitionedDataset&,
+                                const PartitionedDataset&, double* metric) {
+    ++calls;
+    *metric = static_cast<double>(calls);
+    return calls >= 3;
+  };
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  BulkIterationDriver driver(&plan, {}, config, exec, JobEnv{});
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  auto result = driver.Run(OnesState(8, 2), &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->iterations, 3);
+}
+
+TEST(BulkDriverTest, FailureClearsPartitionAndCallsPolicy) {
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  config.max_iterations = 3;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 4;
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {0, 1}}});
+  runtime::MetricsRegistry metrics;
+  JobEnv env;
+  env.failures = &failures;
+  env.metrics = &metrics;
+
+  BulkIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  auto result = driver.Run(OnesState(16, 4), &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(policy.failures, std::vector<int>{2});
+  EXPECT_EQ(policy.lost_counts, std::vector<size_t>{2});
+  EXPECT_EQ(result->failures_recovered, 1);
+  EXPECT_TRUE(metrics.iterations()[1].failure_injected);
+  EXPECT_FALSE(metrics.iterations()[0].failure_injected);
+  // Without compensation, the cleared partitions stay empty.
+  EXPECT_LT(result->final_state.NumRecords(), 16u);
+}
+
+TEST(BulkDriverTest, AbortPolicySurfacesDataLoss) {
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  config.max_iterations = 5;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{1, {0}}});
+  JobEnv env;
+  env.failures = &failures;
+
+  BulkIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kAbort);
+  auto result = driver.Run(OnesState(8, 2), &policy);
+  EXPECT_TRUE(result.status().IsDataLoss());
+}
+
+TEST(BulkDriverTest, RestartResetsToInitialState) {
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  config.max_iterations = 4;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {0}}});
+  JobEnv env;
+  env.failures = &failures;
+
+  BulkIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kRestart);
+  auto result = driver.Run(OnesState(8, 2), &policy);
+  ASSERT_TRUE(result.ok());
+  // Iterations 1,2 run, failure restarts, iterations 1..4 run again:
+  // final value = 2^4, total supersteps = 6.
+  EXPECT_EQ(result->supersteps_executed, 6);
+  for (const Record& r : result->final_state.CollectSorted()) {
+    EXPECT_EQ(r[1].AsInt64(), 16);
+  }
+}
+
+TEST(BulkDriverTest, MismatchedInitialPartitionsRejected) {
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 4;
+  BulkIterationDriver driver(&plan, {}, config, exec, JobEnv{});
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  auto result = driver.Run(OnesState(8, 3), &policy);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BulkDriverTest, MissingOutputNameRejected) {
+  Plan plan;
+  auto state = plan.Source("state");
+  plan.Output(state, "some_other_name");
+  BulkIterationConfig config;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  BulkIterationDriver driver(&plan, {}, config, exec, JobEnv{});
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  EXPECT_TRUE(driver.Run(OnesState(4, 2), &policy).status().IsNotFound());
+}
+
+// ---------------------------------------------------------- Delta driver --
+
+/// A delta step that decrements each workset value until zero; the delta
+/// updates the solution to the latest value.
+Plan CountdownPlan() {
+  Plan plan;
+  auto workset = plan.Source("workset");
+  plan.Source("solution");  // present in the figure; unused by this step
+  auto decremented = plan.Map(
+      workset,
+      [](const Record& r) {
+        return MakeRecord(r[0].AsInt64(), r[1].AsInt64() - 1);
+      },
+      "decrement");
+  auto still_positive = plan.Filter(
+      decremented, [](const Record& r) { return r[1].AsInt64() > 0; },
+      "positive");
+  plan.Output(still_positive, "delta");
+  plan.Output(still_positive, "next_workset");
+  return plan;
+}
+
+TEST(DeltaDriverTest, TerminatesWhenWorksetDrains) {
+  Plan plan = CountdownPlan();
+  DeltaIterationConfig config;
+  config.max_iterations = 50;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  runtime::MetricsRegistry metrics;
+  JobEnv env;
+  env.metrics = &metrics;
+
+  std::vector<Record> solution{MakeRecord(int64_t{0}, int64_t{5}),
+                               MakeRecord(int64_t{1}, int64_t{3})};
+  auto workset = PartitionedDataset::HashPartitioned(solution, {0}, 2);
+
+  DeltaIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  auto result = driver.Run(solution, workset, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // Vertex 0 counts 5->4->3->2->1->(dropped at 0): the workset drains after
+  // superstep 5.
+  EXPECT_EQ(result->iterations, 5);
+  // Solution holds the last positive value per key.
+  EXPECT_EQ((*result->final_solution.Lookup(MakeRecord(int64_t{0})))[1]
+                .AsInt64(),
+            1);
+  EXPECT_EQ((*result->final_solution.Lookup(MakeRecord(int64_t{1})))[1]
+                .AsInt64(),
+            1);
+  // workset_size gauge decreases monotonically here.
+  auto sizes = metrics.GaugeSeries("workset_size");
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], sizes[i - 1]);
+  }
+}
+
+TEST(DeltaDriverTest, EmptyInitialWorksetConvergesImmediately) {
+  Plan plan = CountdownPlan();
+  DeltaIterationConfig config;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  DeltaIterationDriver driver(&plan, {}, config, exec, JobEnv{});
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  auto result = driver.Run({MakeRecord(int64_t{0}, int64_t{9})},
+                           PartitionedDataset(2), &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->supersteps_executed, 0);
+  EXPECT_EQ(result->iterations, 0);
+}
+
+TEST(DeltaDriverTest, FailureLosesSolutionAndWorksetPartitions) {
+  Plan plan = CountdownPlan();
+  DeltaIterationConfig config;
+  config.max_iterations = 50;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{1, {0}}});
+  JobEnv env;
+  env.failures = &failures;
+
+  // Policy that verifies the lost partition is empty when OnFailure runs.
+  class InspectingPolicy : public FaultTolerancePolicy {
+   public:
+    std::string name() const override { return "inspect"; }
+    Result<RecoveryOutcome> OnFailure(const IterationContext&,
+                                      IterationState* state,
+                                      const std::vector<int>& lost) override {
+      auto* delta = static_cast<DeltaState*>(state);
+      for (int p : lost) {
+        EXPECT_TRUE(delta->solution().PartitionRecords(p).empty());
+        EXPECT_TRUE(delta->workset().partition(p).empty());
+      }
+      saw_failure = true;
+      return RecoveryOutcome::Continue();
+    }
+    bool saw_failure = false;
+  };
+
+  std::vector<Record> solution;
+  for (int64_t v = 0; v < 10; ++v) {
+    solution.push_back(MakeRecord(v, int64_t{4}));
+  }
+  auto workset = PartitionedDataset::HashPartitioned(solution, {0}, 2);
+
+  DeltaIterationDriver driver(&plan, {}, config, exec, env);
+  InspectingPolicy policy;
+  auto result = driver.Run(solution, workset, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(policy.saw_failure);
+  EXPECT_EQ(result->failures_recovered, 1);
+}
+
+TEST(DeltaDriverTest, StatsRecordUpdatesAndOperatorCounts) {
+  Plan plan = CountdownPlan();
+  DeltaIterationConfig config;
+  config.max_iterations = 50;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  runtime::MetricsRegistry metrics;
+  JobEnv env;
+  env.metrics = &metrics;
+
+  std::vector<Record> solution{MakeRecord(int64_t{0}, int64_t{3})};
+  auto workset = PartitionedDataset::HashPartitioned(solution, {0}, 2);
+  DeltaIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  ASSERT_TRUE(driver.Run(solution, workset, &policy).ok());
+  ASSERT_FALSE(metrics.iterations().empty());
+  const auto& first = metrics.iterations().front();
+  EXPECT_EQ(first.Gauge("solution_updates"), 1.0);
+  EXPECT_GT(first.Gauge("out:decrement"), 0.0);
+  EXPECT_GT(first.records_processed, 0u);
+}
+
+TEST(BulkDriverTest, RunawayRecoveryLoopAborts) {
+  // A policy that restarts on every failure, plus a schedule that re-fires
+  // after every restart, would loop forever; the supersteps guard stops it.
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  config.max_iterations = 3;
+  config.max_total_supersteps_factor = 2;  // guard at 6 supersteps
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+
+  // Rewinding schedule: a policy that rewinds the failure events too.
+  class LoopingPolicy : public FaultTolerancePolicy {
+   public:
+    explicit LoopingPolicy(runtime::FailureSchedule* schedule)
+        : schedule_(schedule) {}
+    std::string name() const override { return "looping"; }
+    Result<RecoveryOutcome> OnFailure(const IterationContext&,
+                                      IterationState*,
+                                      const std::vector<int>&) override {
+      schedule_->Rewind();  // the same failure will fire again
+      return RecoveryOutcome::Restart();
+    }
+   private:
+    runtime::FailureSchedule* schedule_;
+  };
+
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{1, {0}}});
+  JobEnv env;
+  env.failures = &failures;
+  BulkIterationDriver driver(&plan, {}, config, exec, env);
+  LoopingPolicy policy(&failures);
+  auto result = driver.Run(OnesState(4, 2), &policy);
+  EXPECT_TRUE(result.status().IsAborted());
+}
+
+TEST(DeltaDriverTest, MismatchedWorksetPartitionsRejected) {
+  Plan plan = CountdownPlan();
+  DeltaIterationConfig config;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  DeltaIterationDriver driver(&plan, {}, config, exec, JobEnv{});
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  auto result = driver.Run({}, PartitionedDataset(3), &policy);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace flinkless::iteration

@@ -1,0 +1,216 @@
+// K-Means on the dataflow engine: agreement with sequential Lloyd's
+// algorithm, clustering quality, and optimistic recovery via centroid
+// re-seeding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/kmeans.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "runtime/failure.h"
+#include "runtime/stable_storage.h"
+
+namespace flinkless::algos {
+namespace {
+
+std::vector<Point> TestBlobs(int k, uint64_t seed = 9) {
+  Rng rng(seed);
+  return GenerateBlobs(k, 40, /*center_radius=*/10.0, /*stddev=*/0.8, &rng);
+}
+
+double MaxCentroidDistance(const std::vector<Point>& a,
+                           const std::vector<Point>& b) {
+  double max_dist = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double dx = a[i].x - b[i].x, dy = a[i].y - b[i].y;
+    max_dist = std::max(max_dist, std::sqrt(dx * dx + dy * dy));
+  }
+  return max_dist;
+}
+
+TEST(KMeansReferenceTest, RecoversWellSeparatedBlobs) {
+  auto points = TestBlobs(3);
+  auto centroids = ReferenceKMeans(points, InitialCentroids(points, 3), 100,
+                                   1e-9);
+  // Each blob has 40 points with stddev 0.8 around radius-10 centers; the
+  // per-cluster cost is about 2 * stddev^2 * 40.
+  double cost = ClusteringCost(points, centroids);
+  EXPECT_LT(cost, 3 * 40 * 2 * 0.8 * 0.8 * 2.5);
+}
+
+TEST(KMeansReferenceTest, InitialCentroidsAreDistinct) {
+  std::vector<Point> points{{1, 1}, {1, 1}, {2, 2}, {3, 3}};
+  auto centroids = InitialCentroids(points, 3);
+  ASSERT_EQ(centroids.size(), 3u);
+  EXPECT_EQ(centroids[0].x, 1);
+  EXPECT_EQ(centroids[1].x, 2);
+  EXPECT_EQ(centroids[2].x, 3);
+}
+
+TEST(KMeansPlanTest, HasLloydOperators) {
+  dataflow::Plan plan = BuildKMeansPlan();
+  EXPECT_TRUE(plan.Validate().ok());
+  std::string text = plan.Explain();
+  EXPECT_NE(text.find("Cross 'distance-to-centroids'"), std::string::npos);
+  EXPECT_NE(text.find("ReduceByKey 'assign-points'"), std::string::npos);
+  EXPECT_NE(text.find("ReduceByKey 'recompute-centroids'"),
+            std::string::npos);
+  EXPECT_NE(text.find("CoGroup 'keep-or-update'"), std::string::npos);
+}
+
+TEST(KMeansTest, MatchesReferenceFailureFree) {
+  auto points = TestBlobs(4);
+  KMeansOptions options;
+  options.k = 4;
+  options.num_partitions = 4;
+  core::NoFaultTolerancePolicy policy;
+  auto result = RunKMeans(points, options, {}, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+
+  auto reference = ReferenceKMeans(points, InitialCentroids(points, 4), 200,
+                                   options.tolerance);
+  EXPECT_LT(MaxCentroidDistance(result->centroids, reference), 1e-6);
+  EXPECT_NEAR(result->cost, ClusteringCost(points, reference), 1e-6);
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  std::vector<Point> points{{0, 0}, {1, 1}};
+  KMeansOptions options;
+  options.k = 5;  // more clusters than points
+  core::NoFaultTolerancePolicy policy;
+  EXPECT_FALSE(RunKMeans(points, options, {}, &policy).ok());
+  options.k = 0;
+  EXPECT_FALSE(RunKMeans(points, options, {}, &policy).ok());
+}
+
+TEST(KMeansTest, SingleClusterIsCentroidOfMass) {
+  std::vector<Point> points{{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  KMeansOptions options;
+  options.k = 1;
+  options.num_partitions = 2;
+  core::NoFaultTolerancePolicy policy;
+  auto result = RunKMeans(points, options, {}, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(result->centroids[0].y, 1.0, 1e-9);
+}
+
+class KMeansParallelismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansParallelismTest, ParallelismDoesNotChangeResult) {
+  auto points = TestBlobs(3, 11);
+  KMeansOptions options;
+  options.k = 3;
+  options.num_partitions = GetParam();
+  core::NoFaultTolerancePolicy policy;
+  auto result = RunKMeans(points, options, {}, &policy);
+  ASSERT_TRUE(result.ok());
+  auto reference = ReferenceKMeans(points, InitialCentroids(points, 3), 200,
+                                   options.tolerance);
+  EXPECT_LT(MaxCentroidDistance(result->centroids, reference), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, KMeansParallelismTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(KMeansRecoveryTest, OptimisticReseedingStillClustersWell) {
+  auto points = TestBlobs(4, 13);
+  KMeansOptions options;
+  options.k = 4;
+  options.num_partitions = 4;
+
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {0, 1}}});
+  iteration::JobEnv env;
+  env.failures = &failures;
+
+  ReseedCentroidsCompensation compensation(&points, options.k);
+  core::OptimisticRecoveryPolicy policy(&compensation);
+  auto result = RunKMeans(points, options, env, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->failures_recovered, 1);
+  // May converge to a different local optimum, but on well-separated blobs
+  // the cost must stay in the same ballpark as the failure-free solution.
+  core::NoFaultTolerancePolicy noft;
+  auto baseline = RunKMeans(points, options, {}, &noft);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_LT(result->cost, baseline->cost * 10 + 1e-9);
+}
+
+TEST(KMeansRecoveryTest, RollbackReproducesFailureFreeResultExactly) {
+  auto points = TestBlobs(3, 17);
+  KMeansOptions options;
+  options.k = 3;
+  options.num_partitions = 4;
+
+  core::NoFaultTolerancePolicy noft;
+  auto baseline = RunKMeans(points, options, {}, &noft);
+  ASSERT_TRUE(baseline.ok());
+
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{3, {1}}});
+  runtime::StableStorage storage(nullptr, nullptr);
+  iteration::JobEnv env;
+  env.failures = &failures;
+  env.storage = &storage;
+  core::CheckpointRollbackPolicy rollback(1);
+  auto result = RunKMeans(points, options, env, &rollback);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(MaxCentroidDistance(result->centroids, baseline->centroids),
+            1e-12);
+}
+
+TEST(ReseedCentroidsTest, OnlyRebuildsLostPartitions) {
+  auto points = TestBlobs(2, 19);
+  const int parts = 4;
+  const int k = 8;
+  std::vector<dataflow::Record> centroid_records;
+  for (int c = 0; c < k; ++c) {
+    centroid_records.push_back(
+        dataflow::MakeRecord(static_cast<int64_t>(c), 100.0 + c, 200.0 + c));
+  }
+  iteration::BulkState state(dataflow::PartitionedDataset::HashPartitioned(
+      centroid_records, {0}, parts));
+  auto surviving = state.data().partition(1);
+  state.ClearPartition(0);
+
+  ReseedCentroidsCompensation compensation(&points, k);
+  iteration::IterationContext ctx;
+  ctx.num_partitions = parts;
+  ASSERT_TRUE(compensation.Compensate(ctx, &state, {0}).ok());
+  // Partition 1 untouched.
+  EXPECT_EQ(state.data().partition(1), surviving);
+  // Every centroid id is present again.
+  EXPECT_EQ(state.data().NumRecords(), static_cast<uint64_t>(k));
+  // Re-seeded centroids are actual input points, not the stale values.
+  for (const dataflow::Record& r : state.data().partition(0)) {
+    EXPECT_LT(r[1].AsDouble(), 100.0);
+  }
+}
+
+TEST(ReseedCentroidsTest, RejectsDeltaState) {
+  auto points = TestBlobs(2, 23);
+  ReseedCentroidsCompensation compensation(&points, 2);
+  iteration::DeltaState state(iteration::SolutionSet(2, {0}),
+                              dataflow::PartitionedDataset(2));
+  iteration::IterationContext ctx;
+  EXPECT_FALSE(compensation.Compensate(ctx, &state, {0}).ok());
+}
+
+TEST(GenerateBlobsTest, ShapeAndDeterminism) {
+  Rng rng1(3), rng2(3);
+  auto a = GenerateBlobs(3, 10, 5.0, 0.5, &rng1);
+  auto b = GenerateBlobs(3, 10, 5.0, 0.5, &rng2);
+  ASSERT_EQ(a.size(), 30u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+}  // namespace
+}  // namespace flinkless::algos

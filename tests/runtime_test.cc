@@ -1,0 +1,307 @@
+// Unit tests for src/runtime: SimClock, StableStorage, metrics, failure
+// schedules, cluster bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/cluster.h"
+#include "runtime/cost_model.h"
+#include "runtime/failure.h"
+#include "runtime/metrics.h"
+#include "runtime/sim_clock.h"
+#include "runtime/stable_storage.h"
+
+namespace flinkless::runtime {
+namespace {
+
+// -------------------------------------------------------------- SimClock --
+
+TEST(SimClockTest, AccumulatesByCategory) {
+  SimClock clock;
+  clock.Add(Charge::kCompute, 100);
+  clock.Add(Charge::kCompute, 50);
+  clock.Add(Charge::kNetwork, 30);
+  EXPECT_EQ(clock.Of(Charge::kCompute), 150);
+  EXPECT_EQ(clock.Of(Charge::kNetwork), 30);
+  EXPECT_EQ(clock.Of(Charge::kCheckpointIo), 0);
+  EXPECT_EQ(clock.TotalNs(), 180);
+}
+
+TEST(SimClockTest, ResetClearsEverything) {
+  SimClock clock;
+  clock.Add(Charge::kRecovery, 99);
+  clock.Reset();
+  EXPECT_EQ(clock.TotalNs(), 0);
+}
+
+TEST(SimClockTest, SummaryMentionsEveryCategory) {
+  SimClock clock;
+  clock.Add(Charge::kCheckpointIo, 2'000'000);
+  std::string s = clock.Summary();
+  EXPECT_NE(s.find("checkpoint_io=2ms"), std::string::npos);
+  EXPECT_NE(s.find("compute=0ms"), std::string::npos);
+}
+
+TEST(WallTimerTest, MonotonicNonNegative) {
+  WallTimer t;
+  EXPECT_GE(t.ElapsedNs(), 0);
+  int64_t first = t.ElapsedNs();
+  EXPECT_GE(t.ElapsedNs(), first);
+  t.Restart();
+  EXPECT_GE(t.ElapsedNs(), 0);
+}
+
+// --------------------------------------------------------- StableStorage --
+
+TEST(StableStorageTest, WriteReadRoundTrip) {
+  StableStorage storage(nullptr, nullptr);
+  ASSERT_TRUE(storage.Write("k", {1, 2, 3}).ok());
+  auto blob = storage.Read("k");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(StableStorageTest, ReadMissingIsNotFound) {
+  StableStorage storage(nullptr, nullptr);
+  EXPECT_TRUE(storage.Read("absent").status().IsNotFound());
+}
+
+TEST(StableStorageTest, OverwriteReplacesBlob) {
+  StableStorage storage(nullptr, nullptr);
+  ASSERT_TRUE(storage.Write("k", {1}).ok());
+  ASSERT_TRUE(storage.Write("k", {2, 3}).ok());
+  EXPECT_EQ(storage.Read("k")->size(), 2u);
+  EXPECT_EQ(storage.live_bytes(), 2u);
+  EXPECT_EQ(storage.bytes_written(), 3u);  // cumulative
+}
+
+TEST(StableStorageTest, DeleteAndExists) {
+  StableStorage storage(nullptr, nullptr);
+  ASSERT_TRUE(storage.Write("k", {1}).ok());
+  EXPECT_TRUE(storage.Exists("k"));
+  storage.Delete("k");
+  EXPECT_FALSE(storage.Exists("k"));
+  storage.Delete("k");  // idempotent
+}
+
+TEST(StableStorageTest, PrefixOperations) {
+  StableStorage storage(nullptr, nullptr);
+  ASSERT_TRUE(storage.Write("job/ckpt/1/0", {1}).ok());
+  ASSERT_TRUE(storage.Write("job/ckpt/1/1", {2}).ok());
+  ASSERT_TRUE(storage.Write("job/ckpt/2/0", {3}).ok());
+  ASSERT_TRUE(storage.Write("other", {4}).ok());
+  auto keys = storage.ListWithPrefix("job/ckpt/1/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "job/ckpt/1/0");
+  EXPECT_EQ(storage.DeleteWithPrefix("job/ckpt/"), 3u);
+  EXPECT_TRUE(storage.Exists("other"));
+  EXPECT_TRUE(storage.ListWithPrefix("job/").empty());
+}
+
+TEST(StableStorageTest, ChargesWriteAndReadCosts) {
+  SimClock clock;
+  CostModel costs;
+  costs.checkpoint_write_per_byte_ns = 10;
+  costs.checkpoint_read_per_byte_ns = 3;
+  costs.checkpoint_sync_ns = 1000;
+  StableStorage storage(&clock, &costs);
+  ASSERT_TRUE(storage.Write("k", std::vector<uint8_t>(100, 0)).ok());
+  EXPECT_EQ(clock.Of(Charge::kCheckpointIo), 100 * 10 + 1000);
+  ASSERT_TRUE(storage.Read("k").ok());
+  EXPECT_EQ(clock.Of(Charge::kCheckpointIo), 100 * 10 + 1000 + 100 * 3);
+  EXPECT_EQ(storage.num_writes(), 1u);
+  EXPECT_EQ(storage.bytes_read(), 100u);
+}
+
+TEST(StableStorageTest, FreeWithoutClock) {
+  StableStorage storage(nullptr, nullptr);
+  ASSERT_TRUE(storage.Write("k", std::vector<uint8_t>(10, 0)).ok());
+  ASSERT_TRUE(storage.Read("k").ok());  // must not crash
+}
+
+// ----------------------------------------------------------------- Metrics --
+
+TEST(MetricsTest, RecordsIterationSeries) {
+  MetricsRegistry metrics;
+  IterationStats s1;
+  s1.iteration = 1;
+  s1.messages_shuffled = 10;
+  s1.gauges["g"] = 1.5;
+  metrics.RecordIteration(s1);
+  IterationStats s2;
+  s2.iteration = 2;
+  s2.messages_shuffled = 20;
+  metrics.RecordIteration(s2);
+
+  EXPECT_EQ(metrics.iterations().size(), 2u);
+  EXPECT_EQ(metrics.TotalMessages(), 30u);
+  auto series = metrics.GaugeSeries("g", -1.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 1.5);
+  EXPECT_DOUBLE_EQ(series[1], -1.0);  // fallback for unset gauge
+}
+
+TEST(MetricsTest, CountersDefaultZero) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.Counter("x"), 0u);
+  metrics.IncrCounter("x");
+  metrics.IncrCounter("x", 4);
+  EXPECT_EQ(metrics.Counter("x"), 5u);
+}
+
+TEST(MetricsTest, ResetClears) {
+  MetricsRegistry metrics;
+  metrics.IncrCounter("x");
+  metrics.RecordIteration({});
+  metrics.Reset();
+  EXPECT_EQ(metrics.Counter("x"), 0u);
+  EXPECT_TRUE(metrics.iterations().empty());
+}
+
+TEST(MetricsTest, GaugeFallback) {
+  IterationStats s;
+  s.gauges["present"] = 2.0;
+  EXPECT_DOUBLE_EQ(s.Gauge("present"), 2.0);
+  EXPECT_DOUBLE_EQ(s.Gauge("absent", 7.0), 7.0);
+}
+
+// --------------------------------------------------------------- Failure --
+
+TEST(FailureScheduleTest, FiresOncePerEvent) {
+  FailureSchedule schedule(std::vector<FailureEvent>{{3, {0, 1}}});
+  EXPECT_TRUE(schedule.Fire(1).empty());
+  EXPECT_TRUE(schedule.Fire(2).empty());
+  EXPECT_EQ(schedule.Fire(3), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(schedule.Fire(3).empty());  // already fired
+  EXPECT_EQ(schedule.remaining(), 0u);
+}
+
+TEST(FailureScheduleTest, MergesEventsAtSameIteration) {
+  FailureSchedule schedule;
+  schedule.Add({2, {1}});
+  schedule.Add({2, {0, 1}});
+  EXPECT_EQ(schedule.Fire(2), (std::vector<int>{0, 1}));  // deduped, sorted
+}
+
+TEST(FailureScheduleTest, PeekDoesNotConsume) {
+  FailureSchedule schedule(std::vector<FailureEvent>{{5, {2}}});
+  EXPECT_EQ(schedule.Peek(5), std::vector<int>{2});
+  EXPECT_EQ(schedule.Fire(5), std::vector<int>{2});
+  EXPECT_TRUE(schedule.Peek(5).empty());
+}
+
+TEST(FailureScheduleTest, RewindReenablesEvents) {
+  FailureSchedule schedule(std::vector<FailureEvent>{{1, {0}}});
+  EXPECT_FALSE(schedule.Fire(1).empty());
+  schedule.Rewind();
+  EXPECT_FALSE(schedule.Fire(1).empty());
+}
+
+TEST(FailureScheduleTest, ParseValidSpec) {
+  auto schedule = FailureSchedule::Parse("3:0;5:1,2");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->events().size(), 2u);
+  EXPECT_EQ(schedule->Peek(3), std::vector<int>{0});
+  EXPECT_EQ(schedule->Peek(5), (std::vector<int>{1, 2}));
+}
+
+TEST(FailureScheduleTest, ParseEmptyIsEmptySchedule) {
+  auto schedule = FailureSchedule::Parse("  ");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_TRUE(schedule->empty());
+}
+
+TEST(FailureScheduleTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(FailureSchedule::Parse("nope").ok());
+  EXPECT_FALSE(FailureSchedule::Parse("0:1").ok());    // iteration < 1
+  EXPECT_FALSE(FailureSchedule::Parse("3:").ok());     // no partitions
+  EXPECT_FALSE(FailureSchedule::Parse("3:-1").ok());   // negative partition
+  EXPECT_FALSE(FailureSchedule::Parse("x:1").ok());    // bad iteration
+}
+
+TEST(FailureScheduleTest, EventToString) {
+  FailureEvent e{4, {1, 3}};
+  EXPECT_EQ(e.ToString(), "iter 4: partitions [1,3]");
+}
+
+TEST(RandomFailuresTest, RespectsProbabilityExtremes) {
+  Rng rng(5);
+  EXPECT_TRUE(RandomFailures(10, 4, 0.0, &rng).empty());
+  FailureSchedule all = RandomFailures(10, 4, 1.0, &rng);
+  EXPECT_EQ(all.events().size(), 10u);
+  for (int it = 1; it <= 10; ++it) {
+    EXPECT_EQ(all.Peek(it).size(), 4u);
+  }
+}
+
+TEST(RandomFailuresTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  auto s1 = RandomFailures(20, 4, 0.2, &a);
+  auto s2 = RandomFailures(20, 4, 0.2, &b);
+  ASSERT_EQ(s1.events().size(), s2.events().size());
+  for (size_t i = 0; i < s1.events().size(); ++i) {
+    EXPECT_EQ(s1.events()[i].iteration, s2.events()[i].iteration);
+    EXPECT_EQ(s1.events()[i].partitions, s2.events()[i].partitions);
+  }
+}
+
+// ---------------------------------------------------------------- Cluster --
+
+TEST(ClusterTest, InitialAssignmentOneWorkerPerPartition) {
+  Cluster cluster(4, nullptr, nullptr);
+  EXPECT_EQ(cluster.num_partitions(), 4);
+  EXPECT_EQ(cluster.total_workers_created(), 4);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_TRUE(cluster.PartitionHealthy(p));
+  }
+  EXPECT_EQ(*cluster.WorkerOf(0), 0);
+  EXPECT_EQ(*cluster.WorkerOf(3), 3);
+}
+
+TEST(ClusterTest, WorkerOfOutOfRange) {
+  Cluster cluster(2, nullptr, nullptr);
+  EXPECT_FALSE(cluster.WorkerOf(-1).ok());
+  EXPECT_FALSE(cluster.WorkerOf(2).ok());
+  EXPECT_FALSE(cluster.PartitionHealthy(5));
+}
+
+TEST(ClusterTest, KillAndReassign) {
+  Cluster cluster(3, nullptr, nullptr);
+  EXPECT_EQ(cluster.KillPartitions({1, 2}), 2);
+  EXPECT_FALSE(cluster.PartitionHealthy(1));
+  EXPECT_TRUE(cluster.PartitionHealthy(0));
+  EXPECT_EQ(cluster.KillPartitions({1}), 0);  // already dead
+
+  ASSERT_TRUE(cluster.ReassignToFreshWorkers({1, 2}).ok());
+  EXPECT_TRUE(cluster.PartitionHealthy(1));
+  EXPECT_TRUE(cluster.PartitionHealthy(2));
+  // Replacement workers are new identities.
+  EXPECT_GE(*cluster.WorkerOf(1), 3);
+  EXPECT_EQ(cluster.total_workers_created(), 5);
+  EXPECT_EQ(cluster.epoch(), 1);
+}
+
+TEST(ClusterTest, ReassignHealthyPartitionIsNoop) {
+  Cluster cluster(2, nullptr, nullptr);
+  ASSERT_TRUE(cluster.ReassignToFreshWorkers({0}).ok());
+  EXPECT_EQ(cluster.total_workers_created(), 2);
+  EXPECT_EQ(cluster.epoch(), 0);
+}
+
+TEST(ClusterTest, ChargesNodeAcquisitionOncePerRecovery) {
+  SimClock clock;
+  CostModel costs;
+  costs.node_acquisition_ns = 777;
+  Cluster cluster(4, &clock, &costs);
+  cluster.KillPartitions({0, 1});
+  ASSERT_TRUE(cluster.ReassignToFreshWorkers({0, 1}).ok());
+  EXPECT_EQ(clock.Of(Charge::kRecovery), 777);
+}
+
+TEST(ClusterTest, ReassignOutOfRangeFails) {
+  Cluster cluster(2, nullptr, nullptr);
+  EXPECT_FALSE(cluster.ReassignToFreshWorkers({7}).ok());
+}
+
+}  // namespace
+}  // namespace flinkless::runtime

@@ -1,0 +1,191 @@
+// SSSP on the dataflow engine: agreement with BFS, unreachable handling,
+// and optimistic recovery via FixDistances.
+
+#include <gtest/gtest.h>
+
+#include "algos/datasets.h"
+#include "algos/refreshers.h"
+#include "algos/sssp.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "runtime/stable_storage.h"
+
+namespace flinkless::algos {
+namespace {
+
+SsspOptions Options(int64_t source, int parts) {
+  SsspOptions options;
+  options.source = source;
+  options.num_partitions = parts;
+  return options;
+}
+
+TEST(SsspPlanTest, HasMinDistanceOperators) {
+  dataflow::Plan plan = BuildSsspPlan();
+  EXPECT_TRUE(plan.Validate().ok());
+  std::string text = plan.Explain();
+  EXPECT_NE(text.find("Join 'relax-neighbors'"), std::string::npos);
+  EXPECT_NE(text.find("ReduceByKey 'min-distance'"), std::string::npos);
+}
+
+TEST(SsspTest, ChainDistances) {
+  graph::Graph g = graph::ChainGraph(8);
+  core::NoFaultTolerancePolicy policy;
+  auto result = RunSssp(g, Options(0, 2), {}, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->distances, graph::ReferenceSssp(g, 0));
+}
+
+TEST(SsspTest, UnreachableVerticesStayMinusOne) {
+  graph::Graph g = graph::DisjointChains(2, 4);
+  core::NoFaultTolerancePolicy policy;
+  auto result = RunSssp(g, Options(0, 4), {}, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distances, graph::ReferenceSssp(g, 0));
+  EXPECT_EQ(result->distances[7], -1);
+}
+
+TEST(SsspTest, SourceOutOfRangeRejected) {
+  graph::Graph g = graph::ChainGraph(3);
+  core::NoFaultTolerancePolicy policy;
+  EXPECT_FALSE(RunSssp(g, Options(99, 2), {}, &policy).ok());
+}
+
+TEST(SsspTest, NonZeroSource) {
+  graph::Graph g = graph::DemoGraph();
+  core::NoFaultTolerancePolicy policy;
+  auto result = RunSssp(g, Options(9, 4), {}, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distances, graph::ReferenceSssp(g, 9));
+}
+
+class SsspSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SsspSweepTest, MatchesBfsOnRandomGraphs) {
+  auto [parts, seed] = GetParam();
+  Rng rng(seed);
+  graph::Graph g = graph::ErdosRenyi(50, 0.06, &rng);
+  core::NoFaultTolerancePolicy policy;
+  auto result = RunSssp(g, Options(0, parts), {}, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distances, graph::ReferenceSssp(g, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SsspSweepTest,
+                         ::testing::Combine(::testing::Values(1, 3, 4),
+                                            ::testing::Values(2, 4, 8)));
+
+TEST(SsspRecoveryTest, OptimisticRecoveryMatchesBfs) {
+  Rng rng(23);
+  graph::Graph g = graph::PreferentialAttachment(90, 2, &rng);
+  auto truth = graph::ReferenceSssp(g, 0);
+
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {0, 2}}});
+  iteration::JobEnv env;
+  env.failures = &failures;
+
+  FixDistancesCompensation compensation(&g, 0);
+  core::OptimisticRecoveryPolicy policy(&compensation);
+  auto result = RunSssp(g, Options(0, 4), env, &policy, &truth);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->failures_recovered, 1);
+  EXPECT_EQ(result->distances, truth);
+}
+
+TEST(SsspRecoveryTest, LosingTheSourcePartitionStillConverges) {
+  graph::Graph g = graph::ChainGraph(12);
+  auto truth = graph::ReferenceSssp(g, 0);
+  // Find and fail the partition holding the source vertex 0.
+  int source_partition = PartitionOfVertex(0, 4);
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{3, {source_partition}}});
+  iteration::JobEnv env;
+  env.failures = &failures;
+
+  FixDistancesCompensation compensation(&g, 0);
+  core::OptimisticRecoveryPolicy policy(&compensation);
+  auto result = RunSssp(g, Options(0, 4), env, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distances, truth);
+}
+
+TEST(SsspRecoveryTest, RollbackMatchesBfsToo) {
+  graph::Graph g = graph::GridGraph(5, 5);
+  auto truth = graph::ReferenceSssp(g, 0);
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{3, {1}}});
+  runtime::StableStorage storage(nullptr, nullptr);
+  iteration::JobEnv env;
+  env.failures = &failures;
+  env.storage = &storage;
+  core::CheckpointRollbackPolicy policy(1);
+  auto result = RunSssp(g, Options(0, 4), env, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distances, truth);
+}
+
+TEST(SsspRecoveryTest, RepeatedFailuresConverge) {
+  graph::Graph g = graph::GridGraph(6, 6);
+  auto truth = graph::ReferenceSssp(g, 0);
+  runtime::FailureSchedule failures(std::vector<runtime::FailureEvent>{
+      {1, {0}}, {2, {1}}, {3, {2}}, {4, {3}}});
+  iteration::JobEnv env;
+  env.failures = &failures;
+  FixDistancesCompensation compensation(&g, 0);
+  core::OptimisticRecoveryPolicy policy(&compensation);
+  auto result = RunSssp(g, Options(0, 4), env, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->failures_recovered, 4);
+  EXPECT_EQ(result->distances, truth);
+}
+
+TEST(SsspRecoveryTest, ConfinedRollbackMatchesBfs) {
+  Rng rng(29);
+  graph::Graph g = graph::ErdosRenyi(60, 0.06, &rng);
+  auto truth = graph::ReferenceSssp(g, 0);
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {0}}, {4, {2}}});
+  runtime::StableStorage storage(nullptr, nullptr);
+  iteration::JobEnv env;
+  env.failures = &failures;
+  env.storage = &storage;
+  // SSSP entries at infinity have nothing useful to propagate.
+  core::ConfinedRollbackPolicy policy(
+      1, MakeNeighborhoodRefresher(&g, [](const dataflow::Record& r) {
+        return r[1].AsInt64() < kSsspInfinity;
+      }));
+  auto result = RunSssp(g, Options(0, 4), env, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distances, truth);
+}
+
+TEST(SsspRecoveryTest, DeltaCheckpointPolicyMatchesBfs) {
+  graph::Graph g = graph::GridGraph(8, 8);
+  auto truth = graph::ReferenceSssp(g, 0);
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{4, {0}}, {9, {1, 2}}});
+  runtime::StableStorage storage(nullptr, nullptr);
+  iteration::JobEnv env;
+  env.failures = &failures;
+  env.storage = &storage;
+  core::DeltaCheckpointPolicy policy(/*interval=*/2, /*compact_every=*/3);
+  auto result = RunSssp(g, Options(0, 4), env, &policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distances, truth);
+  EXPECT_GT(storage.bytes_written(), 0u);
+}
+
+TEST(FixDistancesTest, RejectsBulkState) {
+  graph::Graph g = graph::ChainGraph(4);
+  FixDistancesCompensation compensation(&g, 0);
+  iteration::BulkState state(dataflow::PartitionedDataset(2));
+  iteration::IterationContext ctx;
+  EXPECT_FALSE(compensation.Compensate(ctx, &state, {0}).ok());
+}
+
+}  // namespace
+}  // namespace flinkless::algos
