@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_delta_vs_bulk.dir/bench_a1_delta_vs_bulk.cpp.o"
+  "CMakeFiles/bench_a1_delta_vs_bulk.dir/bench_a1_delta_vs_bulk.cpp.o.d"
+  "bench_a1_delta_vs_bulk"
+  "bench_a1_delta_vs_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_delta_vs_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_a1_delta_vs_bulk.
+# This may be replaced when dependencies are built.

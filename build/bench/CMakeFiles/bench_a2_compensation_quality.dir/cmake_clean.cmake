@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_compensation_quality.dir/bench_a2_compensation_quality.cpp.o"
+  "CMakeFiles/bench_a2_compensation_quality.dir/bench_a2_compensation_quality.cpp.o.d"
+  "bench_a2_compensation_quality"
+  "bench_a2_compensation_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_compensation_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_incremental_checkpoints.dir/bench_a4_incremental_checkpoints.cpp.o"
+  "CMakeFiles/bench_a4_incremental_checkpoints.dir/bench_a4_incremental_checkpoints.cpp.o.d"
+  "bench_a4_incremental_checkpoints"
+  "bench_a4_incremental_checkpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_incremental_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

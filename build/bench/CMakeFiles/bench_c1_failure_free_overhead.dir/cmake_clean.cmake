@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_failure_free_overhead.dir/bench_c1_failure_free_overhead.cpp.o"
+  "CMakeFiles/bench_c1_failure_free_overhead.dir/bench_c1_failure_free_overhead.cpp.o.d"
+  "bench_c1_failure_free_overhead"
+  "bench_c1_failure_free_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_failure_free_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_recovery_comparison.dir/bench_c2_recovery_comparison.cpp.o"
+  "CMakeFiles/bench_c2_recovery_comparison.dir/bench_c2_recovery_comparison.cpp.o.d"
+  "bench_c2_recovery_comparison"
+  "bench_c2_recovery_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_recovery_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_large_graph.dir/bench_c3_large_graph.cpp.o"
+  "CMakeFiles/bench_c3_large_graph.dir/bench_c3_large_graph.cpp.o.d"
+  "bench_c3_large_graph"
+  "bench_c3_large_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_large_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

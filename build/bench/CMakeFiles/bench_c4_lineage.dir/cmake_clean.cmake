@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_lineage.dir/bench_c4_lineage.cpp.o"
+  "CMakeFiles/bench_c4_lineage.dir/bench_c4_lineage.cpp.o.d"
+  "bench_c4_lineage"
+  "bench_c4_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

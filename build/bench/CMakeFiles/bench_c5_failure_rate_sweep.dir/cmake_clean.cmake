@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_failure_rate_sweep.dir/bench_c5_failure_rate_sweep.cpp.o"
+  "CMakeFiles/bench_c5_failure_rate_sweep.dir/bench_c5_failure_rate_sweep.cpp.o.d"
+  "bench_c5_failure_rate_sweep"
+  "bench_c5_failure_rate_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_failure_rate_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pagerank_recovery.dir/bench_fig5_pagerank_recovery.cpp.o"
+  "CMakeFiles/bench_fig5_pagerank_recovery.dir/bench_fig5_pagerank_recovery.cpp.o.d"
+  "bench_fig5_pagerank_recovery"
+  "bench_fig5_pagerank_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pagerank_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

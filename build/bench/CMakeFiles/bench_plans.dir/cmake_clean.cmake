@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plans.dir/bench_plans.cpp.o"
+  "CMakeFiles/bench_plans.dir/bench_plans.cpp.o.d"
+  "bench_plans"
+  "bench_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

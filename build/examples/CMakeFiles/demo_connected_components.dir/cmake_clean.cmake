@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demo_connected_components.dir/demo_connected_components.cpp.o"
+  "CMakeFiles/demo_connected_components.dir/demo_connected_components.cpp.o.d"
+  "demo_connected_components"
+  "demo_connected_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demo_connected_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

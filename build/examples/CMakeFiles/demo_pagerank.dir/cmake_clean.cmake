@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demo_pagerank.dir/demo_pagerank.cpp.o"
+  "CMakeFiles/demo_pagerank.dir/demo_pagerank.cpp.o.d"
+  "demo_pagerank"
+  "demo_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demo_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_pagerank.dir/twitter_pagerank.cpp.o"
+  "CMakeFiles/twitter_pagerank.dir/twitter_pagerank.cpp.o.d"
+  "twitter_pagerank"
+  "twitter_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

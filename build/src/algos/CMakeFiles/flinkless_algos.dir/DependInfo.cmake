@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/als.cc" "src/algos/CMakeFiles/flinkless_algos.dir/als.cc.o" "gcc" "src/algos/CMakeFiles/flinkless_algos.dir/als.cc.o.d"
+  "/root/repo/src/algos/connected_components.cc" "src/algos/CMakeFiles/flinkless_algos.dir/connected_components.cc.o" "gcc" "src/algos/CMakeFiles/flinkless_algos.dir/connected_components.cc.o.d"
+  "/root/repo/src/algos/datasets.cc" "src/algos/CMakeFiles/flinkless_algos.dir/datasets.cc.o" "gcc" "src/algos/CMakeFiles/flinkless_algos.dir/datasets.cc.o.d"
+  "/root/repo/src/algos/kmeans.cc" "src/algos/CMakeFiles/flinkless_algos.dir/kmeans.cc.o" "gcc" "src/algos/CMakeFiles/flinkless_algos.dir/kmeans.cc.o.d"
+  "/root/repo/src/algos/pagerank.cc" "src/algos/CMakeFiles/flinkless_algos.dir/pagerank.cc.o" "gcc" "src/algos/CMakeFiles/flinkless_algos.dir/pagerank.cc.o.d"
+  "/root/repo/src/algos/refreshers.cc" "src/algos/CMakeFiles/flinkless_algos.dir/refreshers.cc.o" "gcc" "src/algos/CMakeFiles/flinkless_algos.dir/refreshers.cc.o.d"
+  "/root/repo/src/algos/sssp.cc" "src/algos/CMakeFiles/flinkless_algos.dir/sssp.cc.o" "gcc" "src/algos/CMakeFiles/flinkless_algos.dir/sssp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flinkless_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/flinkless_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/iteration/CMakeFiles/flinkless_iteration.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/flinkless_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/flinkless_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flinkless_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

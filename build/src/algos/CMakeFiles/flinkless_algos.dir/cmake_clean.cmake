@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinkless_algos.dir/als.cc.o"
+  "CMakeFiles/flinkless_algos.dir/als.cc.o.d"
+  "CMakeFiles/flinkless_algos.dir/connected_components.cc.o"
+  "CMakeFiles/flinkless_algos.dir/connected_components.cc.o.d"
+  "CMakeFiles/flinkless_algos.dir/datasets.cc.o"
+  "CMakeFiles/flinkless_algos.dir/datasets.cc.o.d"
+  "CMakeFiles/flinkless_algos.dir/kmeans.cc.o"
+  "CMakeFiles/flinkless_algos.dir/kmeans.cc.o.d"
+  "CMakeFiles/flinkless_algos.dir/pagerank.cc.o"
+  "CMakeFiles/flinkless_algos.dir/pagerank.cc.o.d"
+  "CMakeFiles/flinkless_algos.dir/refreshers.cc.o"
+  "CMakeFiles/flinkless_algos.dir/refreshers.cc.o.d"
+  "CMakeFiles/flinkless_algos.dir/sssp.cc.o"
+  "CMakeFiles/flinkless_algos.dir/sssp.cc.o.d"
+  "libflinkless_algos.a"
+  "libflinkless_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinkless_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

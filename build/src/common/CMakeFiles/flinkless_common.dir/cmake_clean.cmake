@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinkless_common.dir/flags.cc.o"
+  "CMakeFiles/flinkless_common.dir/flags.cc.o.d"
+  "CMakeFiles/flinkless_common.dir/hash.cc.o"
+  "CMakeFiles/flinkless_common.dir/hash.cc.o.d"
+  "CMakeFiles/flinkless_common.dir/logging.cc.o"
+  "CMakeFiles/flinkless_common.dir/logging.cc.o.d"
+  "CMakeFiles/flinkless_common.dir/rng.cc.o"
+  "CMakeFiles/flinkless_common.dir/rng.cc.o.d"
+  "CMakeFiles/flinkless_common.dir/status.cc.o"
+  "CMakeFiles/flinkless_common.dir/status.cc.o.d"
+  "CMakeFiles/flinkless_common.dir/strings.cc.o"
+  "CMakeFiles/flinkless_common.dir/strings.cc.o.d"
+  "CMakeFiles/flinkless_common.dir/table.cc.o"
+  "CMakeFiles/flinkless_common.dir/table.cc.o.d"
+  "libflinkless_common.a"
+  "libflinkless_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinkless_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflinkless_common.a"
+)

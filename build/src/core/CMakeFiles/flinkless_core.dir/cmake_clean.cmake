@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinkless_core.dir/lineage.cc.o"
+  "CMakeFiles/flinkless_core.dir/lineage.cc.o.d"
+  "CMakeFiles/flinkless_core.dir/policies.cc.o"
+  "CMakeFiles/flinkless_core.dir/policies.cc.o.d"
+  "libflinkless_core.a"
+  "libflinkless_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinkless_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/dataset.cc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/dataset.cc.o" "gcc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/dataset.cc.o.d"
+  "/root/repo/src/dataflow/executor.cc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/executor.cc.o" "gcc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/executor.cc.o.d"
+  "/root/repo/src/dataflow/plan.cc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/plan.cc.o" "gcc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/plan.cc.o.d"
+  "/root/repo/src/dataflow/record.cc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/record.cc.o" "gcc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/record.cc.o.d"
+  "/root/repo/src/dataflow/schema.cc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/schema.cc.o" "gcc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/schema.cc.o.d"
+  "/root/repo/src/dataflow/value.cc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/value.cc.o" "gcc" "src/dataflow/CMakeFiles/flinkless_dataflow.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flinkless_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/flinkless_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinkless_dataflow.dir/dataset.cc.o"
+  "CMakeFiles/flinkless_dataflow.dir/dataset.cc.o.d"
+  "CMakeFiles/flinkless_dataflow.dir/executor.cc.o"
+  "CMakeFiles/flinkless_dataflow.dir/executor.cc.o.d"
+  "CMakeFiles/flinkless_dataflow.dir/plan.cc.o"
+  "CMakeFiles/flinkless_dataflow.dir/plan.cc.o.d"
+  "CMakeFiles/flinkless_dataflow.dir/record.cc.o"
+  "CMakeFiles/flinkless_dataflow.dir/record.cc.o.d"
+  "CMakeFiles/flinkless_dataflow.dir/schema.cc.o"
+  "CMakeFiles/flinkless_dataflow.dir/schema.cc.o.d"
+  "CMakeFiles/flinkless_dataflow.dir/value.cc.o"
+  "CMakeFiles/flinkless_dataflow.dir/value.cc.o.d"
+  "libflinkless_dataflow.a"
+  "libflinkless_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinkless_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflinkless_dataflow.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinkless_graph.dir/generators.cc.o"
+  "CMakeFiles/flinkless_graph.dir/generators.cc.o.d"
+  "CMakeFiles/flinkless_graph.dir/graph.cc.o"
+  "CMakeFiles/flinkless_graph.dir/graph.cc.o.d"
+  "CMakeFiles/flinkless_graph.dir/io.cc.o"
+  "CMakeFiles/flinkless_graph.dir/io.cc.o.d"
+  "CMakeFiles/flinkless_graph.dir/reference.cc.o"
+  "CMakeFiles/flinkless_graph.dir/reference.cc.o.d"
+  "libflinkless_graph.a"
+  "libflinkless_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinkless_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iteration/bulk_iteration.cc" "src/iteration/CMakeFiles/flinkless_iteration.dir/bulk_iteration.cc.o" "gcc" "src/iteration/CMakeFiles/flinkless_iteration.dir/bulk_iteration.cc.o.d"
+  "/root/repo/src/iteration/delta_iteration.cc" "src/iteration/CMakeFiles/flinkless_iteration.dir/delta_iteration.cc.o" "gcc" "src/iteration/CMakeFiles/flinkless_iteration.dir/delta_iteration.cc.o.d"
+  "/root/repo/src/iteration/state.cc" "src/iteration/CMakeFiles/flinkless_iteration.dir/state.cc.o" "gcc" "src/iteration/CMakeFiles/flinkless_iteration.dir/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/flinkless_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/flinkless_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flinkless_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinkless_iteration.dir/bulk_iteration.cc.o"
+  "CMakeFiles/flinkless_iteration.dir/bulk_iteration.cc.o.d"
+  "CMakeFiles/flinkless_iteration.dir/delta_iteration.cc.o"
+  "CMakeFiles/flinkless_iteration.dir/delta_iteration.cc.o.d"
+  "CMakeFiles/flinkless_iteration.dir/state.cc.o"
+  "CMakeFiles/flinkless_iteration.dir/state.cc.o.d"
+  "libflinkless_iteration.a"
+  "libflinkless_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinkless_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cluster.cc" "src/runtime/CMakeFiles/flinkless_runtime.dir/cluster.cc.o" "gcc" "src/runtime/CMakeFiles/flinkless_runtime.dir/cluster.cc.o.d"
+  "/root/repo/src/runtime/failure.cc" "src/runtime/CMakeFiles/flinkless_runtime.dir/failure.cc.o" "gcc" "src/runtime/CMakeFiles/flinkless_runtime.dir/failure.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/runtime/CMakeFiles/flinkless_runtime.dir/metrics.cc.o" "gcc" "src/runtime/CMakeFiles/flinkless_runtime.dir/metrics.cc.o.d"
+  "/root/repo/src/runtime/sim_clock.cc" "src/runtime/CMakeFiles/flinkless_runtime.dir/sim_clock.cc.o" "gcc" "src/runtime/CMakeFiles/flinkless_runtime.dir/sim_clock.cc.o.d"
+  "/root/repo/src/runtime/stable_storage.cc" "src/runtime/CMakeFiles/flinkless_runtime.dir/stable_storage.cc.o" "gcc" "src/runtime/CMakeFiles/flinkless_runtime.dir/stable_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flinkless_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinkless_runtime.dir/cluster.cc.o"
+  "CMakeFiles/flinkless_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/flinkless_runtime.dir/failure.cc.o"
+  "CMakeFiles/flinkless_runtime.dir/failure.cc.o.d"
+  "CMakeFiles/flinkless_runtime.dir/metrics.cc.o"
+  "CMakeFiles/flinkless_runtime.dir/metrics.cc.o.d"
+  "CMakeFiles/flinkless_runtime.dir/sim_clock.cc.o"
+  "CMakeFiles/flinkless_runtime.dir/sim_clock.cc.o.d"
+  "CMakeFiles/flinkless_runtime.dir/stable_storage.cc.o"
+  "CMakeFiles/flinkless_runtime.dir/stable_storage.cc.o.d"
+  "libflinkless_runtime.a"
+  "libflinkless_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinkless_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinkless_viz.dir/render.cc.o"
+  "CMakeFiles/flinkless_viz.dir/render.cc.o.d"
+  "libflinkless_viz.a"
+  "libflinkless_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinkless_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
