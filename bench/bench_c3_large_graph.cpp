@@ -17,6 +17,7 @@
 #include "core/policies.h"
 #include "graph/generators.h"
 #include "graph/reference.h"
+#include "runtime/thread_pool.h"
 
 using namespace flinkless;
 
@@ -69,14 +70,15 @@ int main() {
     bench::Emit(table);
   }
 
+  // CC needs an undirected view; reuse the RMAT edge set symmetrically.
+  graph::Graph cc_graph(g.num_vertices(), /*directed=*/false);
+  for (const graph::Edge& e : g.edges()) {
+    Status s = cc_graph.AddEdge(e.src, e.dst);
+    FLINKLESS_CHECK(s.ok(), s.ToString());
+  }
+
   // ------------------------------------------------- Connected Components --
   {
-    // CC needs an undirected view; reuse the RMAT edge set symmetrically.
-    graph::Graph cc_graph(g.num_vertices(), /*directed=*/false);
-    for (const graph::Edge& e : g.edges()) {
-      Status s = cc_graph.AddEdge(e.src, e.dst);
-      FLINKLESS_CHECK(s.ok(), s.ToString());
-    }
     auto truth = graph::ReferenceConnectedComponents(cc_graph);
 
     algos::ConnectedComponentsOptions options;
@@ -111,6 +113,102 @@ int main() {
           .Cell(it.failure_injected ? "yes" : "");
     }
     bench::Emit(table);
+  }
+
+  // ------------------------------------------------- Thread-count sweep --
+  // Wall-clock scaling of the same two failure/recovery jobs over executor
+  // thread counts. The determinism contract is enforced, not assumed: every
+  // point must reproduce the single-threaded result bit-for-bit (for
+  // PageRank that means identical doubles). Simulated time is charged
+  // identically at every point; only wall time may move.
+  {
+    std::cout << "Thread-count sweep (hardware_concurrency="
+              << runtime::ThreadPool::HardwareConcurrency() << ")\n";
+    bench::JsonReport report("C3-threads");
+    TablePrinter table({"algo", "threads", "wall_ms", "sim_ms", "iterations",
+                        "messages", "identical"});
+    std::vector<double> pr_baseline;
+    std::vector<int64_t> cc_baseline;
+    for (int threads : {1, 2, 4, 8}) {
+      {
+        algos::PageRankOptions options;
+        options.num_partitions = parts;
+        options.max_iterations = 25;
+        options.num_threads = threads;
+        bench::JobHarness harness("c3-pr-t" + std::to_string(threads));
+        harness.SetFailures(runtime::FailureSchedule(
+            std::vector<runtime::FailureEvent>{{8, {3}}, {16, {5}}}));
+        algos::FixRanksCompensation fix_ranks(g.num_vertices());
+        core::OptimisticRecoveryPolicy policy(&fix_ranks);
+        runtime::WallTimer wall;
+        auto result =
+            algos::RunPageRank(g, options, harness.Env(), &policy, nullptr);
+        FLINKLESS_CHECK(result.ok(), result.status().ToString());
+        double wall_ms = wall.ElapsedMs();
+        if (threads == 1) pr_baseline = result->ranks;
+        bool identical = result->ranks == pr_baseline;
+        FLINKLESS_CHECK(identical, "PageRank output depends on thread count");
+        uint64_t messages = harness.metrics().TotalMessages();
+        table.Row()
+            .Cell("pagerank")
+            .Cell(static_cast<int64_t>(threads))
+            .Cell(wall_ms)
+            .Cell(harness.clock().TotalMs())
+            .Cell(static_cast<int64_t>(result->iterations))
+            .Cell(messages)
+            .Cell(identical ? "yes" : "NO");
+        report.AddEntry()
+            .Set("algo", "pagerank")
+            .Set("num_threads", threads)
+            .Set("wall_ms", wall_ms)
+            .Set("sim_ms", harness.clock().TotalMs())
+            .Set("iterations", result->iterations)
+            .Set("messages_shuffled", messages)
+            .Set("failures_recovered", result->failures_recovered)
+            .Set("identical_to_serial", identical);
+      }
+      {
+        algos::ConnectedComponentsOptions options;
+        options.num_partitions = parts;
+        options.num_threads = threads;
+        bench::JobHarness harness("c3-cc-t" + std::to_string(threads));
+        harness.SetFailures(runtime::FailureSchedule(
+            std::vector<runtime::FailureEvent>{{3, {1}}}));
+        algos::FixComponentsCompensation fix_components(&cc_graph);
+        core::OptimisticRecoveryPolicy policy(&fix_components);
+        runtime::WallTimer wall;
+        auto result = algos::RunConnectedComponents(cc_graph, options,
+                                                    harness.Env(), &policy);
+        FLINKLESS_CHECK(result.ok(), result.status().ToString());
+        double wall_ms = wall.ElapsedMs();
+        if (threads == 1) cc_baseline = result->labels;
+        bool identical = result->labels == cc_baseline;
+        FLINKLESS_CHECK(identical, "CC output depends on thread count");
+        uint64_t messages = harness.metrics().TotalMessages();
+        table.Row()
+            .Cell("connected-components")
+            .Cell(static_cast<int64_t>(threads))
+            .Cell(wall_ms)
+            .Cell(harness.clock().TotalMs())
+            .Cell(static_cast<int64_t>(result->iterations))
+            .Cell(messages)
+            .Cell(identical ? "yes" : "NO");
+        report.AddEntry()
+            .Set("algo", "connected-components")
+            .Set("num_threads", threads)
+            .Set("wall_ms", wall_ms)
+            .Set("sim_ms", harness.clock().TotalMs())
+            .Set("iterations", result->iterations)
+            .Set("messages_shuffled", messages)
+            .Set("failures_recovered", result->failures_recovered)
+            .Set("identical_to_serial", identical);
+      }
+    }
+    bench::Emit(table);
+    const std::string json_path = "BENCH_threads.json";
+    FLINKLESS_CHECK(report.WriteFile(json_path),
+                    "cannot write " + json_path);
+    std::cout << "json: wrote " << json_path << "\n";
   }
   return 0;
 }

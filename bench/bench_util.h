@@ -9,9 +9,14 @@
 #ifndef FLINKLESS_BENCH_BENCH_UTIL_H_
 #define FLINKLESS_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
 #include "iteration/context.h"
@@ -68,6 +73,112 @@ inline void Banner(const std::string& experiment_id,
             << experiment_id << ": " << description << "\n"
             << "==================================================\n";
 }
+
+/// Machine-readable experiment output: a flat list of measurement entries
+/// serialized as a JSON document. Field order is preserved, so diffs of two
+/// report files line up. Strings are escaped; numbers are emitted with
+/// enough precision to round-trip.
+class JsonReport {
+ public:
+  class Entry {
+   public:
+    Entry& Set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, Quote(value));
+      return *this;
+    }
+    Entry& Set(const std::string& key, const char* value) {
+      return Set(key, std::string(value));
+    }
+    Entry& Set(const std::string& key, double value) {
+      std::ostringstream out;
+      out << std::setprecision(17) << value;
+      fields_.emplace_back(key, out.str());
+      return *this;
+    }
+    Entry& Set(const std::string& key, int64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Entry& Set(const std::string& key, uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Entry& Set(const std::string& key, int value) {
+      return Set(key, static_cast<int64_t>(value));
+    }
+    Entry& Set(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+
+    static std::string Quote(const std::string& raw) {
+      std::string out = "\"";
+      for (char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+      }
+      out += '"';
+      return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string experiment_id)
+      : experiment_id_(std::move(experiment_id)) {}
+
+  /// Appends a new entry; populate it with chained Set calls. The returned
+  /// reference is invalidated by the next AddEntry.
+  Entry& AddEntry() {
+    entries_.emplace_back();
+    return entries_.back();
+  }
+
+  void Serialize(std::ostream& out) const {
+    out << "{\n  \"experiment\": " << Entry::Quote(experiment_id_)
+        << ",\n  \"entries\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out << "    {";
+      const auto& fields = entries_[i].fields_;
+      for (size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) out << ", ";
+        out << Entry::Quote(fields[f].first) << ": " << fields[f].second;
+      }
+      out << (i + 1 < entries_.size() ? "},\n" : "}\n");
+    }
+    out << "  ]\n}\n";
+  }
+
+  /// Writes the report to `path`. Returns false when the file cannot be
+  /// opened or written.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    Serialize(out);
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string experiment_id_;
+  std::vector<Entry> entries_;
+};
 
 /// Prints a table twice: human-readable and as CSV lines prefixed "csv:".
 inline void Emit(const TablePrinter& table) {

@@ -334,6 +334,7 @@ Result<AlsResult> RunAls(const std::vector<Rating>& ratings,
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
+  exec.num_threads = options.num_threads;
   exec.clock = env.clock;
   exec.costs = env.costs;
 

@@ -63,6 +63,8 @@ struct AlsOptions {
   int rank = 4;
   double regularization = 0.05;
   int num_partitions = 4;
+  /// Executor worker threads (1 = serial, 0 = hardware concurrency).
+  int num_threads = 1;
   int max_iterations = 30;
   /// Converged when no factor entry moved more than this between
   /// supersteps.

@@ -68,23 +68,37 @@ FixComponentsCompensation::FixComponentsCompensation(
 Status FixComponentsCompensation::Compensate(
     const iteration::IterationContext& ctx, iteration::IterationState* state,
     const std::vector<int>& lost) {
-  (void)ctx;
   const int num_partitions = state->num_partitions();
   std::set<int> lost_set(lost.begin(), lost.end());
+  std::vector<int> lost_list(lost_set.begin(), lost_set.end());
+
+  // Vertex ids of each lost partition (ascending), computed once; the
+  // per-partition repair work below runs on the executor's pool.
+  std::vector<std::vector<int64_t>> lost_members(lost_list.size());
+  for (int64_t v = 0; v < graph_->num_vertices(); ++v) {
+    int p = PartitionOfVertex(v, num_partitions);
+    for (size_t i = 0; i < lost_list.size(); ++i) {
+      if (lost_list[i] == p) {
+        lost_members[i].push_back(v);
+        break;
+      }
+    }
+  }
 
   if (state->kind() == iteration::StateKind::kBulk) {
     // Bulk variant: restore lost vertices to their initial labels; the next
     // superstep recomputes everything anyway.
     auto* bulk = static_cast<iteration::BulkState*>(state);
-    for (int p : lost_set) {
-      std::vector<Record>& partition = bulk->data().partition(p);
-      partition.clear();
-      for (int64_t v = 0; v < graph_->num_vertices(); ++v) {
-        if (PartitionOfVertex(v, num_partitions) == p) {
-          partition.push_back(MakeRecord(v, v));
-        }
-      }
-    }
+    runtime::ParallelFor(
+        ctx.pool, static_cast<int>(lost_list.size()), [&](int i) {
+          std::vector<Record>& partition =
+              bulk->data().partition(lost_list[i]);
+          partition.clear();
+          partition.reserve(lost_members[i].size());
+          for (int64_t v : lost_members[i]) {
+            partition.push_back(MakeRecord(v, v));
+          }
+        });
     return Status::OK();
   }
 
@@ -92,18 +106,23 @@ Status FixComponentsCompensation::Compensate(
 
   // 1. Re-initialize the lost solution partitions to the initial labels
   //    (vertex -> its own id). This is the provably consistent state of
-  //    Schelter et al. [14].
+  //    Schelter et al. [14]. Record materialization is parallel; the
+  //    ReplacePartition upserts stay on the calling thread because the
+  //    solution set's version counter is shared across partitions.
+  std::vector<std::vector<Record>> initial_labels(lost_list.size());
+  runtime::ParallelFor(
+      ctx.pool, static_cast<int>(lost_list.size()), [&](int i) {
+        initial_labels[i].reserve(lost_members[i].size());
+        for (int64_t v : lost_members[i]) {
+          initial_labels[i].push_back(MakeRecord(v, v));
+        }
+      });
   std::vector<int64_t> restored;
-  for (int p : lost_set) {
-    std::vector<Record> records;
-    for (int64_t v = 0; v < graph_->num_vertices(); ++v) {
-      if (PartitionOfVertex(v, num_partitions) == p) {
-        records.push_back(MakeRecord(v, v));
-        restored.push_back(v);
-      }
-    }
-    FLINKLESS_RETURN_NOT_OK(
-        delta->solution().ReplacePartition(p, std::move(records)));
+  for (size_t i = 0; i < lost_list.size(); ++i) {
+    restored.insert(restored.end(), lost_members[i].begin(),
+                    lost_members[i].end());
+    FLINKLESS_RETURN_NOT_OK(delta->solution().ReplacePartition(
+        lost_list[i], std::move(initial_labels[i])));
   }
 
   // 2. Repopulate the workset: the restored vertices and their neighbors
@@ -117,23 +136,33 @@ Status FixComponentsCompensation::Compensate(
     for (int64_t u : graph_->Neighbors(v)) propagators.insert(u);
   }
 
-  std::vector<std::set<int64_t>> already_queued(num_partitions);
-  for (int p = 0; p < num_partitions; ++p) {
-    for (const Record& r : delta->workset().partition(p)) {
-      already_queued[p].insert(r[0].AsInt64());
-    }
-  }
+  // Group the propagators by home partition so each partition can extend
+  // its own workset slice independently (solution lookups are read-only).
+  std::vector<std::vector<int64_t>> propagators_of(num_partitions);
   for (int64_t v : propagators) {
-    Record key = MakeRecord(v);
-    const Record* entry = delta->solution().Lookup(key);
-    if (entry == nullptr) {
-      return Status::Internal("vertex " + std::to_string(v) +
-                              " missing from solution set after compensation");
+    propagators_of[PartitionOfVertex(v, num_partitions)].push_back(v);
+  }
+  std::vector<Status> part_status(num_partitions);
+  runtime::ParallelFor(ctx.pool, num_partitions, [&](int p) {
+    std::set<int64_t> already_queued;
+    for (const Record& r : delta->workset().partition(p)) {
+      already_queued.insert(r[0].AsInt64());
     }
-    int p = PartitionOfVertex(v, num_partitions);
-    if (already_queued[p].insert(v).second) {
-      delta->workset().partition(p).push_back(*entry);
+    for (int64_t v : propagators_of[p]) {
+      const Record* entry = delta->solution().Lookup(MakeRecord(v));
+      if (entry == nullptr) {
+        part_status[p] = Status::Internal(
+            "vertex " + std::to_string(v) +
+            " missing from solution set after compensation");
+        return;
+      }
+      if (already_queued.insert(v).second) {
+        delta->workset().partition(p).push_back(*entry);
+      }
     }
+  });
+  for (const Status& s : part_status) {
+    if (!s.ok()) return s;
   }
   return Status::OK();
 }
@@ -230,6 +259,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsWithSnapshots(
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
+  exec.num_threads = options.num_threads;
   exec.clock = env.clock;
   exec.costs = env.costs;
 
@@ -315,6 +345,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
+  exec.num_threads = options.num_threads;
   exec.clock = env.clock;
   exec.costs = env.costs;
 

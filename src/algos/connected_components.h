@@ -52,6 +52,8 @@ class FixComponentsCompensation : public core::CompensationFunction {
 /// Configuration of a Connected Components run.
 struct ConnectedComponentsOptions {
   int num_partitions = 4;
+  /// Executor worker threads (1 = serial, 0 = hardware concurrency).
+  int num_threads = 1;
   int max_iterations = 200;
 };
 

@@ -269,6 +269,7 @@ Result<KMeansResult> RunKMeans(const std::vector<Point>& points,
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
+  exec.num_threads = options.num_threads;
   exec.clock = env.clock;
   exec.costs = env.costs;
 

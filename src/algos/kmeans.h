@@ -83,6 +83,8 @@ class ReseedCentroidsCompensation : public core::CompensationFunction {
 struct KMeansOptions {
   int k = 4;
   int num_partitions = 4;
+  /// Executor worker threads (1 = serial, 0 = hardware concurrency).
+  int num_threads = 1;
   int max_iterations = 100;
   /// Converged when no centroid moved more than this between iterations.
   double tolerance = 1e-9;

@@ -106,7 +106,6 @@ FixRanksCompensation::FixRanksCompensation(int64_t num_vertices,
 Status FixRanksCompensation::Compensate(
     const iteration::IterationContext& ctx, iteration::IterationState* state,
     const std::vector<int>& lost) {
-  (void)ctx;
   if (state->kind() != iteration::StateKind::kBulk) {
     return Status::InvalidArgument(
         "fix-ranks compensates bulk iterations only");
@@ -116,45 +115,59 @@ Status FixRanksCompensation::Compensate(
   std::set<int> lost_set(lost.begin(), lost.end());
   const double uniform = 1.0 / static_cast<double>(num_vertices_);
 
+  // Vertex ids per partition, computed once; record materialization then
+  // runs partition-parallel on the executor's pool (compensation is
+  // embarrassingly parallel — each partition repairs only itself).
+  std::vector<std::vector<int64_t>> members(num_partitions);
+  for (int64_t v = 0; v < num_vertices_; ++v) {
+    members[PartitionOfVertex(v, num_partitions)].push_back(v);
+  }
+
   if (variant_ == RankCompensationVariant::kFullReinit) {
-    for (int p = 0; p < num_partitions; ++p) {
-      bulk->data().ClearPartition(p);
-    }
-    for (int64_t v = 0; v < num_vertices_; ++v) {
-      int p = PartitionOfVertex(v, num_partitions);
-      bulk->data().partition(p).push_back(MakeRecord(v, uniform));
-    }
+    runtime::ParallelFor(ctx.pool, num_partitions, [&](int p) {
+      std::vector<Record>& partition = bulk->data().partition(p);
+      partition.clear();
+      partition.reserve(members[p].size());
+      for (int64_t v : members[p]) partition.push_back(MakeRecord(v, uniform));
+    });
     return Status::OK();
   }
 
   // Vertices whose rank was lost (they hash into a lost partition).
-  std::vector<int64_t> lost_vertices;
-  for (int64_t v = 0; v < num_vertices_; ++v) {
-    if (lost_set.count(PartitionOfVertex(v, num_partitions)) > 0) {
-      lost_vertices.push_back(v);
-    }
-  }
-  if (lost_vertices.empty()) return Status::OK();
+  uint64_t num_lost_vertices = 0;
+  for (int p : lost_set) num_lost_vertices += members[p].size();
+  if (num_lost_vertices == 0) return Status::OK();
 
   double fill = uniform;
   if (variant_ == RankCompensationVariant::kRedistributeLostMass) {
     // Surviving probability mass; whatever is missing from 1.0 was lost.
-    double surviving = 0.0;
-    for (int p = 0; p < num_partitions; ++p) {
-      if (lost_set.count(p) > 0) continue;
+    // Each surviving partition sums its own records; the partial sums are
+    // folded in partition order so the result does not depend on the
+    // thread count.
+    std::vector<double> partial(num_partitions, 0.0);
+    runtime::ParallelFor(ctx.pool, num_partitions, [&](int p) {
+      if (lost_set.count(p) > 0) return;
+      double sum = 0.0;
       for (const Record& r : bulk->data().partition(p)) {
-        surviving += r[1].AsDouble();
+        sum += r[1].AsDouble();
       }
-    }
+      partial[p] = sum;
+    });
+    double surviving = 0.0;
+    for (double s : partial) surviving += s;
     double lost_mass = std::max(0.0, 1.0 - surviving);
-    fill = lost_mass / static_cast<double>(lost_vertices.size());
+    fill = lost_mass / static_cast<double>(num_lost_vertices);
   }
 
-  for (int p : lost_set) bulk->data().ClearPartition(p);
-  for (int64_t v : lost_vertices) {
-    int p = PartitionOfVertex(v, num_partitions);
-    bulk->data().partition(p).push_back(MakeRecord(v, fill));
-  }
+  std::vector<int> lost_list(lost_set.begin(), lost_set.end());
+  runtime::ParallelFor(
+      ctx.pool, static_cast<int>(lost_list.size()), [&](int i) {
+        int p = lost_list[i];
+        std::vector<Record>& partition = bulk->data().partition(p);
+        partition.clear();
+        partition.reserve(members[p].size());
+        for (int64_t v : members[p]) partition.push_back(MakeRecord(v, fill));
+      });
   return Status::OK();
 }
 
@@ -266,6 +279,7 @@ Result<PageRankResult> RunPageRankWithSnapshots(
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
+  exec.num_threads = options.num_threads;
   exec.clock = env.clock;
   exec.costs = env.costs;
 

@@ -21,6 +21,8 @@ namespace flinkless::algos {
 /// Configuration of a PageRank run.
 struct PageRankOptions {
   int num_partitions = 4;
+  /// Executor worker threads (1 = serial, 0 = hardware concurrency).
+  int num_threads = 1;
   int max_iterations = 100;
   /// Damping factor d: next = (1-d)/n + d * (contributions + dangling/n).
   double damping = 0.85;

@@ -161,6 +161,7 @@ Result<SsspResult> RunSssp(const graph::Graph& graph,
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
+  exec.num_threads = options.num_threads;
   exec.clock = env.clock;
   exec.costs = env.costs;
 

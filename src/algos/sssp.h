@@ -48,6 +48,8 @@ class FixDistancesCompensation : public core::CompensationFunction {
 struct SsspOptions {
   int64_t source = 0;
   int num_partitions = 4;
+  /// Executor worker threads (1 = serial, 0 = hardware concurrency).
+  int num_threads = 1;
   int max_iterations = 1000;
 };
 

@@ -1,7 +1,9 @@
 #include "dataflow/executor.h"
 
-#include <map>
-#include <set>
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -10,15 +12,40 @@ namespace flinkless::dataflow {
 
 namespace {
 
-using GroupMap = std::map<Record, std::vector<Record>, RecordOrder>;
+// Hash-based grouping: O(1) inserts instead of the ordered std::map the
+// executor used to pay O(log k) per record for. Operators that need a
+// deterministic key order (group-reduce emission, cogroup's merged key
+// sweep) sort the key set once afterwards.
+using GroupMap =
+    std::unordered_map<Record, std::vector<Record>, RecordHash>;
 
 GroupMap GroupByKey(const std::vector<Record>& records,
                     const KeyColumns& key) {
   GroupMap groups;
+  groups.reserve(records.size());
   for (const Record& r : records) {
     groups[ExtractKey(r, key)].push_back(r);
   }
   return groups;
+}
+
+/// The group keys in RecordLess order — the deterministic emission order
+/// key-sorted operators contract to (identical to the old std::map sweep).
+std::vector<const Record*> SortedKeys(const GroupMap& groups) {
+  std::vector<const Record*> keys;
+  keys.reserve(groups.size());
+  for (const auto& [k, group] : groups) keys.push_back(&k);
+  std::sort(keys.begin(), keys.end(),
+            [](const Record* a, const Record* b) { return RecordLess(*a, *b); });
+  return keys;
+}
+
+uint64_t MaxPartitionSize(const PartitionedDataset& ds) {
+  uint64_t m = 0;
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    m = std::max(m, static_cast<uint64_t>(ds.partition(p).size()));
+  }
+  return m;
 }
 
 }  // namespace
@@ -34,37 +61,111 @@ void ExecStats::MergeFrom(const ExecStats& other) {
 Executor::Executor(ExecOptions options) : options_(options) {
   FLINKLESS_CHECK(options_.num_partitions > 0,
                   "executor needs at least one partition");
+  int threads = runtime::ThreadPool::ResolveThreadCount(options_.num_threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(threads);
+  }
 }
 
-void Executor::ChargeCompute(uint64_t records) const {
-  if (options_.clock != nullptr && options_.costs != nullptr) {
-    options_.clock->Add(runtime::Charge::kCompute,
-                        options_.costs->cpu_per_record_ns *
-                            static_cast<int64_t>(records));
+void Executor::ForEachPartition(int count,
+                                const std::function<void(int)>& fn) const {
+  runtime::ParallelFor(pool_.get(), count, fn);
+}
+
+void Executor::ChargeCompute(
+    const std::vector<uint64_t>& per_partition) const {
+  if (options_.clock == nullptr || options_.costs == nullptr) return;
+  uint64_t critical = 0;
+  for (uint64_t records : per_partition) critical = std::max(critical, records);
+  options_.clock->Add(runtime::Charge::kCompute,
+                      options_.costs->cpu_per_record_ns *
+                          static_cast<int64_t>(critical));
+}
+
+void Executor::ChargeCompute(const PartitionedDataset& a,
+                             const PartitionedDataset* b) const {
+  if (options_.clock == nullptr || options_.costs == nullptr) return;
+  uint64_t critical = 0;
+  for (int p = 0; p < a.num_partitions(); ++p) {
+    uint64_t records = a.partition(p).size();
+    if (b != nullptr && p < b->num_partitions()) {
+      records += b->partition(p).size();
+    }
+    critical = std::max(critical, records);
   }
+  options_.clock->Add(runtime::Charge::kCompute,
+                      options_.costs->cpu_per_record_ns *
+                          static_cast<int64_t>(critical));
+}
+
+void Executor::ChargeNetwork(uint64_t messages) const {
+  if (options_.clock == nullptr || options_.costs == nullptr) return;
+  options_.clock->Add(runtime::Charge::kNetwork,
+                      options_.costs->network_per_record_ns *
+                          static_cast<int64_t>(messages));
+}
+
+template <typename Input>
+PartitionedDataset Executor::ShuffleImpl(Input&& input, const KeyColumns& key,
+                                         ExecStats* stats) const {
+  constexpr bool kMove = !std::is_lvalue_reference_v<Input>;
+  const int n = options_.num_partitions;
+  const int sources = input.num_partitions();
+
+  // Phase 1 — scatter: each source partition splits its records into an
+  // N-way outbox, independently of every other source partition.
+  std::vector<std::vector<std::vector<Record>>> outbox(sources);
+  std::vector<uint64_t> moved(sources, 0);
+  ForEachPartition(sources, [&](int p) {
+    auto& boxes = outbox[p];
+    boxes.resize(n);
+    if constexpr (kMove) {
+      for (Record& r : input.partition(p)) {
+        int target = PartitionedDataset::PartitionOf(r, key, n);
+        if (target != p) ++moved[p];
+        boxes[target].push_back(std::move(r));
+      }
+    } else {
+      for (const Record& r : input.partition(p)) {
+        int target = PartitionedDataset::PartitionOf(r, key, n);
+        if (target != p) ++moved[p];
+        boxes[target].push_back(r);
+      }
+    }
+  });
+
+  // Phase 2 — gather: each target partition reserves its exact final size
+  // and concatenates its outboxes in source order, which reproduces the
+  // serial single-pass arrival order byte for byte.
+  PartitionedDataset out(n);
+  ForEachPartition(n, [&](int t) {
+    size_t total = 0;
+    for (int p = 0; p < sources; ++p) total += outbox[p][t].size();
+    std::vector<Record>& dst = out.partition(t);
+    dst.reserve(total);
+    for (int p = 0; p < sources; ++p) {
+      for (Record& r : outbox[p][t]) dst.push_back(std::move(r));
+    }
+  });
+
+  ChargeCompute(input);
+  uint64_t total_moved = 0;
+  for (uint64_t m : moved) total_moved += m;
+  ChargeNetwork(total_moved);
+  if (stats != nullptr) stats->messages_shuffled += total_moved;
+  return out;
 }
 
 PartitionedDataset Executor::Shuffle(const PartitionedDataset& input,
                                      const KeyColumns& key,
                                      ExecStats* stats) const {
-  const int n = options_.num_partitions;
-  PartitionedDataset out(n);
-  uint64_t moved = 0;
-  for (int p = 0; p < input.num_partitions(); ++p) {
-    for (const Record& r : input.partition(p)) {
-      int target = PartitionedDataset::PartitionOf(r, key, n);
-      if (target != p) ++moved;
-      out.partition(target).push_back(r);
-    }
-  }
-  ChargeCompute(input.NumRecords());
-  if (options_.clock != nullptr && options_.costs != nullptr) {
-    options_.clock->Add(runtime::Charge::kNetwork,
-                        options_.costs->network_per_record_ns *
-                            static_cast<int64_t>(moved));
-  }
-  if (stats != nullptr) stats->messages_shuffled += moved;
-  return out;
+  return ShuffleImpl(input, key, stats);
+}
+
+PartitionedDataset Executor::Shuffle(PartitionedDataset&& input,
+                                     const KeyColumns& key,
+                                     ExecStats* stats) const {
+  return ShuffleImpl(std::move(input), key, stats);
 }
 
 Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
@@ -79,6 +180,20 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
   auto count_output = [&](const PlanNode& node,
                           const PartitionedDataset& ds) {
     local_stats.node_output_counts[node.name] += ds.NumRecords();
+  };
+
+  // Per-partition failure slots for operators that can fail mid-record;
+  // checked in partition order after the parallel section so the reported
+  // error is the same one serial execution would hit first.
+  std::vector<Status> part_status(n);
+  auto reset_status = [&] {
+    for (Status& s : part_status) s = Status::OK();
+  };
+  auto first_error = [&]() -> Status {
+    for (const Status& s : part_status) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
   };
 
   for (const PlanNode& node : plan.nodes()) {
@@ -102,14 +217,14 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
       case OpKind::kMap: {
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
+        ForEachPartition(n, [&](int p) {
           out.partition(p).reserve(in.partition(p).size());
           for (const Record& r : in.partition(p)) {
             out.partition(p).push_back(node.map_fn(r));
           }
-        }
+        });
         local_stats.records_processed += in.NumRecords();
-        ChargeCompute(in.NumRecords());
+        ChargeCompute(in);
         results.push_back(std::move(out));
         break;
       }
@@ -117,13 +232,13 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
       case OpKind::kFlatMap: {
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
+        ForEachPartition(n, [&](int p) {
           for (const Record& r : in.partition(p)) {
             node.flat_map_fn(r, &out.partition(p));
           }
-        }
+        });
         local_stats.records_processed += in.NumRecords();
-        ChargeCompute(in.NumRecords());
+        ChargeCompute(in);
         results.push_back(std::move(out));
         break;
       }
@@ -131,13 +246,13 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
       case OpKind::kFilter: {
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
+        ForEachPartition(n, [&](int p) {
           for (const Record& r : in.partition(p)) {
             if (node.filter_fn(r)) out.partition(p).push_back(r);
           }
-        }
+        });
         local_stats.records_processed += in.NumRecords();
-        ChargeCompute(in.NumRecords());
+        ChargeCompute(in);
         results.push_back(std::move(out));
         break;
       }
@@ -145,24 +260,27 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
       case OpKind::kProject: {
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
+        reset_status();
+        ForEachPartition(n, [&](int p) {
           for (const Record& r : in.partition(p)) {
             Record projected;
             projected.reserve(node.project_columns.size());
             for (int col : node.project_columns) {
               if (col < 0 || static_cast<size_t>(col) >= r.size()) {
-                return Status::OutOfRange(
+                part_status[p] = Status::OutOfRange(
                     "Project '" + node.name + "': column " +
                     std::to_string(col) + " out of range for record " +
                     RecordToString(r));
+                return;
               }
               projected.push_back(r[col]);
             }
             out.partition(p).push_back(std::move(projected));
           }
-        }
+        });
+        FLINKLESS_RETURN_NOT_OK(first_error());
         local_stats.records_processed += in.NumRecords();
-        ChargeCompute(in.NumRecords());
+        ChargeCompute(in);
         results.push_back(std::move(out));
         break;
       }
@@ -173,42 +291,69 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         if (node.pre_combine) {
           // Local pre-aggregation before the shuffle: fewer messages.
           combined = PartitionedDataset(in->num_partitions());
-          for (int p = 0; p < in->num_partitions(); ++p) {
-            std::map<Record, Record, RecordOrder> acc;
+          ForEachPartition(in->num_partitions(), [&](int p) {
+            std::unordered_map<Record, Record, RecordHash> acc;
+            acc.reserve(in->partition(p).size());
             for (const Record& r : in->partition(p)) {
               Record k = ExtractKey(r, node.left_key);
               auto [it, inserted] = acc.try_emplace(std::move(k), r);
               if (!inserted) it->second = node.combine_fn(it->second, r);
             }
-            for (auto& [k, v] : acc) combined.partition(p).push_back(v);
-          }
+            std::vector<const Record*> keys;
+            keys.reserve(acc.size());
+            for (const auto& [k, v] : acc) keys.push_back(&k);
+            std::sort(keys.begin(), keys.end(),
+                      [](const Record* a, const Record* b) {
+                        return RecordLess(*a, *b);
+                      });
+            combined.partition(p).reserve(keys.size());
+            for (const Record* k : keys) {
+              combined.partition(p).push_back(std::move(acc.at(*k)));
+            }
+          });
           local_stats.records_processed += in->NumRecords();
-          ChargeCompute(in->NumRecords());
+          ChargeCompute(*in);
           in = &combined;
         }
-        PartitionedDataset shuffled = Shuffle(*in, node.left_key,
-                                              &local_stats);
+        PartitionedDataset shuffled =
+            in == &combined
+                ? Shuffle(std::move(combined), node.left_key, &local_stats)
+                : Shuffle(*in, node.left_key, &local_stats);
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
-          std::map<Record, Record, RecordOrder> acc;
+        reset_status();
+        ForEachPartition(n, [&](int p) {
+          std::unordered_map<Record, Record, RecordHash> acc;
+          acc.reserve(shuffled.partition(p).size());
           for (const Record& r : shuffled.partition(p)) {
             Record k = ExtractKey(r, node.left_key);
             auto [it, inserted] = acc.try_emplace(std::move(k), r);
             if (!inserted) {
               Record folded = node.combine_fn(it->second, r);
               if (!KeysEqual(folded, node.left_key, r, node.left_key)) {
-                return Status::Internal(
+                part_status[p] = Status::Internal(
                     "ReduceByKey '" + node.name +
                     "': combiner changed the key (got " +
                     RecordToString(folded) + ")");
+                return;
               }
               it->second = std::move(folded);
             }
           }
-          for (auto& [k, v] : acc) out.partition(p).push_back(std::move(v));
-        }
+          std::vector<const Record*> keys;
+          keys.reserve(acc.size());
+          for (const auto& [k, v] : acc) keys.push_back(&k);
+          std::sort(keys.begin(), keys.end(),
+                    [](const Record* a, const Record* b) {
+                      return RecordLess(*a, *b);
+                    });
+          out.partition(p).reserve(keys.size());
+          for (const Record* k : keys) {
+            out.partition(p).push_back(std::move(acc.at(*k)));
+          }
+        });
+        FLINKLESS_RETURN_NOT_OK(first_error());
         local_stats.records_processed += shuffled.NumRecords();
-        ChargeCompute(shuffled.NumRecords());
+        ChargeCompute(shuffled);
         results.push_back(std::move(out));
         break;
       }
@@ -217,14 +362,17 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset shuffled = Shuffle(in, node.left_key, &local_stats);
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
+        ForEachPartition(n, [&](int p) {
           GroupMap groups = GroupByKey(shuffled.partition(p), node.left_key);
-          for (const auto& [key, group] : groups) {
-            out.partition(p).push_back(node.group_reduce_fn(key, group));
+          std::vector<const Record*> keys = SortedKeys(groups);
+          out.partition(p).reserve(keys.size());
+          for (const Record* key : keys) {
+            out.partition(p).push_back(
+                node.group_reduce_fn(*key, groups.at(*key)));
           }
-        }
+        });
         local_stats.records_processed += shuffled.NumRecords();
-        ChargeCompute(shuffled.NumRecords());
+        ChargeCompute(shuffled);
         results.push_back(std::move(out));
         break;
       }
@@ -235,7 +383,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         PartitionedDataset right =
             Shuffle(results[node.inputs[1]], node.right_key, &local_stats);
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
+        ForEachPartition(n, [&](int p) {
           GroupMap build = GroupByKey(left.partition(p), node.left_key);
           for (const Record& r : right.partition(p)) {
             auto it = build.find(ExtractKey(r, node.right_key));
@@ -244,10 +392,10 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               out.partition(p).push_back(node.join_fn(l, r));
             }
           }
-        }
+        });
         local_stats.records_processed +=
             left.NumRecords() + right.NumRecords();
-        ChargeCompute(left.NumRecords() + right.NumRecords());
+        ChargeCompute(left, &right);
         results.push_back(std::move(out));
         break;
       }
@@ -259,38 +407,33 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             Shuffle(results[node.inputs[1]], node.right_key, &local_stats);
         PartitionedDataset out(n);
         static const std::vector<Record> kEmptyGroup;
-        for (int p = 0; p < n; ++p) {
+        ForEachPartition(n, [&](int p) {
           GroupMap lgroups = GroupByKey(left.partition(p), node.left_key);
           GroupMap rgroups = GroupByKey(right.partition(p), node.right_key);
-          // Merge the two sorted key sets.
-          auto lit = lgroups.begin();
-          auto rit = rgroups.begin();
-          while (lit != lgroups.end() || rit != rgroups.end()) {
-            bool take_left =
-                rit == rgroups.end() ||
-                (lit != lgroups.end() && RecordLess(lit->first, rit->first));
-            bool take_right =
-                lit == lgroups.end() ||
-                (rit != rgroups.end() && RecordLess(rit->first, lit->first));
-            if (take_left) {
-              node.cogroup_fn(lit->first, lit->second, kEmptyGroup,
-                              &out.partition(p));
-              ++lit;
-            } else if (take_right) {
-              node.cogroup_fn(rit->first, kEmptyGroup, rit->second,
-                              &out.partition(p));
-              ++rit;
-            } else {
-              node.cogroup_fn(lit->first, lit->second, rit->second,
-                              &out.partition(p));
-              ++lit;
-              ++rit;
-            }
+          // Sweep the union of both key sets in RecordLess order, exactly
+          // like the old sorted-map merge.
+          std::vector<const Record*> keys;
+          keys.reserve(lgroups.size() + rgroups.size());
+          for (const auto& [k, g] : lgroups) keys.push_back(&k);
+          for (const auto& [k, g] : rgroups) {
+            if (lgroups.find(k) == lgroups.end()) keys.push_back(&k);
           }
-        }
+          std::sort(keys.begin(), keys.end(),
+                    [](const Record* a, const Record* b) {
+                      return RecordLess(*a, *b);
+                    });
+          for (const Record* key : keys) {
+            auto lit = lgroups.find(*key);
+            auto rit = rgroups.find(*key);
+            node.cogroup_fn(*key,
+                            lit != lgroups.end() ? lit->second : kEmptyGroup,
+                            rit != rgroups.end() ? rit->second : kEmptyGroup,
+                            &out.partition(p));
+          }
+        });
         local_stats.records_processed +=
             left.NumRecords() + right.NumRecords();
-        ChargeCompute(left.NumRecords() + right.NumRecords());
+        ChargeCompute(left, &right);
         results.push_back(std::move(out));
         break;
       }
@@ -304,13 +447,9 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         uint64_t broadcast_messages =
             right.NumRecords() * static_cast<uint64_t>(n > 0 ? n - 1 : 0);
         local_stats.messages_shuffled += broadcast_messages;
-        if (options_.clock != nullptr && options_.costs != nullptr) {
-          options_.clock->Add(runtime::Charge::kNetwork,
-                              options_.costs->network_per_record_ns *
-                                  static_cast<int64_t>(broadcast_messages));
-        }
+        ChargeNetwork(broadcast_messages);
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
+        ForEachPartition(n, [&](int p) {
           out.partition(p).reserve(left.partition(p).size() *
                                    right_all.size());
           for (const Record& l : left.partition(p)) {
@@ -318,10 +457,13 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               out.partition(p).push_back(node.join_fn(l, r));
             }
           }
-        }
+        });
         local_stats.records_processed +=
             left.NumRecords() + right.NumRecords();
-        ChargeCompute(left.NumRecords() * right_all.size());
+        // Partition p pays for its own left records against the whole
+        // broadcast right side; the critical path is the largest partition.
+        ChargeCompute(std::vector<uint64_t>{MaxPartitionSize(left) *
+                                            right_all.size()});
         results.push_back(std::move(out));
         break;
       }
@@ -330,7 +472,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         const PartitionedDataset& a = results[node.inputs[0]];
         const PartitionedDataset& b = results[node.inputs[1]];
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
+        ForEachPartition(n, [&](int p) {
           out.partition(p).reserve(a.partition(p).size() +
                                    b.partition(p).size());
           out.partition(p).insert(out.partition(p).end(),
@@ -339,9 +481,9 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           out.partition(p).insert(out.partition(p).end(),
                                   b.partition(p).begin(),
                                   b.partition(p).end());
-        }
+        });
         local_stats.records_processed += a.NumRecords() + b.NumRecords();
-        ChargeCompute(a.NumRecords() + b.NumRecords());
+        ChargeCompute(a, &b);
         results.push_back(std::move(out));
         break;
       }
@@ -350,14 +492,15 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         PartitionedDataset shuffled =
             Shuffle(results[node.inputs[0]], node.left_key, &local_stats);
         PartitionedDataset out(n);
-        for (int p = 0; p < n; ++p) {
-          std::set<Record, RecordOrder> seen;
+        ForEachPartition(n, [&](int p) {
+          std::unordered_set<Record, RecordHash> seen;
+          seen.reserve(shuffled.partition(p).size());
           for (const Record& r : shuffled.partition(p)) {
             if (seen.insert(r).second) out.partition(p).push_back(r);
           }
-        }
+        });
         local_stats.records_processed += shuffled.NumRecords();
-        ChargeCompute(shuffled.NumRecords());
+        ChargeCompute(shuffled);
         results.push_back(std::move(out));
         break;
       }

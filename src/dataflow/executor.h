@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -20,6 +22,7 @@
 #include "dataflow/plan.h"
 #include "runtime/cost_model.h"
 #include "runtime/sim_clock.h"
+#include "runtime/thread_pool.h"
 
 namespace flinkless::dataflow {
 
@@ -50,10 +53,19 @@ struct ExecOptions {
   int num_partitions = 4;
   runtime::SimClock* clock = nullptr;
   const runtime::CostModel* costs = nullptr;
+
+  /// Worker threads evaluating per-partition operator instances: 1 = serial
+  /// execution on the calling thread (the default), 0 = one thread per
+  /// hardware core, anything else is taken literally. Outputs, ExecStats,
+  /// and simulated-time charges are identical for every value — parallelism
+  /// only changes wall-clock time (see DESIGN.md "Threading model").
+  int num_threads = 1;
 };
 
 /// Stateless plan interpreter. One Executor can run many plans; options are
-/// fixed at construction.
+/// fixed at construction. An executor with num_threads > 1 owns a worker
+/// pool for the lifetime of the object; Execute/Shuffle may be called from
+/// one thread at a time.
 class Executor {
  public:
   explicit Executor(ExecOptions options);
@@ -66,16 +78,48 @@ class Executor {
 
   /// Hash-repartitions `input` on `key`, counting moved records into `stats`
   /// and charging the clock. Exposed because the iteration drivers also need
-  /// to co-partition state.
+  /// to co-partition state. Two-phase: every source partition scatters into
+  /// its own N-way outbox (in parallel), then every target partition
+  /// concatenates its outboxes in source order — so the result is
+  /// byte-identical to a serial single-pass shuffle.
   PartitionedDataset Shuffle(const PartitionedDataset& input,
                              const KeyColumns& key, ExecStats* stats) const;
 
+  /// Shuffle overload that moves records out of `input` instead of copying
+  /// them; use when the input dataset is dead after the call.
+  PartitionedDataset Shuffle(PartitionedDataset&& input, const KeyColumns& key,
+                             ExecStats* stats) const;
+
   int num_partitions() const { return options_.num_partitions; }
 
+  /// The worker pool, or nullptr when executing serially. Borrowed by the
+  /// iteration drivers so recovery-path work (compensation functions) can
+  /// run partition-parallel on the same workers.
+  runtime::ThreadPool* pool() const { return pool_.get(); }
+
  private:
-  void ChargeCompute(uint64_t records) const;
+  /// Runs fn(p) for every partition, on the pool when present.
+  void ForEachPartition(int count, const std::function<void(int)>& fn) const;
+
+  /// Charges compute for per-partition record counts under critical-path
+  /// semantics: the simulated cluster runs its N partitions on N workers in
+  /// parallel, so an operator costs as much as its slowest partition. A pure
+  /// function of the data — independent of num_threads.
+  void ChargeCompute(const std::vector<uint64_t>& per_partition) const;
+
+  /// Critical-path charge where partition p processes `a.partition(p)` (and
+  /// `b.partition(p)` when b is non-null).
+  void ChargeCompute(const PartitionedDataset& a,
+                     const PartitionedDataset* b = nullptr) const;
+
+  void ChargeNetwork(uint64_t messages) const;
+
+  template <typename Input>
+  PartitionedDataset ShuffleImpl(Input&& input, const KeyColumns& key,
+                                 ExecStats* stats) const;
 
   ExecOptions options_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
 };
 
 }  // namespace flinkless::dataflow

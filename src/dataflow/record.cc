@@ -28,6 +28,12 @@ uint64_t HashKey(const Record& record, const KeyColumns& key) {
   return h;
 }
 
+uint64_t HashRecord(const Record& record) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : record) h = HashCombine(h, v.Hash());
+  return h;
+}
+
 bool KeysEqual(const Record& a, const KeyColumns& a_key, const Record& b,
                const KeyColumns& b_key) {
   if (a_key.size() != b_key.size()) return false;

@@ -55,6 +55,17 @@ struct RecordOrder {
   }
 };
 
+/// Equality-respecting hash over a whole record, for unordered containers
+/// keyed by Record (hash grouping in the executor).
+uint64_t HashRecord(const Record& record);
+
+/// Hasher adapting HashRecord for unordered containers keyed by Record.
+struct RecordHash {
+  size_t operator()(const Record& r) const {
+    return static_cast<size_t>(HashRecord(r));
+  }
+};
+
 /// Appends the serialized form of `record` to `out`. The format is
 /// self-delimiting: [u32 count] then per field [u8 tag][payload].
 void SerializeRecord(const Record& record, std::vector<uint8_t>* out);

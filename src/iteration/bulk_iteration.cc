@@ -55,6 +55,7 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     ctx.costs = env_.costs;
     ctx.storage = env_.storage;
     ctx.cluster = env_.cluster;
+    ctx.pool = executor.pool();
     ctx.job_id = env_.job_id;
     return ctx;
   };

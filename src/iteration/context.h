@@ -12,6 +12,7 @@
 #include "runtime/metrics.h"
 #include "runtime/sim_clock.h"
 #include "runtime/stable_storage.h"
+#include "runtime/thread_pool.h"
 
 namespace flinkless::iteration {
 
@@ -38,6 +39,10 @@ struct IterationContext {
   const runtime::CostModel* costs = nullptr;
   runtime::StableStorage* storage = nullptr;
   runtime::Cluster* cluster = nullptr;
+  /// The executor's worker pool (nullptr when executing serially).
+  /// Compensation functions and policies run partition-parallel work on it
+  /// via runtime::ParallelFor, which degrades to an inline loop when null.
+  runtime::ThreadPool* pool = nullptr;
   std::string job_id;
 };
 

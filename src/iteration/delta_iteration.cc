@@ -57,6 +57,7 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     ctx.costs = env_.costs;
     ctx.storage = env_.storage;
     ctx.cluster = env_.cluster;
+    ctx.pool = executor.pool();
     ctx.job_id = env_.job_id;
     return ctx;
   };
@@ -96,7 +97,8 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
         env_.clock != nullptr ? env_.clock->TotalNs() : 0;
     runtime::WallTimer wall;
 
-    PartitionedDataset solution_ds = state.solution().ToDataset();
+    PartitionedDataset solution_ds =
+        state.solution().ToDataset(executor.pool());
     dataflow::Bindings bindings = static_bindings_;
     bindings[config_.workset_binding] = &state.workset();
     bindings[config_.solution_binding] = &solution_ds;

@@ -75,11 +75,10 @@ uint64_t SolutionSet::NumEntries() const {
   return total;
 }
 
-PartitionedDataset SolutionSet::ToDataset() const {
+PartitionedDataset SolutionSet::ToDataset(runtime::ThreadPool* pool) const {
   PartitionedDataset ds(num_partitions());
-  for (int p = 0; p < num_partitions(); ++p) {
-    ds.partition(p) = PartitionRecords(p);
-  }
+  runtime::ParallelFor(pool, num_partitions(),
+                       [&](int p) { ds.partition(p) = PartitionRecords(p); });
   return ds;
 }
 

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "dataflow/dataset.h"
 #include "dataflow/record.h"
+#include "runtime/thread_pool.h"
 
 namespace flinkless::iteration {
 
@@ -106,8 +107,10 @@ class SolutionSet {
   uint64_t NumEntries() const;
 
   /// Materializes the solution set as a dataset (bound into the step plan
-  /// each superstep).
-  dataflow::PartitionedDataset ToDataset() const;
+  /// each superstep). Partitions materialize in parallel on `pool` when one
+  /// is given; the result is identical either way.
+  dataflow::PartitionedDataset ToDataset(
+      runtime::ThreadPool* pool = nullptr) const;
 
   void ClearPartition(int p) { parts_[p].clear(); }
 

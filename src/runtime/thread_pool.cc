@@ -1,0 +1,140 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace flinkless::runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  FLINKLESS_CHECK(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++in_flight_;
+    queue_.push_back([this, task = std::move(task)] {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    });
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (count == 1 || workers_.empty()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Shared loop state lives on the caller's stack; the caller blocks until
+  // every helper finished, so the references stay valid.
+  struct LoopState {
+    std::atomic<int> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    int active = 0;
+    std::exception_ptr error;
+  } state;
+
+  auto drain = [&state, &fn, count] {
+    int i;
+    while ((i = state.next.fetch_add(1, std::memory_order_relaxed)) < count) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.error) state.error = std::current_exception();
+      }
+    }
+  };
+
+  // The calling thread participates too, so helpers = workers is enough.
+  const int helpers = std::min(num_threads(), count - 1);
+  state.active = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int h = 0; h < helpers; ++h) {
+      queue_.push_back([&state, &drain] {
+        drain();
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (--state.active == 0) state.done.notify_all();
+      });
+    }
+  }
+  task_ready_.notify_all();
+
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done.wait(lock, [&state] { return state.active == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested == 0) return HardwareConcurrency();
+  return requested < 1 ? 1 : requested;
+}
+
+void ParallelFor(ThreadPool* pool, int count,
+                 const std::function<void(int)>& fn) {
+  if (pool == nullptr) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(count, fn);
+}
+
+}  // namespace flinkless::runtime

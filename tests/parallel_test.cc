@@ -1,0 +1,371 @@
+// The determinism contract of partition-parallel execution: for any
+// num_threads, the executor produces byte-identical partition contents,
+// identical ExecStats, and identical simulated-time charges — on plain
+// plans, on full iterative jobs (Connected Components, PageRank), and on
+// runs with injected failures repaired by compensation functions. Plus unit
+// coverage of the ThreadPool itself.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "core/policies.h"
+#include "dataflow/executor.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "common/rng.h"
+#include "runtime/failure.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
+
+namespace flinkless {
+namespace {
+
+using dataflow::Bindings;
+using dataflow::ExecOptions;
+using dataflow::ExecStats;
+using dataflow::Executor;
+using dataflow::MakeRecord;
+using dataflow::PartitionedDataset;
+using dataflow::Plan;
+using dataflow::Record;
+
+// ----------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  constexpr int kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingleRanges) {
+  runtime::ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsTaskExceptions) {
+  runtime::ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](int i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing loop and stays usable.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitDrainTasks) {
+  runtime::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsSubmittedExceptions) {
+  runtime::ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FreeParallelForRunsInlineWithoutPool) {
+  std::vector<int> order;
+  runtime::ParallelFor(nullptr, 5, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(runtime::ThreadPool::ResolveThreadCount(4), 4);
+  EXPECT_EQ(runtime::ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_GE(runtime::ThreadPool::ResolveThreadCount(0), 1);
+  EXPECT_EQ(runtime::ThreadPool::ResolveThreadCount(-3), 1);
+}
+
+// ------------------------------------------- executor plan determinism --
+
+/// Byte-level comparison: partition layout AND intra-partition order.
+void ExpectIdenticalDatasets(const PartitionedDataset& a,
+                             const PartitionedDataset& b) {
+  ASSERT_EQ(a.num_partitions(), b.num_partitions());
+  for (int p = 0; p < a.num_partitions(); ++p) {
+    EXPECT_EQ(a.partition(p), b.partition(p)) << "partition " << p;
+  }
+}
+
+Plan BuildMixedPlan() {
+  // Touches every order-sensitive operator class: map, filter, shuffle-based
+  // reduce (with pre-combine), join, group-reduce, distinct, union.
+  Plan plan;
+  auto src = plan.Source("in");
+  auto mapped = plan.Map(
+      src,
+      [](const Record& r) {
+        return MakeRecord(r[0].AsInt64() % 17, r[1].AsInt64() + 1);
+      },
+      "mod-keys");
+  auto filtered = plan.Filter(
+      mapped, [](const Record& r) { return r[1].AsInt64() % 3 != 0; },
+      "drop-thirds");
+  auto reduced = plan.ReduceByKey(
+      filtered, {0},
+      [](const Record& a, const Record& b) {
+        return MakeRecord(a[0].AsInt64(), a[1].AsInt64() + b[1].AsInt64());
+      },
+      "sum", /*pre_combine=*/true);
+  auto joined = plan.Join(
+      reduced, filtered, {0}, {0},
+      [](const Record& l, const Record& r) {
+        return MakeRecord(l[0].AsInt64(), l[1].AsInt64(), r[1].AsInt64());
+      },
+      "self-join");
+  auto grouped = plan.GroupReduceByKey(
+      joined, {0},
+      [](const Record& key, const std::vector<Record>& group) {
+        return MakeRecord(key[0].AsInt64(),
+                          static_cast<int64_t>(group.size()));
+      },
+      "group-sizes");
+  auto uniq = plan.Distinct(grouped, {0, 1}, "distinct");
+  auto both = plan.Union(uniq, reduced, "union");
+  plan.Output(both, "out");
+  return plan;
+}
+
+class ExecutorDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorDeterminismTest, MixedPlanMatchesSerialByteForByte) {
+  const int threads = GetParam();
+  const int parts = 8;
+  Plan plan = BuildMixedPlan();
+  Rng rng(99);
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 5000; ++i) {
+    records.push_back(
+        MakeRecord(static_cast<int64_t>(rng.NextBounded(512)), i));
+  }
+  auto in = PartitionedDataset::RoundRobin(std::move(records), parts);
+
+  auto run = [&](int num_threads, ExecStats* stats,
+                 runtime::SimClock* clock, const runtime::CostModel* costs) {
+    ExecOptions options;
+    options.num_partitions = parts;
+    options.num_threads = num_threads;
+    options.clock = clock;
+    options.costs = costs;
+    Executor executor(options);
+    auto outs = executor.Execute(plan, {{"in", &in}}, stats);
+    EXPECT_TRUE(outs.ok()) << outs.status().ToString();
+    return std::move(outs->at("out"));
+  };
+
+  runtime::CostModel costs;
+  runtime::SimClock serial_clock;
+  ExecStats serial_stats;
+  PartitionedDataset serial = run(1, &serial_stats, &serial_clock, &costs);
+
+  runtime::SimClock parallel_clock;
+  ExecStats parallel_stats;
+  PartitionedDataset parallel =
+      run(threads, &parallel_stats, &parallel_clock, &costs);
+
+  ExpectIdenticalDatasets(serial, parallel);
+  EXPECT_EQ(serial_stats.records_processed, parallel_stats.records_processed);
+  EXPECT_EQ(serial_stats.messages_shuffled, parallel_stats.messages_shuffled);
+  EXPECT_EQ(serial_stats.node_output_counts,
+            parallel_stats.node_output_counts);
+  // Simulated time is a pure function of the data, never of the thread
+  // count (critical-path charging).
+  EXPECT_EQ(serial_clock.TotalNs(), parallel_clock.TotalNs());
+}
+
+TEST_P(ExecutorDeterminismTest, ShuffleIsByteIdenticalAndMoveMatchesCopy) {
+  const int threads = GetParam();
+  const int parts = 8;
+  Rng rng(7);
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 3000; ++i) {
+    records.push_back(
+        MakeRecord(static_cast<int64_t>(rng.NextBounded(100)), i));
+  }
+  auto in = PartitionedDataset::RoundRobin(std::move(records), parts);
+
+  Executor serial(ExecOptions{parts, nullptr, nullptr});
+  ExecOptions popt;
+  popt.num_partitions = parts;
+  popt.num_threads = threads;
+  Executor parallel(popt);
+
+  ExecStats s1, s2, s3;
+  PartitionedDataset base = serial.Shuffle(in, {0}, &s1);
+  PartitionedDataset threaded = parallel.Shuffle(in, {0}, &s2);
+  PartitionedDataset moved = parallel.Shuffle(PartitionedDataset(in), {0},
+                                              &s3);  // rvalue overload
+  ExpectIdenticalDatasets(base, threaded);
+  ExpectIdenticalDatasets(base, moved);
+  EXPECT_EQ(s1.messages_shuffled, s2.messages_shuffled);
+  EXPECT_EQ(s1.messages_shuffled, s3.messages_shuffled);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ExecutorDeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+// -------------------------------- end-to-end algorithm determinism --
+
+struct AlgoRun {
+  std::vector<int64_t> cc_labels;
+  std::vector<double> pr_ranks;
+  int cc_supersteps = 0;
+  int pr_iterations = 0;
+  uint64_t cc_messages = 0;
+  uint64_t pr_messages = 0;
+};
+
+AlgoRun RunBothAlgos(int num_threads, bool with_failures) {
+  AlgoRun out;
+  Rng rng(2025);
+  graph::Graph directed = graph::Rmat(9, 6, &rng);  // 512 vertices
+
+  // ---- PageRank (bulk iteration + FixRanks compensation) ----
+  {
+    runtime::SimClock clock;
+    runtime::CostModel costs;
+    runtime::MetricsRegistry metrics;
+    runtime::FailureSchedule failures(
+        with_failures
+            ? std::vector<runtime::FailureEvent>{{3, {1}}, {7, {0, 2}}}
+            : std::vector<runtime::FailureEvent>{});
+    iteration::JobEnv env;
+    env.clock = &clock;
+    env.costs = &costs;
+    env.metrics = &metrics;
+    env.failures = &failures;
+    env.job_id = "det-pr";
+
+    algos::PageRankOptions options;
+    options.num_partitions = 4;
+    options.num_threads = num_threads;
+    options.max_iterations = 12;
+    algos::FixRanksCompensation fix(directed.num_vertices());
+    core::OptimisticRecoveryPolicy policy(&fix);
+    auto result = algos::RunPageRank(directed, options, env, &policy, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    out.pr_ranks = result->ranks;
+    out.pr_iterations = result->iterations;
+    for (const auto& it : metrics.iterations()) {
+      out.pr_messages += it.messages_shuffled;
+    }
+  }
+
+  // ---- Connected Components (delta iteration + FixComponents) ----
+  {
+    graph::Graph undirected(directed.num_vertices(), /*directed=*/false);
+    for (const graph::Edge& e : directed.edges()) {
+      Status s = undirected.AddEdge(e.src, e.dst);
+      EXPECT_TRUE(s.ok());
+    }
+    runtime::SimClock clock;
+    runtime::CostModel costs;
+    runtime::MetricsRegistry metrics;
+    runtime::FailureSchedule failures(
+        with_failures ? std::vector<runtime::FailureEvent>{{2, {3}}}
+                      : std::vector<runtime::FailureEvent>{});
+    iteration::JobEnv env;
+    env.clock = &clock;
+    env.costs = &costs;
+    env.metrics = &metrics;
+    env.failures = &failures;
+    env.job_id = "det-cc";
+
+    algos::ConnectedComponentsOptions options;
+    options.num_partitions = 4;
+    options.num_threads = num_threads;
+    algos::FixComponentsCompensation fix(&undirected);
+    core::OptimisticRecoveryPolicy policy(&fix);
+    auto result =
+        algos::RunConnectedComponents(undirected, options, env, &policy,
+                                      nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    out.cc_labels = result->labels;
+    out.cc_supersteps = result->supersteps_executed;
+    for (const auto& it : metrics.iterations()) {
+      out.cc_messages += it.messages_shuffled;
+    }
+  }
+  return out;
+}
+
+class AlgoDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgoDeterminismTest, FailureFreeRunsMatchSerial) {
+  AlgoRun serial = RunBothAlgos(1, /*with_failures=*/false);
+  AlgoRun parallel = RunBothAlgos(GetParam(), /*with_failures=*/false);
+  EXPECT_EQ(serial.cc_labels, parallel.cc_labels);
+  EXPECT_EQ(serial.pr_ranks, parallel.pr_ranks);
+  EXPECT_EQ(serial.cc_supersteps, parallel.cc_supersteps);
+  EXPECT_EQ(serial.pr_iterations, parallel.pr_iterations);
+  EXPECT_EQ(serial.cc_messages, parallel.cc_messages);
+  EXPECT_EQ(serial.pr_messages, parallel.pr_messages);
+}
+
+TEST_P(AlgoDeterminismTest, FailureAndCompensationRunsMatchSerial) {
+  AlgoRun serial = RunBothAlgos(1, /*with_failures=*/true);
+  AlgoRun parallel = RunBothAlgos(GetParam(), /*with_failures=*/true);
+  EXPECT_EQ(serial.cc_labels, parallel.cc_labels);
+  EXPECT_EQ(serial.pr_ranks, parallel.pr_ranks);
+  EXPECT_EQ(serial.cc_supersteps, parallel.cc_supersteps);
+  EXPECT_EQ(serial.pr_iterations, parallel.pr_iterations);
+  EXPECT_EQ(serial.cc_messages, parallel.cc_messages);
+  EXPECT_EQ(serial.pr_messages, parallel.pr_messages);
+}
+
+TEST_P(AlgoDeterminismTest, RecoveredResultIsCorrect) {
+  // Under failures + compensation the job must still converge to the true
+  // components, at any thread count.
+  Rng rng(2025);
+  graph::Graph directed = graph::Rmat(9, 6, &rng);
+  graph::Graph undirected(directed.num_vertices(), /*directed=*/false);
+  for (const graph::Edge& e : directed.edges()) {
+    Status s = undirected.AddEdge(e.src, e.dst);
+    ASSERT_TRUE(s.ok());
+  }
+  auto truth = graph::ReferenceConnectedComponents(undirected);
+
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {3}}});
+  iteration::JobEnv env;
+  env.failures = &failures;
+  env.job_id = "det-cc-correct";
+  algos::ConnectedComponentsOptions options;
+  options.num_partitions = 4;
+  options.num_threads = GetParam();
+  algos::FixComponentsCompensation fix(&undirected);
+  core::OptimisticRecoveryPolicy policy(&fix);
+  auto result =
+      algos::RunConnectedComponents(undirected, options, env, &policy,
+                                    nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->labels, truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, AlgoDeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+}  // namespace
+}  // namespace flinkless
