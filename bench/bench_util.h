@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -26,6 +27,7 @@
 #include "runtime/metrics.h"
 #include "runtime/sim_clock.h"
 #include "runtime/stable_storage.h"
+#include "runtime/tracing.h"
 
 namespace flinkless::bench {
 
@@ -47,8 +49,21 @@ class JobHarness {
     env.storage = &storage_;
     env.metrics = &metrics_;
     env.failures = &failures_;
+    env.tracer = tracer_.get();
     env.job_id = job_id_;
     return env;
+  }
+
+  /// Turns tracing on for every job run through this harness (idempotent).
+  /// The tracer reads the harness clock; Flush() it for a TraceSummary or
+  /// pass it to runtime::WriteTraceFile.
+  runtime::Tracer* EnableTracing() {
+    if (tracer_ == nullptr) {
+      runtime::Tracer::Options options;
+      options.clock = &clock_;
+      tracer_ = std::make_unique<runtime::Tracer>(options);
+    }
+    return tracer_.get();
   }
 
   runtime::SimClock& clock() { return clock_; }
@@ -56,6 +71,7 @@ class JobHarness {
   runtime::StableStorage& storage() { return storage_; }
   runtime::MetricsRegistry& metrics() { return metrics_; }
   runtime::FailureSchedule& failures() { return failures_; }
+  runtime::Tracer* tracer() { return tracer_.get(); }
 
  private:
   runtime::SimClock clock_;
@@ -63,6 +79,7 @@ class JobHarness {
   runtime::StableStorage storage_;
   runtime::MetricsRegistry metrics_;
   runtime::FailureSchedule failures_;
+  std::unique_ptr<runtime::Tracer> tracer_;
   std::string job_id_;
 };
 
@@ -179,6 +196,54 @@ class JsonReport {
   std::string experiment_id_;
   std::vector<Entry> entries_;
 };
+
+/// Appends a TraceSummary to a report: one "trace_operator" entry per
+/// operator (wall/self/sim time, record and message counts, partition skew)
+/// plus one "trace_totals" entry with event and instant counts.
+inline void AddTraceSummary(JsonReport* report,
+                            const runtime::TraceSummary& summary) {
+  for (const auto& op : summary.operators) {
+    report->AddEntry()
+        .Set("kind", "trace_operator")
+        .Set("operator", op.name)
+        .Set("spans", op.spans)
+        .Set("wall_total_ms", static_cast<double>(op.wall_total_ns) / 1e6)
+        .Set("wall_self_ms", static_cast<double>(op.wall_self_ns) / 1e6)
+        .Set("sim_total_ms", static_cast<double>(op.sim_total_ns) / 1e6)
+        .Set("records_in", op.records_in)
+        .Set("records_out", op.records_out)
+        .Set("messages", op.messages)
+        .Set("partition_skew", op.SkewRatio());
+  }
+  report->AddEntry()
+      .Set("kind", "trace_totals")
+      .Set("total_events", summary.total_events)
+      .Set("span_events", summary.span_events)
+      .Set("instant_events", summary.instant_events)
+      .Set("iteration_spans", summary.iteration_spans)
+      .Set("dropped_events", summary.dropped_events)
+      .Set("failures_injected", summary.InstantCount("failure.injected"))
+      .Set("partitions_lost", summary.InstantCount("partition.lost"));
+}
+
+/// The per-operator TraceSummary table benches print next to their series.
+inline TablePrinter TraceSummaryTable(const runtime::TraceSummary& summary) {
+  TablePrinter table({"operator", "spans", "wall_ms", "self_ms", "sim_ms",
+                      "records_in", "records_out", "messages", "skew"});
+  for (const auto& op : summary.operators) {
+    table.Row()
+        .Cell(op.name)
+        .Cell(static_cast<int64_t>(op.spans))
+        .Cell(static_cast<double>(op.wall_total_ns) / 1e6)
+        .Cell(static_cast<double>(op.wall_self_ns) / 1e6)
+        .Cell(static_cast<double>(op.sim_total_ns) / 1e6)
+        .Cell(static_cast<int64_t>(op.records_in))
+        .Cell(static_cast<int64_t>(op.records_out))
+        .Cell(static_cast<int64_t>(op.messages))
+        .Cell(op.SkewRatio());
+  }
+  return table;
+}
 
 /// Prints a table twice: human-readable and as CSV lines prefixed "csv:".
 inline void Emit(const TablePrinter& table) {

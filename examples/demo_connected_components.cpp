@@ -97,6 +97,9 @@ int main(int argc, char** argv) {
   bool* interactive =
       flags.Bool("interactive", false, "step with n/b/p/q instead of playing");
   bool* no_color = flags.Bool("no-color", false, "disable ANSI colors");
+  std::string* trace_path = flags.String(
+      "trace", "",
+      "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s << "\n" << flags.Usage();
     return 1;
@@ -153,6 +156,7 @@ int main(int argc, char** argv) {
 
   algos::ConnectedComponentsOptions options;
   options.num_partitions = parts;
+  options.trace_path = *trace_path;
 
   algos::FixComponentsCompensation compensation(&g);
   std::unique_ptr<iteration::FaultTolerancePolicy> policy;

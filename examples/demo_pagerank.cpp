@@ -106,6 +106,9 @@ int main(int argc, char** argv) {
       flags.Int64("delay-ms", 0, "pause between frames (slow-motion demo)");
   bool* interactive =
       flags.Bool("interactive", false, "step with n/b/p/q instead of playing");
+  std::string* trace_path = flags.String(
+      "trace", "",
+      "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s << "\n" << flags.Usage();
     return 1;
@@ -131,6 +134,7 @@ int main(int argc, char** argv) {
   options.num_partitions = parts;
   options.max_iterations = static_cast<int>(*max_iterations);
   options.converged_tolerance = 1e-6;
+  options.trace_path = *trace_path;
   auto truth = graph::ReferencePageRank(g, options.damping, 1000, 1e-14);
 
   std::cout << "Optimistic Recovery demo — PageRank (bulk iterations)\n"

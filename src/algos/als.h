@@ -69,6 +69,10 @@ struct AlsOptions {
   /// Converged when no factor entry moved more than this between
   /// supersteps.
   double tolerance = 1e-6;
+  /// When non-empty, trace the run and write the file here on return
+  /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).
+  /// Ignored when the JobEnv already carries a tracer.
+  std::string trace_path;
 };
 
 /// Compensation for ALS: re-initialize the lost factor rows with the same

@@ -88,6 +88,10 @@ struct KMeansOptions {
   int max_iterations = 100;
   /// Converged when no centroid moved more than this between iterations.
   double tolerance = 1e-9;
+  /// When non-empty, trace the run and write the file here on return
+  /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).
+  /// Ignored when the JobEnv already carries a tracer.
+  std::string trace_path;
 };
 
 /// Outcome of a K-Means run.

@@ -277,11 +277,17 @@ Result<PageRankResult> RunPageRankWithSnapshots(
     };
   }
 
+  // Installs a tracer when options.trace_path asks for one; the file is
+  // written when trace_file leaves scope (even on an error return).
+  runtime::ScopedTraceFile trace_file(options.trace_path, env.clock,
+                                      &env.tracer);
+
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
   exec.num_threads = options.num_threads;
   exec.clock = env.clock;
   exec.costs = env.costs;
+  exec.tracer = env.tracer;
 
   iteration::BulkIterationDriver driver(&plan, statics, config, exec, env);
   FLINKLESS_ASSIGN_OR_RETURN(

@@ -32,6 +32,10 @@ struct PageRankOptions {
   /// A vertex counts as "converged to its true rank" (the demo's
   /// bottom-left plot) when |rank - true_rank| <= converged_tolerance.
   double converged_tolerance = 1e-7;
+  /// When non-empty, trace the run and write the file here on return
+  /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).
+  /// Ignored when the JobEnv already carries a tracer.
+  std::string trace_path;
 };
 
 /// Builds the Figure 1(b) step plan. Sources: "state" (vertex, rank),

@@ -51,6 +51,10 @@ struct SsspOptions {
   /// Executor worker threads (1 = serial, 0 = hardware concurrency).
   int num_threads = 1;
   int max_iterations = 1000;
+  /// When non-empty, trace the run and write the file here on return
+  /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).
+  /// Ignored when the JobEnv already carries a tracer.
+  std::string trace_path;
 };
 
 /// Outcome of an SSSP run.

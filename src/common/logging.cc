@@ -36,15 +36,24 @@ LogLevel GetLogLevel() {
 
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* /*file*/, int /*line*/)
-    : level_(level) {}
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
   if (level_ == LogLevel::kFatal) {
+    // Fatal lines carry the source location and bypass the level filter —
+    // a crashing process must always say where it died.
+    std::fprintf(stderr, "[FATAL] %s:%d: %s\n", file_, line_,
+                 stream_.str().c_str());
     std::fflush(stderr);
     std::abort();
   }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+}
+
+void FatalAbort() {
+  std::fflush(stderr);
+  std::abort();
 }
 
 }  // namespace internal

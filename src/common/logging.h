@@ -40,8 +40,16 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
+
+/// Terminates the process. FLINKLESS_CHECK calls this *after* the fatal
+/// LogMessage has been destroyed (= emitted), so a failed check aborts even
+/// if message emission is ever filtered, hooked, or throws on the way out —
+/// the abort does not depend on the destructor's side effects.
+[[noreturn]] void FatalAbort();
 
 /// Swallows the streamed expression when the level is filtered out.
 class NullStream {
@@ -101,13 +109,20 @@ class NullStream {
 
 /// Aborts the process with a message when `cond` does not hold. Used for
 /// internal invariants, never for user input (user input yields Status).
+/// The message is emitted by the LogMessage's destructor (inner scope), and
+/// FatalAbort() then terminates unconditionally — so the abort is guaranteed
+/// even if emission was suppressed, and the compiler can see the false
+/// branch never falls through.
 #define FLINKLESS_CHECK(cond, msg)                                          \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      ::flinkless::internal::LogMessage(::flinkless::LogLevel::kFatal,      \
-                                        __FILE__, __LINE__)                 \
-              .stream()                                                     \
-          << "CHECK failed: " #cond ": " << msg;                            \
+      {                                                                     \
+        ::flinkless::internal::LogMessage(::flinkless::LogLevel::kFatal,    \
+                                          __FILE__, __LINE__)               \
+                .stream()                                                   \
+            << "CHECK failed: " #cond ": " << msg;                          \
+      }                                                                     \
+      ::flinkless::internal::FatalAbort();                                  \
     }                                                                       \
   } while (0)
 

@@ -72,6 +72,18 @@ void Executor::ForEachPartition(int count,
   runtime::ParallelFor(pool_.get(), count, fn);
 }
 
+void Executor::ForEachPartition(const runtime::TraceSpan& parent,
+                                const PartitionedDataset* in, int count,
+                                const std::function<void(int)>& fn) const {
+  std::function<int64_t(int)> records_of;
+  if (parent.active() && in != nullptr) {
+    records_of = [in](int p) {
+      return static_cast<int64_t>(in->partition(p).size());
+    };
+  }
+  runtime::TracedParallelFor(pool_.get(), parent, count, fn, records_of);
+}
+
 void Executor::ChargeCompute(
     const std::vector<uint64_t>& per_partition) const {
   if (options_.clock == nullptr || options_.costs == nullptr) return;
@@ -116,7 +128,10 @@ PartitionedDataset Executor::ShuffleImpl(Input&& input, const KeyColumns& key,
   // N-way outbox, independently of every other source partition.
   std::vector<std::vector<std::vector<Record>>> outbox(sources);
   std::vector<uint64_t> moved(sources, 0);
-  ForEachPartition(sources, [&](int p) {
+  runtime::TraceSpan scatter_span(options_.tracer,
+                                  runtime::SpanKind::kShuffleScatter,
+                                  "scatter");
+  ForEachPartition(scatter_span, &input, sources, [&](int p) {
     auto& boxes = outbox[p];
     boxes.resize(n);
     if constexpr (kMove) {
@@ -134,23 +149,40 @@ PartitionedDataset Executor::ShuffleImpl(Input&& input, const KeyColumns& key,
     }
   });
 
+  uint64_t total_moved = 0;
+  for (uint64_t m : moved) total_moved += m;
+  if (scatter_span.active()) {
+    scatter_span.AddArg("messages", static_cast<int64_t>(total_moved));
+    for (int p = 0; p < sources; ++p) {
+      scatter_span.AddArg("moved_p" + std::to_string(p),
+                          static_cast<int64_t>(moved[p]));
+    }
+  }
+  scatter_span.Close();
+
   // Phase 2 — gather: each target partition reserves its exact final size
   // and concatenates its outboxes in source order, which reproduces the
   // serial single-pass arrival order byte for byte.
   PartitionedDataset out(n);
-  ForEachPartition(n, [&](int t) {
-    size_t total = 0;
-    for (int p = 0; p < sources; ++p) total += outbox[p][t].size();
-    std::vector<Record>& dst = out.partition(t);
-    dst.reserve(total);
-    for (int p = 0; p < sources; ++p) {
-      for (Record& r : outbox[p][t]) dst.push_back(std::move(r));
+  {
+    runtime::TraceSpan gather_span(options_.tracer,
+                                   runtime::SpanKind::kShuffleGather,
+                                   "gather");
+    ForEachPartition(gather_span, nullptr, n, [&](int t) {
+      size_t total = 0;
+      for (int p = 0; p < sources; ++p) total += outbox[p][t].size();
+      std::vector<Record>& dst = out.partition(t);
+      dst.reserve(total);
+      for (int p = 0; p < sources; ++p) {
+        for (Record& r : outbox[p][t]) dst.push_back(std::move(r));
+      }
+    });
+    if (gather_span.active()) {
+      gather_span.AddArg("records", static_cast<int64_t>(out.NumRecords()));
     }
-  });
+  }
 
   ChargeCompute(input);
-  uint64_t total_moved = 0;
-  for (uint64_t m : moved) total_moved += m;
   ChargeNetwork(total_moved);
   if (stats != nullptr) stats->messages_shuffled += total_moved;
   return out;
@@ -197,6 +229,17 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
   };
 
   for (const PlanNode& node : plan.nodes()) {
+    // One span per operator; per-partition child spans are recorded by the
+    // traced ForEachPartition overload below. Input/output record counts
+    // land as args when the span closes at the end of this loop body.
+    uint64_t span_records_in = 0;
+    if (options_.tracer != nullptr) {
+      for (int idx : node.inputs) {
+        span_records_in += results[idx].NumRecords();
+      }
+    }
+    runtime::TraceSpan op_span(options_.tracer, runtime::SpanKind::kOperator,
+                               node.name);
     switch (node.kind) {
       case OpKind::kSource: {
         auto it = bindings.find(node.source_name);
@@ -217,7 +260,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
       case OpKind::kMap: {
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset out(n);
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &in, n, [&](int p) {
           out.partition(p).reserve(in.partition(p).size());
           for (const Record& r : in.partition(p)) {
             out.partition(p).push_back(node.map_fn(r));
@@ -232,7 +275,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
       case OpKind::kFlatMap: {
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset out(n);
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &in, n, [&](int p) {
           for (const Record& r : in.partition(p)) {
             node.flat_map_fn(r, &out.partition(p));
           }
@@ -246,7 +289,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
       case OpKind::kFilter: {
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset out(n);
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &in, n, [&](int p) {
           for (const Record& r : in.partition(p)) {
             if (node.filter_fn(r)) out.partition(p).push_back(r);
           }
@@ -261,7 +304,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset out(n);
         reset_status();
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &in, n, [&](int p) {
           for (const Record& r : in.partition(p)) {
             Record projected;
             projected.reserve(node.project_columns.size());
@@ -291,7 +334,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         if (node.pre_combine) {
           // Local pre-aggregation before the shuffle: fewer messages.
           combined = PartitionedDataset(in->num_partitions());
-          ForEachPartition(in->num_partitions(), [&](int p) {
+          ForEachPartition(op_span, in, in->num_partitions(), [&](int p) {
             std::unordered_map<Record, Record, RecordHash> acc;
             acc.reserve(in->partition(p).size());
             for (const Record& r : in->partition(p)) {
@@ -321,7 +364,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                 : Shuffle(*in, node.left_key, &local_stats);
         PartitionedDataset out(n);
         reset_status();
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &shuffled, n, [&](int p) {
           std::unordered_map<Record, Record, RecordHash> acc;
           acc.reserve(shuffled.partition(p).size());
           for (const Record& r : shuffled.partition(p)) {
@@ -362,7 +405,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         const PartitionedDataset& in = results[node.inputs[0]];
         PartitionedDataset shuffled = Shuffle(in, node.left_key, &local_stats);
         PartitionedDataset out(n);
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &shuffled, n, [&](int p) {
           GroupMap groups = GroupByKey(shuffled.partition(p), node.left_key);
           std::vector<const Record*> keys = SortedKeys(groups);
           out.partition(p).reserve(keys.size());
@@ -383,7 +426,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         PartitionedDataset right =
             Shuffle(results[node.inputs[1]], node.right_key, &local_stats);
         PartitionedDataset out(n);
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &left, n, [&](int p) {
           GroupMap build = GroupByKey(left.partition(p), node.left_key);
           for (const Record& r : right.partition(p)) {
             auto it = build.find(ExtractKey(r, node.right_key));
@@ -407,7 +450,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             Shuffle(results[node.inputs[1]], node.right_key, &local_stats);
         PartitionedDataset out(n);
         static const std::vector<Record> kEmptyGroup;
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &left, n, [&](int p) {
           GroupMap lgroups = GroupByKey(left.partition(p), node.left_key);
           GroupMap rgroups = GroupByKey(right.partition(p), node.right_key);
           // Sweep the union of both key sets in RecordLess order, exactly
@@ -449,7 +492,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         local_stats.messages_shuffled += broadcast_messages;
         ChargeNetwork(broadcast_messages);
         PartitionedDataset out(n);
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &left, n, [&](int p) {
           out.partition(p).reserve(left.partition(p).size() *
                                    right_all.size());
           for (const Record& l : left.partition(p)) {
@@ -472,7 +515,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         const PartitionedDataset& a = results[node.inputs[0]];
         const PartitionedDataset& b = results[node.inputs[1]];
         PartitionedDataset out(n);
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &a, n, [&](int p) {
           out.partition(p).reserve(a.partition(p).size() +
                                    b.partition(p).size());
           out.partition(p).insert(out.partition(p).end(),
@@ -492,7 +535,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         PartitionedDataset shuffled =
             Shuffle(results[node.inputs[0]], node.left_key, &local_stats);
         PartitionedDataset out(n);
-        ForEachPartition(n, [&](int p) {
+        ForEachPartition(op_span, &shuffled, n, [&](int p) {
           std::unordered_set<Record, RecordHash> seen;
           seen.reserve(shuffled.partition(p).size());
           for (const Record& r : shuffled.partition(p)) {
@@ -506,6 +549,16 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
       }
     }
     count_output(node, results.back());
+    if (op_span.active()) {
+      const PartitionedDataset& produced = results.back();
+      op_span.AddArg("records_in", static_cast<int64_t>(span_records_in));
+      op_span.AddArg("records_out",
+                     static_cast<int64_t>(produced.NumRecords()));
+      for (int p = 0; p < produced.num_partitions(); ++p) {
+        op_span.AddArg("out_p" + std::to_string(p),
+                       static_cast<int64_t>(produced.partition(p).size()));
+      }
+    }
   }
 
   std::map<std::string, PartitionedDataset> outputs;

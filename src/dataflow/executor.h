@@ -23,6 +23,7 @@
 #include "runtime/cost_model.h"
 #include "runtime/sim_clock.h"
 #include "runtime/thread_pool.h"
+#include "runtime/tracing.h"
 
 namespace flinkless::dataflow {
 
@@ -60,6 +61,13 @@ struct ExecOptions {
   /// and simulated-time charges are identical for every value — parallelism
   /// only changes wall-clock time (see DESIGN.md "Threading model").
   int num_threads = 1;
+
+  /// Optional trace recorder. When set, Execute/Shuffle record one span per
+  /// operator, per shuffle phase, and per partition (with record/message
+  /// counts as args). Null = tracing off; every call site is guarded, so
+  /// the disabled path costs one branch. Tracing never changes outputs,
+  /// ExecStats, or SimClock charges (DESIGN.md §8).
+  runtime::Tracer* tracer = nullptr;
 };
 
 /// Stateless plan interpreter. One Executor can run many plans; options are
@@ -100,6 +108,13 @@ class Executor {
  private:
   /// Runs fn(p) for every partition, on the pool when present.
   void ForEachPartition(int count, const std::function<void(int)>& fn) const;
+
+  /// ForEachPartition plus one per-partition child span of `parent` when
+  /// tracing is on. `in` (optional) supplies the "records" arg of partition
+  /// p's span — evaluated before fn(p), so move-consuming fns are safe.
+  void ForEachPartition(const runtime::TraceSpan& parent,
+                        const PartitionedDataset* in, int count,
+                        const std::function<void(int)>& fn) const;
 
   /// Charges compute for per-partition record counts under critical-path
   /// semantics: the simulated cluster runs its N partitions on N workers in

@@ -1,6 +1,7 @@
 #include "iteration/bulk_iteration.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 
 #include "common/logging.h"
@@ -45,6 +46,11 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     env_.metrics = own_metrics.get();
   }
 
+  // The tracer may arrive via either the env or the exec options; make both
+  // agree so the executor and the driver record into the same timeline.
+  if (exec_options_.tracer == nullptr) exec_options_.tracer = env_.tracer;
+  runtime::Tracer* tracer = exec_options_.tracer;
+
   dataflow::Executor executor(exec_options_);
 
   auto make_ctx = [&](int iteration) {
@@ -56,6 +62,7 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     ctx.storage = env_.storage;
     ctx.cluster = env_.cluster;
     ctx.pool = executor.pool();
+    ctx.tracer = tracer;
     ctx.job_id = env_.job_id;
     return ctx;
   };
@@ -68,7 +75,17 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
   };
 
   uint64_t cp_before = checkpoint_bytes_before();
-  FLINKLESS_RETURN_NOT_OK(policy->OnJobStart(make_ctx(0), &state));
+  {
+    runtime::TraceSpan start_span(tracer, runtime::SpanKind::kCheckpoint,
+                                  policy->name());
+    FLINKLESS_RETURN_NOT_OK(policy->OnJobStart(make_ctx(0), &state));
+    uint64_t bytes = checkpoint_bytes_before() - cp_before;
+    if (bytes > 0) {
+      start_span.AddArg("bytes", static_cast<int64_t>(bytes));
+    } else {
+      start_span.Cancel();  // the policy wrote nothing at job start
+    }
+  }
   uint64_t initial_checkpoint_bytes = checkpoint_bytes_before() - cp_before;
   if (initial_checkpoint_bytes > 0 && env_.metrics != nullptr) {
     env_.metrics->IncrCounter("initial_checkpoint_bytes",
@@ -91,7 +108,18 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
 
     const int64_t sim_before =
         env_.clock != nullptr ? env_.clock->TotalNs() : 0;
+    std::array<int64_t, runtime::kNumCharges> charges_before{};
+    if (env_.clock != nullptr) {
+      for (int c = 0; c < runtime::kNumCharges; ++c) {
+        charges_before[c] = env_.clock->Of(static_cast<runtime::Charge>(c));
+      }
+    }
     runtime::WallTimer wall;
+
+    if (tracer != nullptr) tracer->set_iteration(iteration);
+    runtime::TraceSpan iter_span(tracer, runtime::SpanKind::kIteration,
+                                 "superstep");
+    if (iter_span.active()) iter_span.AddArg("iteration", iteration);
 
     dataflow::Bindings bindings = static_bindings_;
     bindings[config_.state_binding] = &state.data();
@@ -99,6 +127,12 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     FLINKLESS_ASSIGN_OR_RETURN(auto outputs,
                                executor.Execute(*step_plan_, bindings,
                                                 &exec_stats));
+    if (iter_span.active()) {
+      iter_span.AddArg("records",
+                       static_cast<int64_t>(exec_stats.records_processed));
+      iter_span.AddArg("messages",
+                       static_cast<int64_t>(exec_stats.messages_shuffled));
+    }
     auto out_it = outputs.find(config_.next_state_output);
     if (out_it == outputs.end()) {
       return Status::NotFound("step plan has no output '" +
@@ -136,12 +170,27 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
       istats.failure_injected = true;
       converged = false;
       ++result.failures_recovered;
+      if (tracer != nullptr) {
+        tracer->Instant(runtime::InstantKind::kFailureInjected, -1,
+                        {{"iteration", iteration},
+                         {"partitions", static_cast<int64_t>(lost.size())}});
+        for (int p : lost) {
+          tracer->Instant(runtime::InstantKind::kPartitionLost, p);
+        }
+      }
       env_.cluster->KillPartitions(lost);
       for (int p : lost) state.ClearPartition(p);
       FLINKLESS_RETURN_NOT_OK(env_.cluster->ReassignToFreshWorkers(lost));
+      runtime::TraceSpan comp_span(tracer, runtime::SpanKind::kCompensation,
+                                   policy->name());
+      if (comp_span.active()) {
+        comp_span.AddArg("lost_partitions",
+                         static_cast<int64_t>(lost.size()));
+      }
       FLINKLESS_ASSIGN_OR_RETURN(
           RecoveryOutcome outcome,
           policy->OnFailure(make_ctx(iteration), &state, lost));
+      comp_span.Close();
       switch (outcome.action) {
         case RecoveryAction::kContinue:
           ++iteration;
@@ -166,8 +215,17 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
                                   std::to_string(iteration));
       }
     } else {
+      runtime::TraceSpan cp_span(tracer, runtime::SpanKind::kCheckpoint,
+                                 policy->name());
       FLINKLESS_RETURN_NOT_OK(
           policy->AfterIteration(make_ctx(iteration), &state));
+      uint64_t cp_bytes = checkpoint_bytes_before() - cp_bytes_before;
+      if (cp_bytes > 0) {
+        cp_span.AddArg("bytes", static_cast<int64_t>(cp_bytes));
+        cp_span.Close();
+      } else {
+        cp_span.Cancel();  // nothing written — don't clutter the trace
+      }
       ++iteration;
     }
 
@@ -177,11 +235,22 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     }
     istats.sim_time_ns =
         env_.clock != nullptr ? env_.clock->TotalNs() - sim_before : 0;
+    if (env_.clock != nullptr) {
+      for (int c = 0; c < runtime::kNumCharges; ++c) {
+        istats.sim_time_by_charge[c] =
+            env_.clock->Of(static_cast<runtime::Charge>(c)) -
+            charges_before[c];
+      }
+    }
     istats.wall_time_ns = wall.ElapsedNs();
     env_.metrics->RecordIteration(std::move(istats));
 
     result.iterations = std::max(result.iterations, executed_iteration);
     if (converged) {
+      if (tracer != nullptr) {
+        tracer->Instant(runtime::InstantKind::kConvergenceReached, -1,
+                        {{"iteration", executed_iteration}});
+      }
       result.converged = true;
       break;
     }

@@ -13,6 +13,7 @@
 #include "runtime/sim_clock.h"
 #include "runtime/stable_storage.h"
 #include "runtime/thread_pool.h"
+#include "runtime/tracing.h"
 
 namespace flinkless::iteration {
 
@@ -26,6 +27,10 @@ struct JobEnv {
   runtime::Cluster* cluster = nullptr;
   runtime::MetricsRegistry* metrics = nullptr;
   runtime::FailureSchedule* failures = nullptr;
+  /// Optional trace recorder (see runtime/tracing.h). The drivers propagate
+  /// it into the executor and open superstep/checkpoint/compensation spans
+  /// and failure instants on it. Null = tracing off.
+  runtime::Tracer* tracer = nullptr;
   std::string job_id = "job";
 };
 
@@ -43,6 +48,9 @@ struct IterationContext {
   /// Compensation functions and policies run partition-parallel work on it
   /// via runtime::ParallelFor, which degrades to an inline loop when null.
   runtime::ThreadPool* pool = nullptr;
+  /// Trace recorder of the run (nullptr = tracing off). Policies may attach
+  /// args to the driver's open checkpoint/compensation span via instants.
+  runtime::Tracer* tracer = nullptr;
   std::string job_id;
 };
 

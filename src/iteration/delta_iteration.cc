@@ -1,6 +1,7 @@
 #include "iteration/delta_iteration.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 
 #include "common/logging.h"
@@ -47,6 +48,11 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     env_.metrics = own_metrics.get();
   }
 
+  // The tracer may arrive via either the env or the exec options; make both
+  // agree so the executor and the driver record into the same timeline.
+  if (exec_options_.tracer == nullptr) exec_options_.tracer = env_.tracer;
+  runtime::Tracer* tracer = exec_options_.tracer;
+
   dataflow::Executor executor(exec_options_);
 
   auto make_ctx = [&](int iteration) {
@@ -58,6 +64,7 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     ctx.storage = env_.storage;
     ctx.cluster = env_.cluster;
     ctx.pool = executor.pool();
+    ctx.tracer = tracer;
     ctx.job_id = env_.job_id;
     return ctx;
   };
@@ -74,7 +81,18 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     return env_.storage != nullptr ? env_.storage->bytes_written() : 0;
   };
 
-  FLINKLESS_RETURN_NOT_OK(policy->OnJobStart(make_ctx(0), &state));
+  {
+    uint64_t start_bytes_before = storage_bytes();
+    runtime::TraceSpan start_span(tracer, runtime::SpanKind::kCheckpoint,
+                                  policy->name());
+    FLINKLESS_RETURN_NOT_OK(policy->OnJobStart(make_ctx(0), &state));
+    uint64_t bytes = storage_bytes() - start_bytes_before;
+    if (bytes > 0) {
+      start_span.AddArg("bytes", static_cast<int64_t>(bytes));
+    } else {
+      start_span.Cancel();  // the policy wrote nothing at job start
+    }
+  }
 
   DeltaIterationResult result;
   const int max_supersteps =
@@ -95,7 +113,22 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
 
     const int64_t sim_before =
         env_.clock != nullptr ? env_.clock->TotalNs() : 0;
+    std::array<int64_t, runtime::kNumCharges> charges_before{};
+    if (env_.clock != nullptr) {
+      for (int c = 0; c < runtime::kNumCharges; ++c) {
+        charges_before[c] = env_.clock->Of(static_cast<runtime::Charge>(c));
+      }
+    }
     runtime::WallTimer wall;
+
+    if (tracer != nullptr) tracer->set_iteration(iteration);
+    runtime::TraceSpan iter_span(tracer, runtime::SpanKind::kIteration,
+                                 "superstep");
+    if (iter_span.active()) {
+      iter_span.AddArg("iteration", iteration);
+      iter_span.AddArg("workset",
+                       static_cast<int64_t>(state.workset().NumRecords()));
+    }
 
     PartitionedDataset solution_ds =
         state.solution().ToDataset(executor.pool());
@@ -137,6 +170,13 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     istats.gauges["solution_updates"] = static_cast<double>(updates);
     istats.gauges["workset_size"] =
         static_cast<double>(state.workset().NumRecords());
+    if (iter_span.active()) {
+      iter_span.AddArg("records",
+                       static_cast<int64_t>(exec_stats.records_processed));
+      iter_span.AddArg("messages",
+                       static_cast<int64_t>(exec_stats.messages_shuffled));
+      iter_span.AddArg("solution_updates", static_cast<int64_t>(updates));
+    }
 
     std::vector<int> lost =
         env_.failures != nullptr ? env_.failures->Fire(iteration)
@@ -151,12 +191,27 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     if (!lost.empty()) {
       istats.failure_injected = true;
       ++result.failures_recovered;
+      if (tracer != nullptr) {
+        tracer->Instant(runtime::InstantKind::kFailureInjected, -1,
+                        {{"iteration", iteration},
+                         {"partitions", static_cast<int64_t>(lost.size())}});
+        for (int p : lost) {
+          tracer->Instant(runtime::InstantKind::kPartitionLost, p);
+        }
+      }
       env_.cluster->KillPartitions(lost);
       for (int p : lost) state.ClearPartition(p);
       FLINKLESS_RETURN_NOT_OK(env_.cluster->ReassignToFreshWorkers(lost));
+      runtime::TraceSpan comp_span(tracer, runtime::SpanKind::kCompensation,
+                                   policy->name());
+      if (comp_span.active()) {
+        comp_span.AddArg("lost_partitions",
+                         static_cast<int64_t>(lost.size()));
+      }
       FLINKLESS_ASSIGN_OR_RETURN(
           RecoveryOutcome outcome,
           policy->OnFailure(make_ctx(iteration), &state, lost));
+      comp_span.Close();
       switch (outcome.action) {
         case RecoveryAction::kContinue:
           ++iteration;
@@ -184,8 +239,17 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
                                   std::to_string(iteration));
       }
     } else {
+      runtime::TraceSpan cp_span(tracer, runtime::SpanKind::kCheckpoint,
+                                 policy->name());
       FLINKLESS_RETURN_NOT_OK(
           policy->AfterIteration(make_ctx(iteration), &state));
+      uint64_t cp_bytes = storage_bytes() - cp_before;
+      if (cp_bytes > 0) {
+        cp_span.AddArg("bytes", static_cast<int64_t>(cp_bytes));
+        cp_span.Close();
+      } else {
+        cp_span.Cancel();  // nothing written — don't clutter the trace
+      }
       ++iteration;
     }
 
@@ -199,6 +263,13 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     }
     istats.sim_time_ns =
         env_.clock != nullptr ? env_.clock->TotalNs() - sim_before : 0;
+    if (env_.clock != nullptr) {
+      for (int c = 0; c < runtime::kNumCharges; ++c) {
+        istats.sim_time_by_charge[c] =
+            env_.clock->Of(static_cast<runtime::Charge>(c)) -
+            charges_before[c];
+      }
+    }
     istats.wall_time_ns = wall.ElapsedNs();
     env_.metrics->RecordIteration(std::move(istats));
 
@@ -206,6 +277,10 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
   }
 
   if (state.workset().NumRecords() == 0) result.converged = true;
+  if (result.converged && tracer != nullptr) {
+    tracer->Instant(runtime::InstantKind::kConvergenceReached, -1,
+                    {{"iteration", result.iterations}});
+  }
   result.final_solution = std::move(state.solution());
   return result;
 }

@@ -28,6 +28,19 @@ std::vector<double> MetricsRegistry::GaugeSeries(const std::string& name,
   return out;
 }
 
+std::vector<int64_t> MetricsRegistry::ChargeSeries(Charge c) const {
+  std::vector<int64_t> out;
+  out.reserve(iterations_.size());
+  for (const auto& it : iterations_) out.push_back(it.SimTimeOf(c));
+  return out;
+}
+
+int64_t MetricsRegistry::TotalSimTimeOf(Charge c) const {
+  int64_t total = 0;
+  for (const auto& it : iterations_) total += it.SimTimeOf(c);
+  return total;
+}
+
 uint64_t MetricsRegistry::TotalMessages() const {
   uint64_t total = 0;
   for (const auto& it : iterations_) total += it.messages_shuffled;

@@ -9,10 +9,13 @@
 #ifndef FLINKLESS_RUNTIME_METRICS_H_
 #define FLINKLESS_RUNTIME_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "runtime/sim_clock.h"
 
 namespace flinkless::runtime {
 
@@ -35,6 +38,17 @@ struct IterationStats {
 
   /// Simulated nanoseconds this iteration took.
   int64_t sim_time_ns = 0;
+
+  /// sim_time_ns decomposed by Charge category (compute, network,
+  /// checkpoint I/O, recovery), indexed by static_cast<int>(Charge). The
+  /// drivers fill this by diffing the SimClock's per-category totals across
+  /// the superstep, so the entries sum to sim_time_ns.
+  std::array<int64_t, kNumCharges> sim_time_by_charge{};
+
+  /// This iteration's simulated time in one charge category.
+  int64_t SimTimeOf(Charge c) const {
+    return sim_time_by_charge[static_cast<int>(c)];
+  }
 
   /// Wall-clock nanoseconds this iteration took.
   int64_t wall_time_ns = 0;
@@ -64,6 +78,12 @@ class MetricsRegistry {
   /// iterations that did not set it.
   std::vector<double> GaugeSeries(const std::string& name,
                                   double fallback = 0.0) const;
+
+  /// The per-iteration series of simulated time in one charge category.
+  std::vector<int64_t> ChargeSeries(Charge c) const;
+
+  /// Sum of one charge category over all iterations.
+  int64_t TotalSimTimeOf(Charge c) const;
 
   /// Sum of messages_shuffled over all iterations.
   uint64_t TotalMessages() const;

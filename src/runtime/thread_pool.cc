@@ -6,11 +6,19 @@
 
 namespace flinkless::runtime {
 
+namespace {
+// Worker slot of the current thread; 0 = not a pool worker.
+thread_local int t_worker_id = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   FLINKLESS_CHECK(num_threads >= 1, "thread pool needs at least one worker");
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_id = i + 1;
+      WorkerLoop();
+    });
   }
 }
 
@@ -122,6 +130,8 @@ int ThreadPool::HardwareConcurrency() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
 }
+
+int ThreadPool::CurrentWorkerId() { return t_worker_id; }
 
 int ThreadPool::ResolveThreadCount(int requested) {
   if (requested == 0) return HardwareConcurrency();

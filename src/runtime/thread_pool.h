@@ -52,6 +52,12 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   static int HardwareConcurrency();
 
+  /// Worker slot of the calling thread: 0 for any thread outside a pool
+  /// (including the orchestration thread, which participates in
+  /// ParallelFor), 1..N for pool workers. The tracing layer tags spans
+  /// with this so pool utilization is visible in exported traces.
+  static int CurrentWorkerId();
+
   /// Resolves an ExecOptions-style thread count: 0 means hardware
   /// concurrency, anything else is clamped to >= 1.
   static int ResolveThreadCount(int requested);

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -393,6 +394,35 @@ TEST(TableTest, AsciiPlotShapes) {
   EXPECT_NE(plot.find("t\n"), std::string::npos);
   EXPECT_NE(plot.find("min=1 max=3 n=3"), std::string::npos);
   EXPECT_EQ(AsciiPlot({}, 3, "e"), "e\n(no data)\n");
+}
+
+// --------------------------------------------------------------- Logging --
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailedCheckAbortsWithMessage) {
+  EXPECT_DEATH({ FLINKLESS_CHECK(1 + 1 == 3, "math broke"); },
+               "CHECK failed: 1 \\+ 1 == 3: math broke");
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsEvenWhenLevelFiltered) {
+  // A CHECK must kill the process even if fatal log emission were ever
+  // filtered out: the abort comes from FatalAbort(), not from the log line.
+  EXPECT_DEATH(
+      {
+        SetLogLevel(LogLevel::kFatal);  // child process; parent unaffected
+        FLINKLESS_CHECK(false, "filtered but still fatal");
+      },
+      "filtered but still fatal");
+}
+
+TEST(CheckDeathTest, FatalLineCarriesSourceLocation) {
+  EXPECT_DEATH({ FLINKLESS_CHECK(false, "where"); }, "common_test\\.cc");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  FLINKLESS_CHECK(2 + 2 == 4, "never shown");  // must not abort or print
+  SUCCEED();
 }
 
 }  // namespace

@@ -268,6 +268,87 @@ TEST(BulkDriverTest, FailureClearsPartitionAndCallsPolicy) {
   EXPECT_LT(result->final_state.NumRecords(), 16u);
 }
 
+TEST(BulkDriverTest, SimTimeByChargeDecomposesIterationTime) {
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  config.max_iterations = 4;
+  runtime::SimClock clock;
+  runtime::CostModel costs;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 4;
+  exec.clock = &clock;
+  exec.costs = &costs;
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {1}}});
+  runtime::MetricsRegistry metrics;
+  JobEnv env;
+  env.clock = &clock;
+  env.costs = &costs;
+  env.failures = &failures;
+  env.metrics = &metrics;
+
+  BulkIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  ASSERT_TRUE(driver.Run(OnesState(16, 4), &policy).ok());
+
+  ASSERT_EQ(metrics.iterations().size(), 4u);
+  for (const auto& it : metrics.iterations()) {
+    int64_t sum = 0;
+    for (int c = 0; c < runtime::kNumCharges; ++c) {
+      EXPECT_GE(it.sim_time_by_charge[c], 0) << "iteration " << it.iteration;
+      sum += it.sim_time_by_charge[c];
+    }
+    // The decomposition must account for the iteration's time exactly.
+    EXPECT_EQ(sum, it.sim_time_ns) << "iteration " << it.iteration;
+    EXPECT_GT(it.SimTimeOf(runtime::Charge::kCompute), 0)
+        << "iteration " << it.iteration;
+    // Fresh-worker acquisition charges recovery time only on the failure
+    // iteration.
+    EXPECT_EQ(it.SimTimeOf(runtime::Charge::kRecovery) > 0,
+              it.failure_injected)
+        << "iteration " << it.iteration;
+  }
+  EXPECT_EQ(metrics.ChargeSeries(runtime::Charge::kCompute).size(), 4u);
+  EXPECT_GT(metrics.TotalSimTimeOf(runtime::Charge::kCompute), 0);
+}
+
+TEST(BulkDriverTest, TracerRecordsSuperstepAndRecoveryTimeline) {
+  Plan plan = DoublingPlan();
+  BulkIterationConfig config;
+  config.max_iterations = 3;
+  runtime::Tracer tracer;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 4;
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {0, 1}}});
+  JobEnv env;
+  env.failures = &failures;
+  env.tracer = &tracer;
+
+  BulkIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  ASSERT_TRUE(driver.Run(OnesState(16, 4), &policy).ok());
+
+  runtime::TraceSummary summary =
+      runtime::TraceSummary::FromSnapshot(tracer.Flush());
+  EXPECT_EQ(summary.iteration_spans, 3u);
+  EXPECT_EQ(summary.InstantCount("failure.injected"), 1u);
+  EXPECT_EQ(summary.InstantCount("partition.lost"), 2u);
+  // ScriptedPolicy writes no checkpoints: every checkpoint span cancels,
+  // but the OnFailure call still records one compensation span.
+  uint64_t compensation_spans = 0;
+  uint64_t checkpoint_spans = 0;
+  for (const auto& e : tracer.Flush().events) {
+    if (e.category == "compensation") ++compensation_spans;
+    if (e.category == "checkpoint") ++checkpoint_spans;
+  }
+  EXPECT_EQ(compensation_spans, 1u);
+  EXPECT_EQ(checkpoint_spans, 0u);
+  const runtime::TraceOperatorSummary* map_op = summary.Find("double");
+  ASSERT_NE(map_op, nullptr);
+  EXPECT_EQ(map_op->spans, 3u);
+}
+
 TEST(BulkDriverTest, AbortPolicySurfacesDataLoss) {
   Plan plan = DoublingPlan();
   BulkIterationConfig config;

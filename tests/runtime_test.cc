@@ -165,6 +165,38 @@ TEST(MetricsTest, GaugeFallback) {
   EXPECT_DOUBLE_EQ(s.Gauge("absent", 7.0), 7.0);
 }
 
+TEST(MetricsTest, SimTimeByChargeDefaultsZeroAndIndexesByCharge) {
+  IterationStats s;
+  for (int c = 0; c < kNumCharges; ++c) {
+    EXPECT_EQ(s.sim_time_by_charge[c], 0);
+  }
+  s.sim_time_by_charge[static_cast<int>(Charge::kNetwork)] = 40;
+  s.sim_time_by_charge[static_cast<int>(Charge::kRecovery)] = 7;
+  EXPECT_EQ(s.SimTimeOf(Charge::kNetwork), 40);
+  EXPECT_EQ(s.SimTimeOf(Charge::kRecovery), 7);
+  EXPECT_EQ(s.SimTimeOf(Charge::kCompute), 0);
+}
+
+TEST(MetricsTest, ChargeSeriesAndTotals) {
+  MetricsRegistry metrics;
+  IterationStats s1;
+  s1.iteration = 1;
+  s1.sim_time_by_charge[static_cast<int>(Charge::kCompute)] = 100;
+  s1.sim_time_by_charge[static_cast<int>(Charge::kCheckpointIo)] = 30;
+  metrics.RecordIteration(s1);
+  IterationStats s2;
+  s2.iteration = 2;
+  s2.sim_time_by_charge[static_cast<int>(Charge::kCompute)] = 60;
+  metrics.RecordIteration(s2);
+
+  EXPECT_EQ(metrics.ChargeSeries(Charge::kCompute),
+            (std::vector<int64_t>{100, 60}));
+  EXPECT_EQ(metrics.ChargeSeries(Charge::kCheckpointIo),
+            (std::vector<int64_t>{30, 0}));
+  EXPECT_EQ(metrics.TotalSimTimeOf(Charge::kCompute), 160);
+  EXPECT_EQ(metrics.TotalSimTimeOf(Charge::kNetwork), 0);
+}
+
 // --------------------------------------------------------------- Failure --
 
 TEST(FailureScheduleTest, FiresOncePerEvent) {
