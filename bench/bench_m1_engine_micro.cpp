@@ -168,6 +168,49 @@ void BM_CcSuperstep(benchmark::State& state) {
 }
 BENCHMARK(BM_CcSuperstep)->Arg(256)->Arg(2048);
 
+void BM_SolutionSetLookup(benchmark::State& state) {
+  const int parts = 4;
+  iteration::SolutionSet set(parts, {0});
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    set.Upsert(MakeRecord(i, static_cast<double>(i)));
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    const Record* hit = set.Lookup(MakeRecord(i++ % state.range(0), 0.0));
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolutionSetLookup)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_SolutionSetApplyDelta(benchmark::State& state) {
+  const int parts = 8;
+  const int64_t n = 1 << 14;
+  const int threads = static_cast<int>(state.range(0));
+  iteration::SolutionSet set(parts, {0});
+  for (int64_t i = 0; i < n; ++i) {
+    set.Upsert(MakeRecord(i, 0.0));
+  }
+  std::vector<Record> updates;
+  updates.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    updates.push_back(MakeRecord(i, static_cast<double>(i)));
+  }
+  auto delta = PartitionedDataset::HashPartitioned(updates, {0}, parts);
+  runtime::ThreadPool pool(threads);
+  for (auto _ : state) {
+    // ApplyDelta consumes its argument; exclude the copy from the timing.
+    state.PauseTiming();
+    PartitionedDataset d = delta;
+    state.ResumeTiming();
+    uint64_t applied =
+        set.ApplyDelta(std::move(d), threads > 1 ? &pool : nullptr, nullptr);
+    benchmark::DoNotOptimize(applied);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SolutionSetApplyDelta)->Arg(1)->Arg(2)->Arg(8);
+
 void BM_CheckpointPartition(benchmark::State& state) {
   std::vector<Record> records;
   for (int64_t i = 0; i < state.range(0); ++i) {

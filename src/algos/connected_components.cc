@@ -106,23 +106,27 @@ Status FixComponentsCompensation::Compensate(
 
   // 1. Re-initialize the lost solution partitions to the initial labels
   //    (vertex -> its own id). This is the provably consistent state of
-  //    Schelter et al. [14]. Record materialization is parallel; the
-  //    ReplacePartition upserts stay on the calling thread because the
-  //    solution set's version counter is shared across partitions.
-  std::vector<std::vector<Record>> initial_labels(lost_list.size());
+  //    Schelter et al. [14]. Each ReplacePartition touches only its own
+  //    partition's map and version clock, so the lost partitions rebuild in
+  //    parallel on the executor's pool.
+  std::vector<Status> replace_status(lost_list.size());
   runtime::ParallelFor(
       ctx.pool, static_cast<int>(lost_list.size()), [&](int i) {
-        initial_labels[i].reserve(lost_members[i].size());
+        std::vector<Record> initial_labels;
+        initial_labels.reserve(lost_members[i].size());
         for (int64_t v : lost_members[i]) {
-          initial_labels[i].push_back(MakeRecord(v, v));
+          initial_labels.push_back(MakeRecord(v, v));
         }
+        replace_status[i] = delta->solution().ReplacePartition(
+            lost_list[i], std::move(initial_labels));
       });
+  for (const Status& s : replace_status) {
+    if (!s.ok()) return s;
+  }
   std::vector<int64_t> restored;
   for (size_t i = 0; i < lost_list.size(); ++i) {
     restored.insert(restored.end(), lost_members[i].begin(),
                     lost_members[i].end());
-    FLINKLESS_RETURN_NOT_OK(delta->solution().ReplacePartition(
-        lost_list[i], std::move(initial_labels[i])));
   }
 
   // 2. Repopulate the workset: the restored vertices and their neighbors
@@ -238,13 +242,16 @@ Result<ConnectedComponentsResult> RunConnectedComponentsWithSnapshots(
         }
         std::vector<int> lost_partitions;
         if (stats->failure_injected && failures != nullptr) {
+          // Several schedule events can target the same iteration and list
+          // overlapping partitions; report each lost partition once.
+          std::set<int> unique_lost;
           for (const auto& event : failures->events()) {
             if (event.iteration == iteration) {
-              lost_partitions.insert(lost_partitions.end(),
-                                     event.partitions.begin(),
-                                     event.partitions.end());
+              unique_lost.insert(event.partitions.begin(),
+                                 event.partitions.end());
             }
           }
+          lost_partitions.assign(unique_lost.begin(), unique_lost.end());
         }
         snapshot(iteration, labels, lost_partitions,
                  stats->failure_injected,

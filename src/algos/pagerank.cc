@@ -262,13 +262,16 @@ Result<PageRankResult> RunPageRankWithSnapshots(
       if (snapshot) {
         std::vector<int> lost_partitions;
         if (stats->failure_injected && failures != nullptr) {
+          // Several schedule events can target the same iteration and list
+          // overlapping partitions; report each lost partition once.
+          std::set<int> unique_lost;
           for (const auto& event : failures->events()) {
             if (event.iteration == iteration) {
-              lost_partitions.insert(lost_partitions.end(),
-                                     event.partitions.begin(),
-                                     event.partitions.end());
+              unique_lost.insert(event.partitions.begin(),
+                                 event.partitions.end());
             }
           }
+          lost_partitions.assign(unique_lost.begin(), unique_lost.end());
         }
         snapshot(iteration, ranks, lost_partitions, stats->failure_injected,
                  stats->Gauge("convergence_metric", 0.0),

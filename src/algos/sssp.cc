@@ -62,7 +62,6 @@ FixDistancesCompensation::FixDistancesCompensation(const graph::Graph* graph,
 Status FixDistancesCompensation::Compensate(
     const iteration::IterationContext& ctx, iteration::IterationState* state,
     const std::vector<int>& lost) {
-  (void)ctx;
   if (state->kind() != iteration::StateKind::kDelta) {
     return Status::InvalidArgument(
         "fix-distances compensates delta iterations only");
@@ -71,18 +70,31 @@ Status FixDistancesCompensation::Compensate(
   const int num_partitions = delta->num_partitions();
   std::set<int> lost_set(lost.begin(), lost.end());
 
+  // Rebuild the lost partitions in parallel: each ReplacePartition touches
+  // only its own partition's map and version clock.
+  std::vector<int> lost_list(lost_set.begin(), lost_set.end());
+  std::vector<std::vector<int64_t>> restored_of(lost_list.size());
+  std::vector<Status> replace_status(lost_list.size());
+  runtime::ParallelFor(
+      ctx.pool, static_cast<int>(lost_list.size()), [&](int i) {
+        const int p = lost_list[i];
+        std::vector<Record> records;
+        for (int64_t v = 0; v < graph_->num_vertices(); ++v) {
+          if (PartitionOfVertex(v, num_partitions) == p) {
+            records.push_back(
+                MakeRecord(v, v == source_ ? int64_t{0} : kSsspInfinity));
+            restored_of[i].push_back(v);
+          }
+        }
+        replace_status[i] =
+            delta->solution().ReplacePartition(p, std::move(records));
+      });
+  for (const Status& s : replace_status) {
+    if (!s.ok()) return s;
+  }
   std::vector<int64_t> restored;
-  for (int p : lost_set) {
-    std::vector<Record> records;
-    for (int64_t v = 0; v < graph_->num_vertices(); ++v) {
-      if (PartitionOfVertex(v, num_partitions) == p) {
-        records.push_back(
-            MakeRecord(v, v == source_ ? int64_t{0} : kSsspInfinity));
-        restored.push_back(v);
-      }
-    }
-    FLINKLESS_RETURN_NOT_OK(
-        delta->solution().ReplacePartition(p, std::move(records)));
+  for (const auto& part : restored_of) {
+    restored.insert(restored.end(), part.begin(), part.end());
   }
 
   // Restored vertices and their neighbors re-propagate their distances.

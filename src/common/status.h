@@ -86,6 +86,7 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
 

@@ -233,9 +233,27 @@ bool GetU64(const std::vector<uint8_t>& bytes, size_t* offset, uint64_t* v) {
   return true;
 }
 
-/// Frames one partition's checkpoint piece: changed solution entries plus
-/// the current workset.
+/// Delta-checkpoint blob format v2 ("FLKDCP2\0" little-endian). v1 blobs
+/// started directly with the solution length; since real solution blobs are
+/// far smaller than this constant, the first u64 disambiguates the formats.
+constexpr uint64_t kDeltaBlobMagicV2 = 0x00325043444b4c46ULL;
+
+/// Version metadata framed into a v2 blob (absent from legacy v1 blobs).
+struct DeltaBlobVersions {
+  /// The partition clock this delta was computed against: the blob holds
+  /// exactly the entries with version > since. 0 = full snapshot.
+  uint64_t since = 0;
+  /// The partition clock at write time. The next chain link's `since` must
+  /// equal this, which is what chain-contiguity validation checks.
+  uint64_t clock = 0;
+  /// False for legacy v1 blobs, which carried no version metadata.
+  bool framed = false;
+};
+
+/// Frames one partition's checkpoint piece: the partition's version window,
+/// the changed solution entries, and the current workset.
 std::vector<uint8_t> FrameDeltaBlob(
+    uint64_t since_version, uint64_t clock_at_write,
     const std::vector<dataflow::Record>& solution_entries,
     const std::vector<dataflow::Record>& workset_records) {
   std::vector<uint8_t> solution_blob =
@@ -243,7 +261,10 @@ std::vector<uint8_t> FrameDeltaBlob(
   std::vector<uint8_t> workset_blob =
       dataflow::SerializeRecords(workset_records);
   std::vector<uint8_t> out;
-  out.reserve(8 + solution_blob.size() + workset_blob.size());
+  out.reserve(32 + solution_blob.size() + workset_blob.size());
+  PutU64(kDeltaBlobMagicV2, &out);
+  PutU64(since_version, &out);
+  PutU64(clock_at_write, &out);
   PutU64(solution_blob.size(), &out);
   out.insert(out.end(), solution_blob.begin(), solution_blob.end());
   out.insert(out.end(), workset_blob.begin(), workset_blob.end());
@@ -252,11 +273,27 @@ std::vector<uint8_t> FrameDeltaBlob(
 
 Status UnframeDeltaBlob(const std::vector<uint8_t>& blob,
                         std::vector<dataflow::Record>* solution_entries,
-                        std::vector<dataflow::Record>* workset_records) {
+                        std::vector<dataflow::Record>* workset_records,
+                        DeltaBlobVersions* versions) {
   size_t offset = 0;
+  uint64_t first = 0;
+  if (!GetU64(blob, &offset, &first)) {
+    return Status::DataLoss("truncated delta-checkpoint blob");
+  }
   uint64_t solution_len = 0;
-  if (!GetU64(blob, &offset, &solution_len) ||
-      offset + solution_len > blob.size()) {
+  *versions = DeltaBlobVersions{};
+  if (first == kDeltaBlobMagicV2) {
+    if (!GetU64(blob, &offset, &versions->since) ||
+        !GetU64(blob, &offset, &versions->clock) ||
+        !GetU64(blob, &offset, &solution_len)) {
+      return Status::DataLoss("truncated delta-checkpoint blob header");
+    }
+    versions->framed = true;
+  } else {
+    // Legacy v1: the first u64 is the solution length itself.
+    solution_len = first;
+  }
+  if (offset + solution_len > blob.size()) {
     return Status::DataLoss("truncated delta-checkpoint blob");
   }
   std::vector<uint8_t> solution_blob(blob.begin() + offset,
@@ -295,12 +332,18 @@ Status DeltaCheckpointPolicy::WriteCheckpoint(
         "environment");
   }
   int sequence = next_sequence_++;
-  const uint64_t since = full ? 0 : last_version_;
+  if (static_cast<int>(last_versions_.size()) != state.num_partitions()) {
+    last_versions_.assign(state.num_partitions(), 0);
+  }
   for (int p = 0; p < state.num_partitions(); ++p) {
+    const uint64_t since = full ? 0 : last_versions_[p];
+    const uint64_t clock = state.solution().version(p);
     FLINKLESS_RETURN_NOT_OK(ctx.storage->Write(
         BlobKey(ctx.job_id, sequence, p),
-        FrameDeltaBlob(state.solution().EntriesSince(p, since),
+        FrameDeltaBlob(since, clock,
+                       state.solution().EntriesSince(p, since),
                        state.workset().partition(p))));
+    last_versions_[p] = clock;
   }
   if (full) {
     // The old chain is superseded.
@@ -312,7 +355,6 @@ Status DeltaCheckpointPolicy::WriteCheckpoint(
     chain_.clear();
   }
   chain_.push_back(sequence);
-  last_version_ = state.solution().version();
   last_checkpoint_ = ctx.iteration;
   return Status::OK();
 }
@@ -327,7 +369,7 @@ Status DeltaCheckpointPolicy::OnJobStart(const IterationContext& ctx,
     ctx.storage->DeleteWithPrefix(ctx.job_id + "/dckpt/");
   }
   last_checkpoint_ = -1;
-  last_version_ = 0;
+  last_versions_.clear();
   next_sequence_ = 0;
   chain_.clear();
   return WriteCheckpoint(ctx, *static_cast<iteration::DeltaState*>(state),
@@ -364,31 +406,63 @@ Result<RecoveryOutcome> DeltaCheckpointPolicy::OnFailure(
                             ctx.job_id + "'");
   }
   auto* delta = static_cast<iteration::DeltaState*>(state);
-  // Replay the chain: base entries first, newer deltas overwrite older
-  // ones; the workset comes from the newest checkpoint alone.
+  // Replay the chain per partition: base entries first, newer deltas
+  // overwrite older ones; the workset comes from the newest checkpoint
+  // alone. Each v2 blob records the clock window it was cut from, so a
+  // chain whose links do not abut (a lost or reordered delta) is detected
+  // instead of silently restoring a hole.
   for (int p = 0; p < delta->num_partitions(); ++p) {
     delta->solution().ClearPartition(p);
     delta->workset().ClearPartition(p);
-  }
-  for (size_t link = 0; link < chain_.size(); ++link) {
-    bool newest = link + 1 == chain_.size();
-    for (int p = 0; p < delta->num_partitions(); ++p) {
+    uint64_t expected_since = 0;
+    bool have_versions = true;
+    for (size_t link = 0; link < chain_.size(); ++link) {
+      bool newest = link + 1 == chain_.size();
       FLINKLESS_ASSIGN_OR_RETURN(
           std::vector<uint8_t> blob,
           ctx.storage->Read(BlobKey(ctx.job_id, chain_[link], p)));
       std::vector<dataflow::Record> entries;
       std::vector<dataflow::Record> workset_records;
+      DeltaBlobVersions versions;
       FLINKLESS_RETURN_NOT_OK(
-          UnframeDeltaBlob(blob, &entries, &workset_records));
+          UnframeDeltaBlob(blob, &entries, &workset_records, &versions));
+      if (versions.framed && have_versions) {
+        if (link == 0 && versions.since != 0) {
+          return Status::DataLoss(
+              "delta-checkpoint chain of job '" + ctx.job_id +
+              "' does not start with a full snapshot (base since=" +
+              std::to_string(versions.since) + ")");
+        }
+        if (link > 0 && versions.since != expected_since) {
+          return Status::DataLoss(
+              "delta-checkpoint chain of job '" + ctx.job_id +
+              "' is not contiguous for partition " + std::to_string(p) +
+              ": link " + std::to_string(link) + " covers since=" +
+              std::to_string(versions.since) + ", previous link ended at " +
+              std::to_string(expected_since));
+        }
+        expected_since = versions.clock;
+      } else {
+        // A legacy v1 link carries no window; validation stops here.
+        have_versions = false;
+      }
       for (auto& record : entries) {
-        delta->solution().Upsert(std::move(record));
+        delta->solution().UpsertIntoPartition(p, std::move(record));
       }
       if (newest) delta->workset().partition(p) = std::move(workset_records);
     }
+    // Realign the replayed clock with the value recorded when the newest
+    // link was cut, so post-recovery deltas chain contiguously with the
+    // pre-failure links (a second failure would otherwise trip the
+    // contiguity check above).
+    if (have_versions && !chain_.empty()) {
+      delta->solution().FastForwardClock(p, expected_since);
+    }
   }
-  // Everything just restored carries fresh versions; the next delta must
-  // capture only post-restore changes.
-  last_version_ = delta->solution().version();
+  // Resync the watermarks to the restored clocks: the replay rebuilt each
+  // partition from version 0, and the next incremental delta must capture
+  // only post-restore changes — never re-ship what was just restored.
+  last_versions_ = delta->solution().VersionVector();
   FLOG_INFO("job '" << ctx.job_id << "': replayed a " << chain_.size()
                     << "-link delta-checkpoint chain back to iteration "
                     << last_checkpoint_);

@@ -196,8 +196,11 @@ class DeltaCheckpointPolicy final : public iteration::FaultTolerancePolicy {
   int interval_;
   int compact_every_;
   int last_checkpoint_ = -1;
-  /// Version of the solution set as of the last checkpoint.
-  uint64_t last_version_ = 0;
+  /// Per-partition solution-set clocks as of the last checkpoint — the
+  /// `since` watermark each partition's next delta is computed against.
+  /// Resynced to the solution set's VersionVector() after a restore, so a
+  /// recovery never inflates the next incremental delta.
+  std::vector<uint64_t> last_versions_;
   /// Monotonic sequence number used in blob keys (never reused, so a
   /// compaction cannot collide with the chain it replaces).
   int next_sequence_ = 0;

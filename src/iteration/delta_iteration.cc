@@ -150,14 +150,12 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
                               config_.next_workset_output + "'");
     }
 
-    // Upsert the delta into the solution set (selective update, §2.1).
-    uint64_t updates = 0;
-    for (int p = 0; p < delta_it->second.num_partitions(); ++p) {
-      for (Record& r : delta_it->second.partition(p)) {
-        state.solution().Upsert(std::move(r));
-        ++updates;
-      }
-    }
+    // Upsert the delta into the solution set (selective update, §2.1),
+    // partition-parallel on the executor's pool: deltas scatter by key hash
+    // and every partition applies its own shard against its own version
+    // clock, so there is no shared counter to serialize on.
+    uint64_t updates = state.solution().ApplyDelta(
+        std::move(delta_it->second), executor.pool(), tracer);
     state.workset() = std::move(workset_it->second);
 
     runtime::IterationStats istats;

@@ -18,6 +18,7 @@
 #include "dataflow/dataset.h"
 #include "dataflow/record.h"
 #include "runtime/thread_pool.h"
+#include "runtime/tracing.h"
 
 namespace flinkless::iteration {
 
@@ -48,6 +49,11 @@ class IterationState {
 
 /// Bulk-iteration state: the whole intermediate dataset, recomputed each
 /// superstep (e.g. the PageRank rank vector).
+///
+/// Bounds contract (shared by every IterationState implementation): the
+/// Status-returning mutators reject an out-of-range partition with
+/// OutOfRange; everything else treats it as a programming error and dies
+/// via FLINKLESS_CHECK.
 class BulkState final : public IterationState {
  public:
   BulkState() = default;
@@ -58,7 +64,7 @@ class BulkState final : public IterationState {
   int num_partitions() const override { return data_.num_partitions(); }
   std::vector<uint8_t> SerializePartition(int p) const override;
   Status RestorePartition(int p, const std::vector<uint8_t>& blob) override;
-  void ClearPartition(int p) override { data_.ClearPartition(p); }
+  void ClearPartition(int p) override;
   uint64_t PartitionByteSize(int p) const override;
 
   dataflow::PartitionedDataset& data() { return data_; }
@@ -84,8 +90,26 @@ class SolutionSet {
   const dataflow::KeyColumns& key() const { return key_; }
 
   /// Inserts or replaces the entry with `record`'s key. Returns true when an
-  /// existing entry was replaced.
+  /// existing entry was replaced. Bumps only the owning partition's clock.
   bool Upsert(dataflow::Record record);
+
+  /// Upsert for a record already known to hash to partition `p` (routing is
+  /// a programming error, checked). Touches only that partition's map and
+  /// clock, so concurrent calls for *distinct* partitions are safe — the
+  /// primitive behind ApplyDelta's partition-parallel phase.
+  bool UpsertIntoPartition(int p, dataflow::Record record);
+
+  /// Applies a superstep's delta records: scatter by key hash into
+  /// per-partition shards (parallel over source partitions), then every
+  /// target partition upserts its own shard against its own version clock
+  /// (parallel over targets, traced as a "solution.update" span when a
+  /// tracer is given). Application order within a partition is (source
+  /// partition, record position) — exactly the serial loop's order — so the
+  /// result, including entry versions, is byte-identical at any thread
+  /// count. Returns the number of records applied.
+  uint64_t ApplyDelta(dataflow::PartitionedDataset delta,
+                      runtime::ThreadPool* pool = nullptr,
+                      runtime::Tracer* tracer = nullptr);
 
   /// The record with the given key projection, or nullptr.
   const dataflow::Record* Lookup(const dataflow::Record& key_projection) const;
@@ -93,13 +117,19 @@ class SolutionSet {
   /// Entries of one partition in key order.
   std::vector<dataflow::Record> PartitionRecords(int p) const;
 
-  /// Monotonic modification counter: bumped by every Upsert (and by
-  /// ReplacePartition per record). Lets incremental checkpointing ask
-  /// "what changed since version v".
-  uint64_t version() const { return version_; }
+  /// Partition `p`'s modification clock: bumped by every Upsert into it
+  /// (and by ReplacePartition per record). Lets incremental checkpointing
+  /// ask "what changed in this partition since version v". Clocks of
+  /// different partitions are independent — restoring or compensating one
+  /// partition never advances another's clock.
+  uint64_t version(int p) const;
 
-  /// Entries of partition `p` modified strictly after `since_version`, in
-  /// key order. EntriesSince(p, 0) returns the whole partition.
+  /// All partition clocks, indexed by partition.
+  std::vector<uint64_t> VersionVector() const;
+
+  /// Entries of partition `p` modified strictly after `since_version` (on
+  /// that partition's clock), in key order. EntriesSince(p, 0) returns the
+  /// whole partition: live entries always carry versions >= 1.
   std::vector<dataflow::Record> EntriesSince(int p,
                                              uint64_t since_version) const;
 
@@ -112,24 +142,49 @@ class SolutionSet {
   dataflow::PartitionedDataset ToDataset(
       runtime::ThreadPool* pool = nullptr) const;
 
-  void ClearPartition(int p) { parts_[p].clear(); }
+  /// Drops partition `p`'s entries and resets its clock — a destroyed
+  /// partition restarts its modification history.
+  void ClearPartition(int p);
+
+  /// Fast-forwards partition `p`'s clock to `to` (>= the current clock,
+  /// checked) without touching entries. Used after a checkpoint-chain
+  /// replay to realign the clock with the value recorded at checkpoint
+  /// time, so deltas written after a recovery chain contiguously with the
+  /// pre-failure links.
+  void FastForwardClock(int p, uint64_t to);
 
   /// Replaces the contents of partition `p` with `records` (entries keyed by
   /// their key projection). Records whose hash does not map to `p` are a
-  /// programming error.
+  /// programming error. The partition's clock restarts: the restored
+  /// entries get versions 1..k (so EntriesSince(p, 0) still returns all of
+  /// them) and are *older* than any subsequent upsert — a restore or
+  /// compensation never marks entries as freshly modified. Version
+  /// consumers must resync their per-partition watermark to version(p)
+  /// afterwards.
   Status ReplacePartition(int p, std::vector<dataflow::Record> records);
 
  private:
   struct Entry {
     dataflow::Record record;
-    /// Value of version_ when this entry was last written.
+    /// Value of the owning partition's clock when this entry was last
+    /// written (>= 1 for live entries).
     uint64_t version = 0;
   };
   using PartitionMap =
       std::map<dataflow::Record, Entry, dataflow::RecordOrder>;
+  /// One partition's entries plus its private modification clock. No state
+  /// is shared between partitions, which is what makes ApplyDelta's
+  /// per-partition upsert phase safe to run on the pool.
+  struct Partition {
+    PartitionMap entries;
+    uint64_t clock = 0;
+  };
+
   dataflow::KeyColumns key_;
-  std::vector<PartitionMap> parts_;
-  uint64_t version_ = 0;
+  /// Identity columns 0..k-1 used to hash key projections in Lookup;
+  /// hoisted out of the delta-join hot loop.
+  dataflow::KeyColumns identity_key_;
+  std::vector<Partition> parts_;
 };
 
 /// Delta-iteration state: solution set + working set (paper §2.1). A failure

@@ -82,6 +82,8 @@ const char* SpanKindName(SpanKind kind) {
       return "shuffle.gather";
     case SpanKind::kIteration:
       return "iteration";
+    case SpanKind::kSolutionUpdate:
+      return "solution.update";
     case SpanKind::kCheckpoint:
       return "checkpoint";
     case SpanKind::kCompensation:

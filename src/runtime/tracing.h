@@ -47,6 +47,7 @@ enum class SpanKind : int {
   kShuffleScatter,     // shuffle phase 1: partition-local scatter to outboxes
   kShuffleGather,      // shuffle phase 2: concatenate outboxes per target
   kIteration,          // one superstep of an iterative job
+  kSolutionUpdate,     // partition-parallel solution-set delta application
   kCheckpoint,         // checkpoint I/O performed by a policy
   kCompensation,       // recovery action after a failure (OnFailure)
 };

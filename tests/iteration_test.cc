@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "dataflow/executor.h"
 #include "iteration/bulk_iteration.h"
 #include "iteration/delta_iteration.h"
@@ -93,6 +95,147 @@ TEST(SolutionSetTest, PartitionRecordsSortedByKey) {
   ASSERT_EQ(records.size(), 3u);
   EXPECT_EQ(records[0][0].AsInt64(), 1);
   EXPECT_EQ(records[2][0].AsInt64(), 3);
+}
+
+TEST(SolutionSetTest, PerPartitionVersionClocks) {
+  SolutionSet set(4, {0});
+  // Route three distinct keys into known partitions.
+  int64_t a = 0;
+  while (PartitionedDataset::PartitionOf(MakeRecord(a), {0}, 4) != 1) ++a;
+  int64_t b = a + 1;
+  while (PartitionedDataset::PartitionOf(MakeRecord(b), {0}, 4) != 1) ++b;
+  int64_t c = 0;
+  while (PartitionedDataset::PartitionOf(MakeRecord(c), {0}, 4) != 2) ++c;
+
+  set.Upsert(MakeRecord(a, int64_t{10}));
+  set.Upsert(MakeRecord(b, int64_t{20}));
+  set.Upsert(MakeRecord(c, int64_t{30}));
+  // Only the owning partition's clock advances.
+  EXPECT_EQ(set.version(0), 0u);
+  EXPECT_EQ(set.version(1), 2u);
+  EXPECT_EQ(set.version(2), 1u);
+  EXPECT_EQ(set.VersionVector(), (std::vector<uint64_t>{0, 2, 1, 0}));
+
+  // EntriesSince compares against the partition's own clock.
+  EXPECT_EQ(set.EntriesSince(1, 0).size(), 2u);
+  EXPECT_EQ(set.EntriesSince(1, 1).size(), 1u);
+  EXPECT_EQ(set.EntriesSince(1, 2).size(), 0u);
+  EXPECT_EQ(set.EntriesSince(2, 0).size(), 1u);
+
+  // Overwriting a key bumps only its partition again.
+  set.Upsert(MakeRecord(a, int64_t{11}));
+  EXPECT_EQ(set.version(1), 3u);
+  EXPECT_EQ(set.version(2), 1u);
+  EXPECT_EQ(set.EntriesSince(1, 2).size(), 1u);
+}
+
+TEST(SolutionSetTest, ReplacePartitionDoesNotMarkEntriesFresh) {
+  SolutionSet set(2, {0});
+  for (int64_t v = 0; v < 12; ++v) set.Upsert(MakeRecord(v, v));
+
+  // Snapshot partition 0 and "restore" it, as a checkpoint recovery does.
+  std::vector<Record> snapshot = set.PartitionRecords(0);
+  const size_t entries = snapshot.size();
+  set.ClearPartition(0);
+  EXPECT_EQ(set.version(0), 0u);
+  ASSERT_TRUE(set.ReplacePartition(0, snapshot).ok());
+
+  // The clock restarted at the entry count, and a watermark resynced to it
+  // sees nothing fresh: the restore shipped no "changes".
+  EXPECT_EQ(set.version(0), static_cast<uint64_t>(entries));
+  EXPECT_TRUE(set.EntriesSince(0, set.version(0)).empty());
+  // EntriesSince(p, 0) still returns the whole partition (full snapshots).
+  EXPECT_EQ(set.EntriesSince(0, 0).size(), entries);
+  // A subsequent upsert is strictly newer than every restored entry.
+  uint64_t watermark = set.version(0);
+  set.Upsert(snapshot[0]);
+  EXPECT_EQ(set.EntriesSince(0, watermark).size(), 1u);
+  // The sibling partition's clock never moved.
+  EXPECT_EQ(set.EntriesSince(1, set.version(1)).size(), 0u);
+}
+
+TEST(SolutionSetTest, ApplyDeltaMatchesSerialUpserts) {
+  const int kParts = 4;
+  auto make_base = [&]() {
+    SolutionSet set(kParts, {0});
+    for (int64_t v = 0; v < 40; ++v) set.Upsert(MakeRecord(v, v));
+    return set;
+  };
+  std::vector<Record> delta_records;
+  for (int64_t v = 5; v < 35; v += 3) {
+    delta_records.push_back(MakeRecord(v, v * 100));
+  }
+  auto delta = PartitionedDataset::HashPartitioned(delta_records, {0}, kParts);
+
+  SolutionSet serial = make_base();
+  for (int p = 0; p < kParts; ++p) {
+    for (const Record& r : delta.partition(p)) serial.Upsert(r);
+  }
+
+  for (int threads : {0, 2, 8}) {
+    SolutionSet pooled = make_base();
+    std::unique_ptr<runtime::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<runtime::ThreadPool>(threads);
+    EXPECT_EQ(pooled.ApplyDelta(delta, pool.get()), delta.NumRecords());
+    EXPECT_EQ(pooled.VersionVector(), serial.VersionVector());
+    for (int p = 0; p < kParts; ++p) {
+      EXPECT_EQ(pooled.PartitionRecords(p), serial.PartitionRecords(p));
+      for (uint64_t since : {uint64_t{0}, serial.version(p) / 2,
+                             serial.version(p)}) {
+        EXPECT_EQ(pooled.EntriesSince(p, since), serial.EntriesSince(p, since))
+            << "threads=" << threads << " p=" << p << " since=" << since;
+      }
+    }
+  }
+}
+
+TEST(SolutionSetTest, FastForwardClockAdvancesWithoutTouchingEntries) {
+  SolutionSet set(2, {0});
+  set.Upsert(MakeRecord(int64_t{0}, int64_t{1}));
+  int p = PartitionedDataset::PartitionOf(MakeRecord(int64_t{0}), {0}, 2);
+  uint64_t clock = set.version(p);
+  set.FastForwardClock(p, clock + 5);
+  EXPECT_EQ(set.version(p), clock + 5);
+  EXPECT_EQ(set.EntriesSince(p, 0).size(), 1u);
+  EXPECT_TRUE(set.EntriesSince(p, clock).empty());
+}
+
+TEST(SolutionSetDeathTest, OutOfRangePartitionDies) {
+  SolutionSet set(2, {0});
+  set.Upsert(MakeRecord(int64_t{0}, int64_t{1}));
+  EXPECT_DEATH(set.PartitionRecords(2), "out of range");
+  EXPECT_DEATH(set.ClearPartition(-1), "out of range");
+  EXPECT_DEATH(set.EntriesSince(7, 0), "out of range");
+  EXPECT_DEATH(set.version(-3), "out of range");
+  EXPECT_DEATH(set.UpsertIntoPartition(5, MakeRecord(int64_t{0}, int64_t{1})),
+               "out of range");
+  // Misrouted records are a programming error too.
+  int home = PartitionedDataset::PartitionOf(MakeRecord(int64_t{0}), {0}, 2);
+  EXPECT_DEATH(
+      set.UpsertIntoPartition((home + 1) % 2,
+                              MakeRecord(int64_t{0}, int64_t{1})),
+      "does not hash to partition");
+  // home's clock is 1 after the Upsert; 0 would move it backwards.
+  EXPECT_DEATH(set.FastForwardClock(home, 0), "cannot move backwards");
+}
+
+TEST(BulkStateDeathTest, OutOfRangePartitionDies) {
+  BulkState state(PartitionedDataset(2));
+  EXPECT_DEATH(state.ClearPartition(2), "out of range");
+  EXPECT_DEATH(state.SerializePartition(-1), "out of range");
+  EXPECT_DEATH(state.PartitionByteSize(9), "out of range");
+}
+
+TEST(BulkStateTest, RestoreRejectsOutOfRangePartition) {
+  BulkState state(PartitionedDataset(2));
+  EXPECT_TRUE(state.RestorePartition(-1, {}).IsOutOfRange());
+  EXPECT_TRUE(state.RestorePartition(2, {}).IsOutOfRange());
+}
+
+TEST(DeltaStateTest, RestoreRejectsOutOfRangePartition) {
+  DeltaState state(SolutionSet(2, {0}), PartitionedDataset(2));
+  EXPECT_TRUE(state.RestorePartition(-1, {}).IsOutOfRange());
+  EXPECT_TRUE(state.RestorePartition(2, {}).IsOutOfRange());
 }
 
 // ------------------------------------------------------------ DeltaState --
@@ -548,6 +691,77 @@ TEST(DeltaDriverTest, StatsRecordUpdatesAndOperatorCounts) {
   EXPECT_EQ(first.Gauge("solution_updates"), 1.0);
   EXPECT_GT(first.Gauge("out:decrement"), 0.0);
   EXPECT_GT(first.records_processed, 0u);
+}
+
+TEST(DeltaDriverTest, OverlappingFailureEventsCountEachPartitionOnce) {
+  // Two schedule events both target iteration 3 and overlap on partition 0
+  // ("3:0;3:0,1"): the driver must lose partitions {0, 1} exactly once
+  // each — one partition.lost instant per partition, one loss per
+  // OnFailure call.
+  Plan plan = CountdownPlan();
+  DeltaIterationConfig config;
+  config.max_iterations = 50;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  auto failures = runtime::FailureSchedule::Parse("3:0;3:0,1");
+  ASSERT_TRUE(failures.ok());
+  runtime::Tracer tracer;
+  JobEnv env;
+  env.failures = &*failures;
+  env.tracer = &tracer;
+
+  std::vector<Record> solution;
+  for (int64_t v = 0; v < 10; ++v) {
+    solution.push_back(MakeRecord(v, int64_t{6}));
+  }
+  auto workset = PartitionedDataset::HashPartitioned(solution, {0}, 2);
+  DeltaIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  ASSERT_TRUE(driver.Run(solution, workset, &policy).ok());
+
+  ASSERT_EQ(policy.lost_counts.size(), 1u);
+  EXPECT_EQ(policy.lost_counts[0], 2u);  // {0, 1}, partition 0 not doubled
+  runtime::TraceSummary summary =
+      runtime::TraceSummary::FromSnapshot(tracer.Flush());
+  EXPECT_EQ(summary.InstantCount("failure.injected"), 1u);
+  EXPECT_EQ(summary.InstantCount("partition.lost"), 2u);
+}
+
+TEST(DeltaDriverTest, TracerRecordsSolutionUpdatePhase) {
+  // The partition-parallel upsert phase shows up as one solution.update
+  // span per superstep, with per-partition child spans underneath.
+  Plan plan = CountdownPlan();
+  DeltaIterationConfig config;
+  config.max_iterations = 50;
+  dataflow::ExecOptions exec;
+  exec.num_partitions = 2;
+  runtime::Tracer tracer;
+  JobEnv env;
+  env.tracer = &tracer;
+
+  std::vector<Record> solution{MakeRecord(int64_t{0}, int64_t{4}),
+                               MakeRecord(int64_t{1}, int64_t{4})};
+  auto workset = PartitionedDataset::HashPartitioned(solution, {0}, 2);
+  DeltaIterationDriver driver(&plan, {}, config, exec, env);
+  ScriptedPolicy policy(RecoveryAction::kContinue);
+  auto result = driver.Run(solution, workset, &policy);
+  ASSERT_TRUE(result.ok());
+
+  auto snapshot = tracer.Flush();
+  uint64_t parents = 0;
+  uint64_t children = 0;
+  for (const auto& e : snapshot.events) {
+    if (e.category != "solution.update") continue;
+    if (e.partition < 0) {
+      ++parents;
+      EXPECT_GE(e.Arg("records", -1), 0);
+    } else {
+      ++children;
+    }
+  }
+  // Supersteps 1..3 apply non-empty deltas; superstep 4 drains the workset.
+  EXPECT_EQ(parents, static_cast<uint64_t>(result->supersteps_executed));
+  EXPECT_EQ(children, parents * 2);  // one child per partition
 }
 
 TEST(BulkDriverTest, RunawayRecoveryLoopAborts) {

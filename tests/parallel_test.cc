@@ -13,14 +13,18 @@
 #include <vector>
 
 #include "algos/connected_components.h"
+#include "algos/datasets.h"
 #include "algos/pagerank.h"
 #include "core/policies.h"
 #include "dataflow/executor.h"
 #include "graph/generators.h"
 #include "graph/reference.h"
 #include "common/rng.h"
+#include "iteration/delta_iteration.h"
 #include "runtime/failure.h"
 #include "runtime/metrics.h"
+#include "runtime/sim_clock.h"
+#include "runtime/stable_storage.h"
 #include "runtime/thread_pool.h"
 
 namespace flinkless {
@@ -365,6 +369,135 @@ TEST_P(AlgoDeterminismTest, RecoveredResultIsCorrect) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, AlgoDeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+// ------------------------- delta-iteration solution-set determinism --
+
+/// Everything the partition-parallel ApplyDelta path could plausibly
+/// perturb: exact solution-set bytes per partition, per-partition version
+/// clocks, incremental EntriesSince views, and simulated-time charges.
+struct DeltaRunFingerprint {
+  std::vector<std::vector<Record>> solution_parts;
+  std::vector<uint64_t> versions;
+  std::vector<std::vector<Record>> entries_since_mid;
+  int supersteps = 0;
+  int failures_recovered = 0;
+  int64_t sim_total_ns = 0;
+  std::vector<int64_t> sim_by_charge;
+  uint64_t checkpoint_bytes = 0;
+};
+
+/// Runs Connected Components through the delta driver directly (so the
+/// final SolutionSet is observable), with two failures injected. With
+/// `incremental_checkpoints`, recovery replays a DeltaCheckpointPolicy
+/// chain; otherwise optimistic recovery compensates the loss.
+DeltaRunFingerprint RunDeltaCc(int num_threads, bool incremental_checkpoints) {
+  const int parts = 4;
+  Rng rng(2025);
+  graph::Graph directed = graph::Rmat(9, 6, &rng);
+  graph::Graph undirected(directed.num_vertices(), /*directed=*/false);
+  for (const graph::Edge& e : directed.edges()) {
+    Status s = undirected.AddEdge(e.src, e.dst);
+    EXPECT_TRUE(s.ok());
+  }
+
+  Plan plan = algos::BuildConnectedComponentsPlan();
+  PartitionedDataset edges = algos::EdgePairs(undirected, parts);
+  std::vector<Record> labels = algos::InitialLabels(undirected);
+  PartitionedDataset workset =
+      PartitionedDataset::HashPartitioned(labels, {0}, parts);
+  Bindings statics;
+  statics["edges"] = &edges;
+
+  runtime::SimClock clock;
+  runtime::CostModel costs;
+  runtime::MetricsRegistry metrics;
+  runtime::StableStorage storage(&clock, &costs);
+  runtime::FailureSchedule failures(
+      std::vector<runtime::FailureEvent>{{2, {3}}, {4, {0, 1}}});
+  iteration::JobEnv env;
+  env.clock = &clock;
+  env.costs = &costs;
+  env.metrics = &metrics;
+  env.failures = &failures;
+  env.storage = &storage;
+  env.job_id = "det-delta-cc";
+
+  iteration::DeltaIterationConfig config;
+  config.max_iterations = 40;
+  config.solution_key = {0};
+
+  ExecOptions exec;
+  exec.num_partitions = parts;
+  exec.num_threads = num_threads;
+  exec.clock = &clock;
+  exec.costs = &costs;
+
+  algos::FixComponentsCompensation fix(&undirected);
+  core::OptimisticRecoveryPolicy optimistic(&fix);
+  core::DeltaCheckpointPolicy checkpoints(/*interval=*/2);
+  iteration::FaultTolerancePolicy* policy =
+      incremental_checkpoints
+          ? static_cast<iteration::FaultTolerancePolicy*>(&checkpoints)
+          : &optimistic;
+
+  iteration::DeltaIterationDriver driver(&plan, statics, config, exec, env);
+  auto result = driver.Run(labels, workset, policy);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+
+  DeltaRunFingerprint fp;
+  if (!result.ok()) return fp;
+  const iteration::SolutionSet& solution = result->final_solution;
+  fp.versions = solution.VersionVector();
+  for (int p = 0; p < solution.num_partitions(); ++p) {
+    fp.solution_parts.push_back(solution.PartitionRecords(p));
+    fp.entries_since_mid.push_back(
+        solution.EntriesSince(p, solution.version(p) / 2));
+  }
+  fp.supersteps = result->supersteps_executed;
+  fp.failures_recovered = result->failures_recovered;
+  fp.sim_total_ns = clock.TotalNs();
+  for (int c = 0; c < runtime::kNumCharges; ++c) {
+    fp.sim_by_charge.push_back(clock.Of(static_cast<runtime::Charge>(c)));
+  }
+  fp.checkpoint_bytes = storage.bytes_written();
+  return fp;
+}
+
+class DeltaDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaDeterminismTest, OptimisticRecoveryRunMatchesSerial) {
+  DeltaRunFingerprint serial = RunDeltaCc(1, /*incremental_checkpoints=*/false);
+  DeltaRunFingerprint parallel =
+      RunDeltaCc(GetParam(), /*incremental_checkpoints=*/false);
+  EXPECT_GT(serial.failures_recovered, 0);
+  EXPECT_EQ(serial.solution_parts, parallel.solution_parts);
+  EXPECT_EQ(serial.versions, parallel.versions);
+  EXPECT_EQ(serial.entries_since_mid, parallel.entries_since_mid);
+  EXPECT_EQ(serial.supersteps, parallel.supersteps);
+  EXPECT_EQ(serial.failures_recovered, parallel.failures_recovered);
+  EXPECT_EQ(serial.sim_total_ns, parallel.sim_total_ns);
+  EXPECT_EQ(serial.sim_by_charge, parallel.sim_by_charge);
+}
+
+TEST_P(DeltaDeterminismTest, IncrementalCheckpointRunMatchesSerial) {
+  DeltaRunFingerprint serial = RunDeltaCc(1, /*incremental_checkpoints=*/true);
+  DeltaRunFingerprint parallel =
+      RunDeltaCc(GetParam(), /*incremental_checkpoints=*/true);
+  EXPECT_GT(serial.failures_recovered, 0);
+  EXPECT_GT(serial.checkpoint_bytes, 0u);
+  EXPECT_EQ(serial.solution_parts, parallel.solution_parts);
+  EXPECT_EQ(serial.versions, parallel.versions);
+  EXPECT_EQ(serial.entries_since_mid, parallel.entries_since_mid);
+  EXPECT_EQ(serial.supersteps, parallel.supersteps);
+  EXPECT_EQ(serial.failures_recovered, parallel.failures_recovered);
+  EXPECT_EQ(serial.sim_total_ns, parallel.sim_total_ns);
+  EXPECT_EQ(serial.sim_by_charge, parallel.sim_by_charge);
+  // Incremental checkpoint I/O is data-dependent only.
+  EXPECT_EQ(serial.checkpoint_bytes, parallel.checkpoint_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, DeltaDeterminismTest,
                          ::testing::Values(1, 2, 8));
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/policies.h"
 #include "dataflow/executor.h"
 #include "iteration/bulk_iteration.h"
@@ -445,6 +447,175 @@ TEST(DeltaCheckpointTest, CompactionBoundsChainAndDropsOldBlobs) {
   auto outcome = policy.OnFailure(MakeContext(7, 2, &storage), &state, {1});
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(state.solution().NumEntries(), 16u);
+}
+
+TEST(DeltaCheckpointTest, PostRecoveryDeltaNoLargerThanFailureFree) {
+  // Regression for the restore-marks-dirty bug: the incremental checkpoint
+  // taken right after a recovery must not be inflated by the entries the
+  // recovery itself restored — it must match the failure-free run's
+  // checkpoint byte for byte.
+  auto apply_updates = [](iteration::DeltaState* state, int round) {
+    const int64_t base = round * 100;
+    for (int64_t v = 0; v < 4; ++v) {
+      state->solution().Upsert(MakeRecord(v, base + v));
+    }
+  };
+
+  // Failure-free run.
+  runtime::StableStorage storage_a(nullptr, nullptr);
+  DeltaCheckpointPolicy policy_a(1);
+  iteration::DeltaState state_a = MakeDeltaState(64, 4);
+  state_a.workset() = PartitionedDataset(4);
+  ASSERT_TRUE(policy_a.OnJobStart(MakeContext(0, 4, &storage_a), &state_a)
+                  .ok());
+  apply_updates(&state_a, 1);
+  ASSERT_TRUE(
+      policy_a.AfterIteration(MakeContext(1, 4, &storage_a), &state_a).ok());
+  uint64_t before_a = storage_a.bytes_written();
+  apply_updates(&state_a, 2);
+  ASSERT_TRUE(
+      policy_a.AfterIteration(MakeContext(2, 4, &storage_a), &state_a).ok());
+  uint64_t delta2_failure_free = storage_a.bytes_written() - before_a;
+
+  // Same run, but every partition fails right after checkpoint 1; recovery
+  // replays the chain and rewinds, then iteration 2 re-executes.
+  runtime::StableStorage storage_b(nullptr, nullptr);
+  DeltaCheckpointPolicy policy_b(1);
+  iteration::DeltaState state_b = MakeDeltaState(64, 4);
+  state_b.workset() = PartitionedDataset(4);
+  ASSERT_TRUE(policy_b.OnJobStart(MakeContext(0, 4, &storage_b), &state_b)
+                  .ok());
+  apply_updates(&state_b, 1);
+  ASSERT_TRUE(
+      policy_b.AfterIteration(MakeContext(1, 4, &storage_b), &state_b).ok());
+  for (int p = 0; p < 4; ++p) state_b.ClearPartition(p);
+  auto outcome = policy_b.OnFailure(MakeContext(2, 4, &storage_b), &state_b,
+                                    {0, 1, 2, 3});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rewind_to_iteration, 1);
+  uint64_t before_b = storage_b.bytes_written();
+  apply_updates(&state_b, 2);
+  ASSERT_TRUE(
+      policy_b.AfterIteration(MakeContext(2, 4, &storage_b), &state_b).ok());
+  uint64_t delta2_post_recovery = storage_b.bytes_written() - before_b;
+
+  EXPECT_EQ(delta2_post_recovery, delta2_failure_free);
+}
+
+TEST(DeltaCheckpointTest, SecondFailureAfterRecoveryReplaysConsistently) {
+  // After a recovery, later deltas must chain contiguously onto the
+  // pre-failure links (the replay realigns the partition clocks), so a
+  // second failure replays the whole mixed chain without tripping the
+  // contiguity validation.
+  runtime::StableStorage storage(nullptr, nullptr);
+  DeltaCheckpointPolicy policy(1);
+  iteration::DeltaState state = MakeDeltaState(32, 4);
+  state.workset() = PartitionedDataset(4);
+  ASSERT_TRUE(policy.OnJobStart(MakeContext(0, 4, &storage), &state).ok());
+  for (int64_t v = 0; v < 8; ++v) {
+    state.solution().Upsert(MakeRecord(v, v + 1000));
+  }
+  ASSERT_TRUE(
+      policy.AfterIteration(MakeContext(1, 4, &storage), &state).ok());
+
+  // First failure + recovery.
+  for (int p = 0; p < 4; ++p) state.ClearPartition(p);
+  ASSERT_TRUE(
+      policy.OnFailure(MakeContext(2, 4, &storage), &state, {0, 1, 2, 3})
+          .ok());
+
+  // Progress + another incremental checkpoint on top of the replayed state.
+  for (int64_t v = 8; v < 12; ++v) {
+    state.solution().Upsert(MakeRecord(v, v + 2000));
+  }
+  ASSERT_TRUE(
+      policy.AfterIteration(MakeContext(2, 4, &storage), &state).ok());
+
+  // Second failure: the chain now mixes pre- and post-recovery links.
+  for (int p = 0; p < 4; ++p) state.ClearPartition(p);
+  auto outcome =
+      policy.OnFailure(MakeContext(3, 4, &storage), &state, {0, 1, 2, 3});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(state.solution().NumEntries(), 32u);
+  for (int64_t v = 0; v < 32; ++v) {
+    const Record* entry = state.solution().Lookup(MakeRecord(v));
+    ASSERT_NE(entry, nullptr);
+    int64_t expected = v < 8 ? v + 1000 : v < 12 ? v + 2000 : v;
+    EXPECT_EQ((*entry)[1].AsInt64(), expected) << "vertex " << v;
+  }
+}
+
+TEST(DeltaCheckpointTest, RestoreRejectsNonContiguousChain) {
+  runtime::StableStorage storage(nullptr, nullptr);
+  DeltaCheckpointPolicy policy(1);
+  iteration::DeltaState state = MakeDeltaState(16, 2);
+  state.workset() = PartitionedDataset(2);
+  ASSERT_TRUE(policy.OnJobStart(MakeContext(0, 2, &storage), &state).ok());
+  for (int64_t v = 0; v < 4; ++v) {
+    state.solution().Upsert(MakeRecord(v, v + 100));
+  }
+  ASSERT_TRUE(
+      policy.AfterIteration(MakeContext(1, 2, &storage), &state).ok());
+
+  // Corrupt the chain: overwrite the delta link of partition 0 with a copy
+  // of the base link, whose `since` window (0) does not abut the base's
+  // end-of-window clock. The framed versions make this detectable.
+  auto base_blob = storage.Read("test-job/dckpt/00000000/000000");
+  ASSERT_TRUE(base_blob.ok());
+  ASSERT_TRUE(
+      storage.Write("test-job/dckpt/00000001/000000", *base_blob).ok());
+
+  state.ClearPartition(0);
+  auto outcome = policy.OnFailure(MakeContext(2, 2, &storage), &state, {0});
+  ASSERT_TRUE(outcome.status().IsDataLoss()) << outcome.status();
+  EXPECT_NE(outcome.status().message().find("not contiguous"),
+            std::string::npos)
+      << outcome.status();
+}
+
+TEST(DeltaCheckpointTest, RestoresLegacyV1BlobsWithoutVersionFraming) {
+  // Blobs written before the v2 format carried no version metadata: the
+  // first u64 is the solution length directly. Restores must still work
+  // (without contiguity validation).
+  auto frame_v1 = [](const std::vector<Record>& solution_entries,
+                     const std::vector<Record>& workset_records) {
+    std::vector<uint8_t> solution_blob =
+        dataflow::SerializeRecords(solution_entries);
+    std::vector<uint8_t> workset_blob =
+        dataflow::SerializeRecords(workset_records);
+    std::vector<uint8_t> out;
+    uint64_t len = solution_blob.size();
+    for (int i = 0; i < 8; ++i) out.push_back((len >> (8 * i)) & 0xff);
+    out.insert(out.end(), solution_blob.begin(), solution_blob.end());
+    out.insert(out.end(), workset_blob.begin(), workset_blob.end());
+    return out;
+  };
+
+  runtime::StableStorage storage(nullptr, nullptr);
+  DeltaCheckpointPolicy policy(1);
+  iteration::DeltaState state = MakeDeltaState(8, 2);
+  state.workset() = PartitionedDataset(2);
+  ASSERT_TRUE(policy.OnJobStart(MakeContext(0, 2, &storage), &state).ok());
+
+  // Replace the freshly written base blobs with v1-framed equivalents.
+  for (int p = 0; p < 2; ++p) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "test-job/dckpt/%08d/%06d", 0, p);
+    ASSERT_TRUE(storage
+                    .Write(buf, frame_v1(state.solution().PartitionRecords(p),
+                                         {}))
+                    .ok());
+  }
+
+  for (int p = 0; p < 2; ++p) state.ClearPartition(p);
+  auto outcome = policy.OnFailure(MakeContext(1, 2, &storage), &state, {0, 1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(state.solution().NumEntries(), 8u);
+  for (int64_t v = 0; v < 8; ++v) {
+    const Record* entry = state.solution().Lookup(MakeRecord(v));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ((*entry)[1].AsInt64(), v);
+  }
 }
 
 // ------------------------------------------------------------ Optimistic --

@@ -215,6 +215,19 @@ TEST(FailureScheduleTest, MergesEventsAtSameIteration) {
   EXPECT_EQ(schedule.Fire(2), (std::vector<int>{0, 1}));  // deduped, sorted
 }
 
+TEST(FailureScheduleTest, ParsedOverlappingEventsFireDeduplicated) {
+  // Two events target iteration 3 and both list partition 0; firing must
+  // report each lost partition once, or downstream accounting (partition.lost
+  // instants, lost-partition metrics) double-counts the loss.
+  auto schedule = FailureSchedule::Parse("3:0;3:0,1");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->events().size(), 2u);
+  EXPECT_EQ(schedule->Peek(3), (std::vector<int>{0, 1}));
+  EXPECT_EQ(schedule->Fire(3), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(schedule->Fire(3).empty());
+  EXPECT_EQ(schedule->remaining(), 0u);
+}
+
 TEST(FailureScheduleTest, PeekDoesNotConsume) {
   FailureSchedule schedule(std::vector<FailureEvent>{{5, {2}}});
   EXPECT_EQ(schedule.Peek(5), std::vector<int>{2});
