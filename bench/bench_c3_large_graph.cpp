@@ -6,6 +6,7 @@
 // same statistics series (see DESIGN.md §2 for why the substitution
 // preserves the plotted behaviour).
 
+#include <algorithm>
 #include <iostream>
 
 #include "algos/connected_components.h"
@@ -254,6 +255,113 @@ int main() {
     }
 
     const std::string json_path = "BENCH_threads.json";
+    FLINKLESS_CHECK(report.WriteFile(json_path),
+                    "cannot write " + json_path);
+    std::cout << "json: wrote " << json_path << "\n";
+  }
+
+  // ------------------------------------------- loop-invariant cache sweep --
+  // The same two failure/recovery jobs with the superstep-persistent
+  // ExecCache on and off (DESIGN.md §10). Correctness is enforced: cached
+  // runs must reproduce the uncached results bit-for-bit. The win shows up
+  // in simulated time per superstep — the static side (links, dangling,
+  // edges) is shuffled and index-built once per job instead of once per
+  // superstep.
+  {
+    std::cout << "Loop-invariant cache sweep (cache off vs on)\n";
+    bench::JsonReport report("C3-cache");
+    TablePrinter table({"algo", "cache", "wall_ms", "sim_ms",
+                        "sim_ms_per_superstep", "iterations", "identical"});
+    std::vector<double> pr_baseline;
+    std::vector<int64_t> cc_baseline;
+    double pr_plain_step_ms = 0, cc_plain_step_ms = 0;
+    for (bool cached : {false, true}) {
+      {
+        algos::PageRankOptions options;
+        options.num_partitions = parts;
+        options.max_iterations = 25;
+        options.cache_loop_invariant = cached;
+        bench::JobHarness harness(std::string("c3-pr-cache") +
+                                  (cached ? "1" : "0"));
+        harness.SetFailures(runtime::FailureSchedule(
+            std::vector<runtime::FailureEvent>{{8, {3}}, {16, {5}}}));
+        algos::FixRanksCompensation fix_ranks(g.num_vertices());
+        core::OptimisticRecoveryPolicy policy(&fix_ranks);
+        runtime::WallTimer wall;
+        auto result =
+            algos::RunPageRank(g, options, harness.Env(), &policy, nullptr);
+        FLINKLESS_CHECK(result.ok(), result.status().ToString());
+        double wall_ms = wall.ElapsedMs();
+        if (!cached) pr_baseline = result->ranks;
+        bool identical = result->ranks == pr_baseline;
+        FLINKLESS_CHECK(identical, "caching changed the PageRank result");
+        double step_ms =
+            harness.clock().TotalMs() / std::max(1, result->iterations);
+        if (!cached) pr_plain_step_ms = step_ms;
+        table.Row()
+            .Cell("pagerank")
+            .Cell(cached ? "on" : "off")
+            .Cell(wall_ms)
+            .Cell(harness.clock().TotalMs())
+            .Cell(step_ms)
+            .Cell(static_cast<int64_t>(result->iterations))
+            .Cell(identical ? "yes" : "NO");
+        report.AddEntry()
+            .Set("algo", "pagerank")
+            .Set("cache_loop_invariant", cached)
+            .Set("wall_ms", wall_ms)
+            .Set("sim_ms", harness.clock().TotalMs())
+            .Set("sim_ms_per_superstep", step_ms)
+            .Set("superstep_speedup",
+                 cached && step_ms > 0 ? pr_plain_step_ms / step_ms : 1.0)
+            .Set("iterations", result->iterations)
+            .Set("failures_recovered", result->failures_recovered)
+            .Set("identical_to_uncached", identical);
+      }
+      {
+        algos::ConnectedComponentsOptions options;
+        options.num_partitions = parts;
+        options.cache_loop_invariant = cached;
+        bench::JobHarness harness(std::string("c3-cc-cache") +
+                                  (cached ? "1" : "0"));
+        harness.SetFailures(runtime::FailureSchedule(
+            std::vector<runtime::FailureEvent>{{3, {1}}}));
+        algos::FixComponentsCompensation fix_components(&cc_graph);
+        core::OptimisticRecoveryPolicy policy(&fix_components);
+        runtime::WallTimer wall;
+        auto result = algos::RunConnectedComponents(cc_graph, options,
+                                                    harness.Env(), &policy);
+        FLINKLESS_CHECK(result.ok(), result.status().ToString());
+        double wall_ms = wall.ElapsedMs();
+        if (!cached) cc_baseline = result->labels;
+        bool identical = result->labels == cc_baseline;
+        FLINKLESS_CHECK(identical, "caching changed the CC result");
+        double step_ms =
+            harness.clock().TotalMs() / std::max(1, result->iterations);
+        if (!cached) cc_plain_step_ms = step_ms;
+        table.Row()
+            .Cell("connected-components")
+            .Cell(cached ? "on" : "off")
+            .Cell(wall_ms)
+            .Cell(harness.clock().TotalMs())
+            .Cell(step_ms)
+            .Cell(static_cast<int64_t>(result->iterations))
+            .Cell(identical ? "yes" : "NO");
+        report.AddEntry()
+            .Set("algo", "connected-components")
+            .Set("cache_loop_invariant", cached)
+            .Set("wall_ms", wall_ms)
+            .Set("sim_ms", harness.clock().TotalMs())
+            .Set("sim_ms_per_superstep", step_ms)
+            .Set("superstep_speedup",
+                 cached && step_ms > 0 ? cc_plain_step_ms / step_ms : 1.0)
+            .Set("iterations", result->iterations)
+            .Set("failures_recovered", result->failures_recovered)
+            .Set("identical_to_uncached", identical);
+      }
+    }
+    bench::Emit(table);
+    const std::string json_path = "BENCH_cache.json";
     FLINKLESS_CHECK(report.WriteFile(json_path),
                     "cannot write " + json_path);
     std::cout << "json: wrote " << json_path << "\n";

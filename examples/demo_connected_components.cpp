@@ -13,8 +13,9 @@
 //   ./examples/demo_connected_components --interactive        # n/b/p/q keys
 //
 // Flags: --graph=demo|twitter|chain|grid, --fail=iter:parts[;iter:parts],
-//        --partitions=N, --delay-ms=N, --interactive, --no-color,
-//        --strategy=optimistic|rollback|restart
+//        --partitions=N, --threads=N, --delay-ms=N, --interactive,
+//        --no-color, --strategy=optimistic|rollback|restart,
+//        --cache=true|false
 
 #include <chrono>
 #include <iostream>
@@ -92,6 +93,8 @@ int main(int argc, char** argv) {
   std::string* strategy = flags.String(
       "strategy", "optimistic", "optimistic|rollback|restart|none");
   int64_t* partitions = flags.Int64("partitions", 4, "degree of parallelism");
+  int64_t* threads = flags.Int64(
+      "threads", 1, "executor worker threads (1 = serial, 0 = all cores)");
   int64_t* delay_ms =
       flags.Int64("delay-ms", 0, "pause between frames (slow-motion demo)");
   bool* interactive =
@@ -100,6 +103,8 @@ int main(int argc, char** argv) {
   std::string* trace_path = flags.String(
       "trace", "",
       "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
+  bool* cache = flags.Bool(
+      "cache", true, "reuse loop-invariant shuffles/indexes across supersteps");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s << "\n" << flags.Usage();
     return 1;
@@ -156,7 +161,9 @@ int main(int argc, char** argv) {
 
   algos::ConnectedComponentsOptions options;
   options.num_partitions = parts;
+  options.num_threads = static_cast<int>(*threads);
   options.trace_path = *trace_path;
+  options.cache_loop_invariant = *cache;
 
   algos::FixComponentsCompensation compensation(&g);
   std::unique_ptr<iteration::FaultTolerancePolicy> policy;

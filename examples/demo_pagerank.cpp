@@ -15,9 +15,9 @@
 //   ./examples/demo_pagerank --interactive
 //
 // Flags: --graph=demo|twitter|cycle, --fail=iter:parts[;...],
-//        --partitions=N, --max-iterations=N, --delay-ms=N, --interactive,
-//        --strategy=optimistic|rollback|restart,
-//        --compensation=redistribute|uniform|full
+//        --partitions=N, --threads=N, --max-iterations=N, --delay-ms=N,
+//        --interactive, --strategy=optimistic|rollback|restart,
+//        --compensation=redistribute|uniform|full, --cache=true|false
 
 #include <chrono>
 #include <cmath>
@@ -100,6 +100,8 @@ int main(int argc, char** argv) {
   std::string* compensation_name = flags.String(
       "compensation", "redistribute", "redistribute|uniform|full");
   int64_t* partitions = flags.Int64("partitions", 4, "degree of parallelism");
+  int64_t* threads = flags.Int64(
+      "threads", 1, "executor worker threads (1 = serial, 0 = all cores)");
   int64_t* max_iterations = flags.Int64("max-iterations", 40,
                                         "superstep cap");
   int64_t* delay_ms =
@@ -109,6 +111,8 @@ int main(int argc, char** argv) {
   std::string* trace_path = flags.String(
       "trace", "",
       "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
+  bool* cache = flags.Bool(
+      "cache", true, "reuse loop-invariant shuffles/indexes across supersteps");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s << "\n" << flags.Usage();
     return 1;
@@ -132,9 +136,11 @@ int main(int argc, char** argv) {
 
   algos::PageRankOptions options;
   options.num_partitions = parts;
+  options.num_threads = static_cast<int>(*threads);
   options.max_iterations = static_cast<int>(*max_iterations);
   options.converged_tolerance = 1e-6;
   options.trace_path = *trace_path;
+  options.cache_loop_invariant = *cache;
   auto truth = graph::ReferencePageRank(g, options.damping, 1000, 1e-14);
 
   std::cout << "Optimistic Recovery demo — PageRank (bulk iterations)\n"

@@ -21,10 +21,13 @@ Plan BuildConnectedComponentsPlan() {
   auto edges = plan.Source("edges");
   auto solution = plan.Source("solution");
 
-  // Send the (updated) label of each workset vertex to its neighbors.
+  // Send the (updated) label of each workset vertex to its neighbors. The
+  // static edge table is the join's build side so the iteration cache can
+  // keep its shuffled form and hash index across supersteps; the shrinking
+  // workset probes it.
   auto messages = plan.Join(
-      workset, edges, {0}, {0},
-      [](const Record& w, const Record& e) {
+      edges, workset, {0}, {0},
+      [](const Record& e, const Record& w) {
         return MakeRecord(e[1].AsInt64(), w[1].AsInt64());
       },
       "label-to-neighbors");
@@ -218,6 +221,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsWithSnapshots(
   iteration::DeltaIterationConfig config;
   config.max_iterations = options.max_iterations;
   config.solution_key = {0};
+  config.cache_loop_invariant = options.cache_loop_invariant;
   const runtime::FailureSchedule* failures = env.failures;
   const int64_t num_vertices = graph.num_vertices();
   if (true_labels != nullptr || snapshot) {
@@ -307,8 +311,8 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
   auto state = plan.Source("state");
   auto edges = plan.Source("edges");
   auto messages = plan.Join(
-      state, edges, {0}, {0},
-      [](const Record& s, const Record& e) {
+      edges, state, {0}, {0},
+      [](const Record& e, const Record& s) {
         return MakeRecord(e[1].AsInt64(), s[1].AsInt64());
       },
       "label-to-neighbors");
@@ -328,6 +332,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
   iteration::BulkIterationConfig config;
   config.max_iterations = options.max_iterations;
   config.state_key = {0};
+  config.cache_loop_invariant = options.cache_loop_invariant;
   // compare-to-previous convergence: stop when no label changed.
   config.convergence = [](const PartitionedDataset& prev,
                           const PartitionedDataset& next, double* metric) {

@@ -59,6 +59,10 @@ struct ConnectedComponentsOptions {
   /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).
   /// Ignored when the JobEnv already carries a tracer.
   std::string trace_path;
+  /// Reuse the shuffled edge table and the label-to-neighbors build-side
+  /// hash index across supersteps. Results are byte-identical either way
+  /// (DESIGN.md §10).
+  bool cache_loop_invariant = true;
 };
 
 /// Outcome of a Connected Components run.

@@ -25,10 +25,13 @@ Plan BuildPageRankPlan(int64_t num_vertices, double damping) {
   auto dangling = plan.Source("dangling");
   auto zero_mass = plan.Source("zero_mass");
 
-  // Every vertex propagates a fraction of its rank to its neighbors.
+  // Every vertex propagates a fraction of its rank to its neighbors. The
+  // static link table is the join's build side so the iteration cache can
+  // keep its shuffled form and hash index across supersteps; the changing
+  // ranks probe it.
   auto contributions = plan.Join(
-      ranks, links, {0}, {0},
-      [](const Record& r, const Record& l) {
+      links, ranks, {0}, {0},
+      [](const Record& l, const Record& r) {
         return MakeRecord(l[1].AsInt64(),
                           r[1].AsDouble() * l[2].AsDouble());
       },
@@ -55,9 +58,10 @@ Plan BuildPageRankPlan(int64_t num_vertices, double damping) {
   // Aggregate the rank mass sitting on dangling vertices into one scalar
   // (seeded with 0.0 so the aggregate exists even without dangling
   // vertices)...
+  // (static dangling list on the build side, for the same cache reuse)...
   auto dangling_ranks = plan.Join(
-      ranks, dangling, {0}, {0},
-      [](const Record& r, const Record&) {
+      dangling, ranks, {0}, {0},
+      [](const Record&, const Record& r) {
         return MakeRecord(int64_t{0}, r[1].AsDouble());
       },
       "dangling-ranks");
@@ -207,6 +211,7 @@ Result<PageRankResult> RunPageRankWithSnapshots(
   iteration::BulkIterationConfig config;
   config.max_iterations = options.max_iterations;
   config.state_key = {0};
+  config.cache_loop_invariant = options.cache_loop_invariant;
   const double tolerance = options.l1_tolerance;
   // The paper's compare-to-old-rank: L1 norm of the difference between the
   // current estimate and the previous one (bottom-right plot of Figure 4).

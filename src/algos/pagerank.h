@@ -36,6 +36,10 @@ struct PageRankOptions {
   /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).
   /// Ignored when the JobEnv already carries a tracer.
   std::string trace_path;
+  /// Reuse shuffled static inputs (links, dangling) and the find-neighbors
+  /// build-side hash index across supersteps. Results are byte-identical
+  /// either way (DESIGN.md §10).
+  bool cache_loop_invariant = true;
 };
 
 /// Builds the Figure 1(b) step plan. Sources: "state" (vertex, rank),

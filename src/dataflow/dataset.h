@@ -56,6 +56,13 @@ class PartitionedDataset {
   /// state this dataset holds.
   void ClearPartition(int p) { partitions_[p].clear(); }
 
+  /// Frees partition `p`'s storage entirely (capacity included). The
+  /// streaming shuffle uses this to release consumed source partitions
+  /// block by block instead of holding every outbox until the end.
+  void ReleasePartition(int p) {
+    std::vector<Record>().swap(partitions_[p]);
+  }
+
   /// Serialized size of the whole dataset (checkpoint cost).
   uint64_t SerializedSizeBytes() const;
 

@@ -1,0 +1,140 @@
+// ExecCache: a superstep-persistent operator cache for iterative plans.
+//
+// Iterative dataflows join a changing working set against static data every
+// superstep (PageRank's find-neighbors, CC's label-to-neighbors). Without a
+// cache the executor re-shuffles the static side and rebuilds the join
+// hash table from scratch each iteration — the exact waste "Spinning Fast
+// Iterative Data Flows" (Ewen et al.) identifies loop-invariant caching as
+// the cure for. An iteration driver owns one ExecCache per job, declares
+// which source bindings it rebinds every superstep, and passes the cache to
+// the executor via ExecOptions; the executor fills it with
+//  * the materialized outputs of fully loop-invariant nodes (role kOutput),
+//  * the shuffled build side + per-partition hash index of joins whose
+//    build side is invariant (role kBuild) — index entries reference the
+//    cached records instead of copying groups,
+//  * the shuffled probe side of joins / the grouped side of cogroups whose
+//    other side is invariant (role kProbe).
+//
+// Lifetime: created before superstep 1, reused across supersteps and across
+// recovery. Invalidate(partitions) is called from the failure-injection
+// path; since every cached artifact is hash-partitioned, losing any
+// partition requires a full re-scatter from all sources, so invalidation
+// drops every entry and the next superstep rebuilds (and re-charges) them.
+// Entries are valid for one partition count — repartitioning invalidates
+// naturally via EnsurePartitionCount.
+//
+// Threading: the cache is touched only from the executor's orchestration
+// thread; per-partition index builds write disjoint vector slots.
+
+#ifndef FLINKLESS_DATAFLOW_EXEC_CACHE_H_
+#define FLINKLESS_DATAFLOW_EXEC_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "dataflow/record.h"
+
+namespace flinkless::dataflow {
+
+/// Per-partition hash index over a cached (shuffled) join build side:
+/// key -> the group's records in arrival order, referencing the cached
+/// dataset's records instead of copying them.
+using JoinIndex =
+    std::unordered_map<Record, std::vector<const Record*>, RecordHash>;
+
+/// Per-partition materialized groups of a cached cogroup side (cogroup UDFs
+/// take whole groups by reference, so groups are materialized once).
+using CachedGroups =
+    std::unordered_map<Record, std::vector<Record>, RecordHash>;
+
+/// Superstep-persistent cache of loop-invariant execution artifacts. Owned
+/// by an iteration driver, borrowed by the executor via ExecOptions.
+class ExecCache {
+ public:
+  /// What a cached artifact is for its plan node (part of the cache key).
+  enum class Role : int {
+    kOutput = 0,  // materialized output of a fully invariant node
+    kBuild = 1,   // shuffled build (left) side + hash index / groups
+    kProbe = 2,   // shuffled probe (right) side + groups for cogroups
+  };
+
+  struct Entry {
+    /// The cached dataset (node output or shuffled join side). Consumers
+    /// hold the shared_ptr alive while referencing its records.
+    std::shared_ptr<const PartitionedDataset> data;
+    /// kBuild on kJoin: per-partition index into `data`'s records.
+    std::vector<JoinIndex> join_index;
+    /// kBuild/kProbe on kCoGroup: per-partition groups of `data`.
+    std::vector<CachedGroups> groups;
+  };
+
+  /// `volatile_bindings` names the source bindings rebound every superstep;
+  /// everything derived from only the other bindings is loop-invariant.
+  explicit ExecCache(std::vector<std::string> volatile_bindings)
+      : volatile_bindings_(std::move(volatile_bindings)) {}
+
+  const std::vector<std::string>& volatile_bindings() const {
+    return volatile_bindings_;
+  }
+
+  /// Entries are keyed per partition count: executing with a different
+  /// count drops everything (a repartition invalidates every shuffle).
+  void EnsurePartitionCount(int num_partitions) {
+    if (num_partitions_ != num_partitions) {
+      entries_.clear();
+      num_partitions_ = num_partitions;
+    }
+  }
+
+  /// The entry for (node, role), or nullptr when not cached.
+  Entry* Find(int node_id, Role role) {
+    auto it = entries_.find({node_id, static_cast<int>(role)});
+    return it != entries_.end() ? &it->second : nullptr;
+  }
+
+  /// Creates (or resets) the entry for (node, role).
+  Entry& Emplace(int node_id, Role role) {
+    Entry& e = entries_[{node_id, static_cast<int>(role)}];
+    e = Entry();
+    ++builds_;
+    return e;
+  }
+
+  /// Failure hook: `partitions` of a worker were lost. Cached artifacts are
+  /// hash-partitioned, so rebuilding any one partition needs a full
+  /// re-scatter from every source — drop all entries; the next superstep
+  /// rebuilds them from the (static) bindings.
+  void Invalidate(const std::vector<int>& partitions) {
+    if (partitions.empty() || entries_.empty()) return;
+    entries_.clear();
+    ++invalidations_;
+  }
+
+  void Clear() { entries_.clear(); }
+
+  void CountHit() { ++hits_; }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t builds() const { return builds_; }
+  uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  std::vector<std::string> volatile_bindings_;
+  int num_partitions_ = -1;
+  /// (node id, role) -> entry.
+  std::map<std::pair<int, int>, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t builds_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace flinkless::dataflow
+
+#endif  // FLINKLESS_DATAFLOW_EXEC_CACHE_H_

@@ -1,12 +1,14 @@
 #include "dataflow/executor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "dataflow/exec_cache.h"
 
 namespace flinkless::dataflow {
 
@@ -48,11 +50,35 @@ uint64_t MaxPartitionSize(const PartitionedDataset& ds) {
   return m;
 }
 
+const std::vector<Record> kEmptyGroup;
+
+/// Reusable "prefix<i>" formatter for per-partition span arg keys: one
+/// buffer per operator instead of two temporary strings per partition.
+class PartitionKeyBuffer {
+ public:
+  explicit PartitionKeyBuffer(const char* prefix)
+      : buf_(prefix), prefix_len_(buf_.size()) {}
+
+  const std::string& Key(int p) {
+    buf_.resize(prefix_len_);
+    char digits[16];
+    int len = std::snprintf(digits, sizeof(digits), "%d", p);
+    buf_.append(digits, static_cast<size_t>(len));
+    return buf_;
+  }
+
+ private:
+  std::string buf_;
+  size_t prefix_len_;
+};
+
 }  // namespace
 
 void ExecStats::MergeFrom(const ExecStats& other) {
   records_processed += other.records_processed;
   messages_shuffled += other.messages_shuffled;
+  cache_hits += other.cache_hits;
+  records_not_reshuffled += other.records_not_reshuffled;
   for (const auto& [name, count] : other.node_output_counts) {
     node_output_counts[name] += count;
   }
@@ -61,6 +87,10 @@ void ExecStats::MergeFrom(const ExecStats& other) {
 Executor::Executor(ExecOptions options) : options_(options) {
   FLINKLESS_CHECK(options_.num_partitions > 0,
                   "executor needs at least one partition");
+  per_partition_args_ =
+      options_.trace_detail == TraceDetail::kPerPartition ||
+      (options_.trace_detail == TraceDetail::kAuto &&
+       options_.num_partitions <= 8);
   int threads = runtime::ThreadPool::ResolveThreadCount(options_.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<runtime::ThreadPool>(threads);
@@ -124,65 +154,106 @@ PartitionedDataset Executor::ShuffleImpl(Input&& input, const KeyColumns& key,
   const int n = options_.num_partitions;
   const int sources = input.num_partitions();
 
-  // Phase 1 — scatter: each source partition splits its records into an
-  // N-way outbox, independently of every other source partition.
-  std::vector<std::vector<std::vector<Record>>> outbox(sources);
+  // Source sizes, captured up front: compute is charged on them, scatter
+  // spans report them, and the move path releases source partitions as
+  // soon as they are drained.
+  std::vector<uint64_t> in_sizes(sources);
+  for (int p = 0; p < sources; ++p) in_sizes[p] = input.partition(p).size();
+
+  // Blocked scatter/gather pipeline: sources are scattered in blocks and
+  // each block's outboxes are drained into the output (in source order)
+  // before the next block scatters, so peak outbox memory is one block
+  // (~half the input) instead of the whole input. Within a target
+  // partition records still arrive in global source-partition order, so
+  // the result stays byte-identical to the old all-at-once two-phase
+  // shuffle — and to a serial single-pass one.
+  const int block = sources <= 1 ? 1 : (sources + 1) / 2;
+
+  PartitionedDataset out(n);
   std::vector<uint64_t> moved(sources, 0);
+  uint64_t outbox_peak = 0;
+
   runtime::TraceSpan scatter_span(options_.tracer,
                                   runtime::SpanKind::kShuffleScatter,
                                   "scatter");
-  ForEachPartition(scatter_span, &input, sources, [&](int p) {
-    auto& boxes = outbox[p];
-    boxes.resize(n);
-    if constexpr (kMove) {
-      for (Record& r : input.partition(p)) {
-        int target = PartitionedDataset::PartitionOf(r, key, n);
-        if (target != p) ++moved[p];
-        boxes[target].push_back(std::move(r));
+  {
+    // The gather span nests inside the scatter span (the phases now
+    // interleave per block); it must close first.
+    runtime::TraceSpan gather_span(options_.tracer,
+                                   runtime::SpanKind::kShuffleGather,
+                                   "gather");
+    for (int base = 0; base < sources; base += block) {
+      const int count = std::min(block, sources - base);
+      std::vector<std::vector<std::vector<Record>>> outbox(count);
+
+      std::function<int64_t(int)> records_of;
+      if (scatter_span.active()) {
+        records_of = [&](int i) {
+          return static_cast<int64_t>(in_sizes[base + i]);
+        };
       }
-    } else {
-      for (const Record& r : input.partition(p)) {
-        int target = PartitionedDataset::PartitionOf(r, key, n);
-        if (target != p) ++moved[p];
-        boxes[target].push_back(r);
-      }
+      runtime::TracedParallelFor(
+          pool_.get(), scatter_span, count,
+          [&](int i) {
+            const int p = base + i;
+            auto& boxes = outbox[i];
+            boxes.resize(n);
+            if constexpr (kMove) {
+              for (Record& r : input.partition(p)) {
+                int target = PartitionedDataset::PartitionOf(r, key, n);
+                if (target != p) ++moved[p];
+                boxes[target].push_back(std::move(r));
+              }
+              input.ReleasePartition(p);
+            } else {
+              for (const Record& r : input.partition(p)) {
+                int target = PartitionedDataset::PartitionOf(r, key, n);
+                if (target != p) ++moved[p];
+                boxes[target].push_back(r);
+              }
+            }
+          },
+          records_of, /*partition_offset=*/base);
+
+      uint64_t block_records = 0;
+      for (int i = 0; i < count; ++i) block_records += in_sizes[base + i];
+      outbox_peak = std::max(outbox_peak, block_records);
+
+      // Drain this block's outboxes, freeing them before the next block
+      // scatters (the outbox vector's scope ends with the loop body).
+      ForEachPartition(gather_span, nullptr, n, [&](int t) {
+        std::vector<Record>& dst = out.partition(t);
+        size_t add = 0;
+        for (int i = 0; i < count; ++i) add += outbox[i][t].size();
+        dst.reserve(dst.size() + add);
+        for (int i = 0; i < count; ++i) {
+          for (Record& r : outbox[i][t]) dst.push_back(std::move(r));
+        }
+      });
     }
-  });
+    if (gather_span.active()) {
+      gather_span.AddArg("records", static_cast<int64_t>(out.NumRecords()));
+      // Peak records simultaneously buffered in outboxes — a pure function
+      // of the input sizes and the (deterministic) block schedule.
+      gather_span.AddArg("outbox_peak_records",
+                         static_cast<int64_t>(outbox_peak));
+    }
+  }
 
   uint64_t total_moved = 0;
   for (uint64_t m : moved) total_moved += m;
   if (scatter_span.active()) {
     scatter_span.AddArg("messages", static_cast<int64_t>(total_moved));
-    for (int p = 0; p < sources; ++p) {
-      scatter_span.AddArg("moved_p" + std::to_string(p),
-                          static_cast<int64_t>(moved[p]));
+    if (per_partition_args_) {
+      PartitionKeyBuffer moved_key("moved_p");
+      for (int p = 0; p < sources; ++p) {
+        scatter_span.AddArg(moved_key.Key(p), static_cast<int64_t>(moved[p]));
+      }
     }
   }
   scatter_span.Close();
 
-  // Phase 2 — gather: each target partition reserves its exact final size
-  // and concatenates its outboxes in source order, which reproduces the
-  // serial single-pass arrival order byte for byte.
-  PartitionedDataset out(n);
-  {
-    runtime::TraceSpan gather_span(options_.tracer,
-                                   runtime::SpanKind::kShuffleGather,
-                                   "gather");
-    ForEachPartition(gather_span, nullptr, n, [&](int t) {
-      size_t total = 0;
-      for (int p = 0; p < sources; ++p) total += outbox[p][t].size();
-      std::vector<Record>& dst = out.partition(t);
-      dst.reserve(total);
-      for (int p = 0; p < sources; ++p) {
-        for (Record& r : outbox[p][t]) dst.push_back(std::move(r));
-      }
-    });
-    if (gather_span.active()) {
-      gather_span.AddArg("records", static_cast<int64_t>(out.NumRecords()));
-    }
-  }
-
-  ChargeCompute(input);
+  ChargeCompute(in_sizes);
   ChargeNetwork(total_moved);
   if (stats != nullptr) stats->messages_shuffled += total_moved;
   return out;
@@ -205,9 +276,46 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
   FLINKLESS_RETURN_NOT_OK(plan.Validate());
   const int n = options_.num_partitions;
 
+  // Loop-invariant analysis: with a cache attached, a node whose value
+  // cannot change between supersteps is served from / stored into it.
+  ExecCache* cache = options_.cache;
+  std::vector<bool> invariant;
+  if (cache != nullptr) {
+    cache->EnsurePartitionCount(n);
+    invariant = plan.InvariantNodes(cache->volatile_bindings());
+  }
+
   ExecStats local_stats;
-  std::vector<PartitionedDataset> results;
-  results.reserve(plan.num_nodes());
+
+  // Node results are views over a borrowed source binding, a cache entry,
+  // or an executor-owned dataset — sources and cache hits cost no copies
+  // (the executor used to deep-copy every source binding per Execute).
+  // Reserved up front: views point into their own slots.
+  struct Slot {
+    PartitionedDataset owned;
+    std::shared_ptr<const PartitionedDataset> keepalive;
+    const PartitionedDataset* view = nullptr;
+    bool is_owned = false;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(plan.num_nodes());
+  auto push_owned = [&](PartitionedDataset ds) {
+    Slot& s = slots.emplace_back();
+    s.owned = std::move(ds);
+    s.view = &s.owned;
+    s.is_owned = true;
+  };
+  auto push_view = [&](const PartitionedDataset* ds) {
+    slots.emplace_back().view = ds;
+  };
+  auto push_cached = [&](std::shared_ptr<const PartitionedDataset> ds) {
+    Slot& s = slots.emplace_back();
+    s.keepalive = std::move(ds);
+    s.view = s.keepalive.get();
+  };
+  auto input_of = [&](int idx) -> const PartitionedDataset& {
+    return *slots[idx].view;
+  };
 
   auto count_output = [&](const PlanNode& node,
                           const PartitionedDataset& ds) {
@@ -235,112 +343,189 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
     uint64_t span_records_in = 0;
     if (options_.tracer != nullptr) {
       for (int idx : node.inputs) {
-        span_records_in += results[idx].NumRecords();
+        span_records_in += slots[idx].view->NumRecords();
       }
     }
     runtime::TraceSpan op_span(options_.tracer, runtime::SpanKind::kOperator,
                                node.name);
-    switch (node.kind) {
-      case OpKind::kSource: {
-        auto it = bindings.find(node.source_name);
-        if (it == bindings.end() || it->second == nullptr) {
-          return Status::NotFound("no binding for source '" +
-                                  node.source_name + "'");
-        }
-        if (it->second->num_partitions() != n) {
-          return Status::InvalidArgument(
-              "binding '" + node.source_name + "' has " +
-              std::to_string(it->second->num_partitions()) +
-              " partitions, executor expects " + std::to_string(n));
-        }
-        results.push_back(*it->second);
-        break;
-      }
 
-      case OpKind::kMap: {
-        const PartitionedDataset& in = results[node.inputs[0]];
-        PartitionedDataset out(n);
-        ForEachPartition(op_span, &in, n, [&](int p) {
-          out.partition(p).reserve(in.partition(p).size());
-          for (const Record& r : in.partition(p)) {
-            out.partition(p).push_back(node.map_fn(r));
-          }
-        });
-        local_stats.records_processed += in.NumRecords();
-        ChargeCompute(in);
-        results.push_back(std::move(out));
-        break;
-      }
-
-      case OpKind::kFlatMap: {
-        const PartitionedDataset& in = results[node.inputs[0]];
-        PartitionedDataset out(n);
-        ForEachPartition(op_span, &in, n, [&](int p) {
-          for (const Record& r : in.partition(p)) {
-            node.flat_map_fn(r, &out.partition(p));
-          }
-        });
-        local_stats.records_processed += in.NumRecords();
-        ChargeCompute(in);
-        results.push_back(std::move(out));
-        break;
-      }
-
-      case OpKind::kFilter: {
-        const PartitionedDataset& in = results[node.inputs[0]];
-        PartitionedDataset out(n);
-        ForEachPartition(op_span, &in, n, [&](int p) {
-          for (const Record& r : in.partition(p)) {
-            if (node.filter_fn(r)) out.partition(p).push_back(r);
-          }
-        });
-        local_stats.records_processed += in.NumRecords();
-        ChargeCompute(in);
-        results.push_back(std::move(out));
-        break;
-      }
-
-      case OpKind::kProject: {
-        const PartitionedDataset& in = results[node.inputs[0]];
-        PartitionedDataset out(n);
-        reset_status();
-        ForEachPartition(op_span, &in, n, [&](int p) {
-          for (const Record& r : in.partition(p)) {
-            Record projected;
-            projected.reserve(node.project_columns.size());
-            for (int col : node.project_columns) {
-              if (col < 0 || static_cast<size_t>(col) >= r.size()) {
-                part_status[p] = Status::OutOfRange(
-                    "Project '" + node.name + "': column " +
-                    std::to_string(col) + " out of range for record " +
-                    RecordToString(r));
-                return;
-              }
-              projected.push_back(r[col]);
+    // Fully loop-invariant node: its output is the same every superstep,
+    // so the first execution materializes it into the cache and every
+    // later one serves the cached dataset without running (or charging)
+    // anything. Sources are exempt — they are already zero-copy views.
+    bool from_cache = false;
+    bool store_output = false;
+    if (cache != nullptr && node.kind != OpKind::kSource &&
+        invariant[node.id]) {
+      if (ExecCache::Entry* e =
+              cache->Find(node.id, ExecCache::Role::kOutput)) {
+        cache->CountHit();
+        ++local_stats.cache_hits;
+        switch (node.kind) {
+          case OpKind::kReduceByKey:
+          case OpKind::kGroupReduceByKey:
+          case OpKind::kJoin:
+          case OpKind::kCoGroup:
+          case OpKind::kDistinct:
+            // These would have shuffled their inputs.
+            for (int idx : node.inputs) {
+              local_stats.records_not_reshuffled +=
+                  slots[idx].view->NumRecords();
             }
-            out.partition(p).push_back(std::move(projected));
-          }
-        });
-        FLINKLESS_RETURN_NOT_OK(first_error());
-        local_stats.records_processed += in.NumRecords();
-        ChargeCompute(in);
-        results.push_back(std::move(out));
-        break;
+            break;
+          default:
+            break;
+        }
+        push_cached(e->data);
+        if (op_span.active()) op_span.AddArg("cache_hit", 1);
+        from_cache = true;
+      } else {
+        store_output = true;
       }
+    }
 
-      case OpKind::kReduceByKey: {
-        const PartitionedDataset* in = &results[node.inputs[0]];
-        PartitionedDataset combined;
-        if (node.pre_combine) {
-          // Local pre-aggregation before the shuffle: fewer messages.
-          combined = PartitionedDataset(in->num_partitions());
-          ForEachPartition(op_span, in, in->num_partitions(), [&](int p) {
+    if (!from_cache) {
+      switch (node.kind) {
+        case OpKind::kSource: {
+          auto it = bindings.find(node.source_name);
+          if (it == bindings.end() || it->second == nullptr) {
+            return Status::NotFound("no binding for source '" +
+                                    node.source_name + "'");
+          }
+          if (it->second->num_partitions() != n) {
+            return Status::InvalidArgument(
+                "binding '" + node.source_name + "' has " +
+                std::to_string(it->second->num_partitions()) +
+                " partitions, executor expects " + std::to_string(n));
+          }
+          push_view(it->second);
+          break;
+        }
+
+        case OpKind::kMap: {
+          const PartitionedDataset& in = input_of(node.inputs[0]);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &in, n, [&](int p) {
+            out.partition(p).reserve(in.partition(p).size());
+            for (const Record& r : in.partition(p)) {
+              out.partition(p).push_back(node.map_fn(r));
+            }
+          });
+          local_stats.records_processed += in.NumRecords();
+          ChargeCompute(in);
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kFlatMap: {
+          const PartitionedDataset& in = input_of(node.inputs[0]);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &in, n, [&](int p) {
+            for (const Record& r : in.partition(p)) {
+              node.flat_map_fn(r, &out.partition(p));
+            }
+          });
+          local_stats.records_processed += in.NumRecords();
+          ChargeCompute(in);
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kFilter: {
+          const PartitionedDataset& in = input_of(node.inputs[0]);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &in, n, [&](int p) {
+            for (const Record& r : in.partition(p)) {
+              if (node.filter_fn(r)) out.partition(p).push_back(r);
+            }
+          });
+          local_stats.records_processed += in.NumRecords();
+          ChargeCompute(in);
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kProject: {
+          const PartitionedDataset& in = input_of(node.inputs[0]);
+          PartitionedDataset out(n);
+          reset_status();
+          ForEachPartition(op_span, &in, n, [&](int p) {
+            for (const Record& r : in.partition(p)) {
+              Record projected;
+              projected.reserve(node.project_columns.size());
+              for (int col : node.project_columns) {
+                if (col < 0 || static_cast<size_t>(col) >= r.size()) {
+                  part_status[p] = Status::OutOfRange(
+                      "Project '" + node.name + "': column " +
+                      std::to_string(col) + " out of range for record " +
+                      RecordToString(r));
+                  return;
+                }
+                projected.push_back(r[col]);
+              }
+              out.partition(p).push_back(std::move(projected));
+            }
+          });
+          FLINKLESS_RETURN_NOT_OK(first_error());
+          local_stats.records_processed += in.NumRecords();
+          ChargeCompute(in);
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kReduceByKey: {
+          const PartitionedDataset* in = &input_of(node.inputs[0]);
+          PartitionedDataset combined;
+          if (node.pre_combine) {
+            // Local pre-aggregation before the shuffle: fewer messages.
+            combined = PartitionedDataset(in->num_partitions());
+            ForEachPartition(op_span, in, in->num_partitions(), [&](int p) {
+              std::unordered_map<Record, Record, RecordHash> acc;
+              acc.reserve(in->partition(p).size());
+              for (const Record& r : in->partition(p)) {
+                Record k = ExtractKey(r, node.left_key);
+                auto [it, inserted] = acc.try_emplace(std::move(k), r);
+                if (!inserted) it->second = node.combine_fn(it->second, r);
+              }
+              std::vector<const Record*> keys;
+              keys.reserve(acc.size());
+              for (const auto& [k, v] : acc) keys.push_back(&k);
+              std::sort(keys.begin(), keys.end(),
+                        [](const Record* a, const Record* b) {
+                          return RecordLess(*a, *b);
+                        });
+              combined.partition(p).reserve(keys.size());
+              for (const Record* k : keys) {
+                combined.partition(p).push_back(std::move(acc.at(*k)));
+              }
+            });
+            local_stats.records_processed += in->NumRecords();
+            ChargeCompute(*in);
+            in = &combined;
+          }
+          PartitionedDataset shuffled =
+              in == &combined
+                  ? Shuffle(std::move(combined), node.left_key, &local_stats)
+                  : Shuffle(*in, node.left_key, &local_stats);
+          PartitionedDataset out(n);
+          reset_status();
+          ForEachPartition(op_span, &shuffled, n, [&](int p) {
             std::unordered_map<Record, Record, RecordHash> acc;
-            acc.reserve(in->partition(p).size());
-            for (const Record& r : in->partition(p)) {
+            acc.reserve(shuffled.partition(p).size());
+            for (const Record& r : shuffled.partition(p)) {
               Record k = ExtractKey(r, node.left_key);
               auto [it, inserted] = acc.try_emplace(std::move(k), r);
-              if (!inserted) it->second = node.combine_fn(it->second, r);
+              if (!inserted) {
+                Record folded = node.combine_fn(it->second, r);
+                if (!KeysEqual(folded, node.left_key, r, node.left_key)) {
+                  part_status[p] = Status::Internal(
+                      "ReduceByKey '" + node.name +
+                      "': combiner changed the key (got " +
+                      RecordToString(folded) + ")");
+                  return;
+                }
+                it->second = std::move(folded);
+              }
             }
             std::vector<const Record*> keys;
             keys.reserve(acc.size());
@@ -349,221 +534,393 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                       [](const Record* a, const Record* b) {
                         return RecordLess(*a, *b);
                       });
-            combined.partition(p).reserve(keys.size());
+            out.partition(p).reserve(keys.size());
             for (const Record* k : keys) {
-              combined.partition(p).push_back(std::move(acc.at(*k)));
+              out.partition(p).push_back(std::move(acc.at(*k)));
             }
           });
-          local_stats.records_processed += in->NumRecords();
-          ChargeCompute(*in);
-          in = &combined;
+          FLINKLESS_RETURN_NOT_OK(first_error());
+          local_stats.records_processed += shuffled.NumRecords();
+          ChargeCompute(shuffled);
+          push_owned(std::move(out));
+          break;
         }
-        PartitionedDataset shuffled =
-            in == &combined
-                ? Shuffle(std::move(combined), node.left_key, &local_stats)
-                : Shuffle(*in, node.left_key, &local_stats);
-        PartitionedDataset out(n);
-        reset_status();
-        ForEachPartition(op_span, &shuffled, n, [&](int p) {
-          std::unordered_map<Record, Record, RecordHash> acc;
-          acc.reserve(shuffled.partition(p).size());
-          for (const Record& r : shuffled.partition(p)) {
-            Record k = ExtractKey(r, node.left_key);
-            auto [it, inserted] = acc.try_emplace(std::move(k), r);
-            if (!inserted) {
-              Record folded = node.combine_fn(it->second, r);
-              if (!KeysEqual(folded, node.left_key, r, node.left_key)) {
-                part_status[p] = Status::Internal(
-                    "ReduceByKey '" + node.name +
-                    "': combiner changed the key (got " +
-                    RecordToString(folded) + ")");
-                return;
+
+        case OpKind::kGroupReduceByKey: {
+          const PartitionedDataset& in = input_of(node.inputs[0]);
+          PartitionedDataset shuffled =
+              Shuffle(in, node.left_key, &local_stats);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &shuffled, n, [&](int p) {
+            GroupMap groups = GroupByKey(shuffled.partition(p), node.left_key);
+            std::vector<const Record*> keys = SortedKeys(groups);
+            out.partition(p).reserve(keys.size());
+            for (const Record* key : keys) {
+              out.partition(p).push_back(
+                  node.group_reduce_fn(*key, groups.at(*key)));
+            }
+          });
+          local_stats.records_processed += shuffled.NumRecords();
+          ChargeCompute(shuffled);
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kJoin: {
+          const bool build_static = cache != nullptr && !invariant[node.id] &&
+                                    invariant[node.inputs[0]];
+          const bool probe_static = cache != nullptr && !invariant[node.id] &&
+                                    invariant[node.inputs[1]];
+          if (build_static) {
+            // Loop-invariant build side: shuffle + index it once; later
+            // supersteps probe the prebuilt per-partition hash index,
+            // whose entries reference the cached records directly.
+            ExecCache::Entry* e =
+                cache->Find(node.id, ExecCache::Role::kBuild);
+            const bool hit = e != nullptr;
+            if (!hit) {
+              PartitionedDataset shuffled = Shuffle(
+                  input_of(node.inputs[0]), node.left_key, &local_stats);
+              ExecCache::Entry& entry =
+                  cache->Emplace(node.id, ExecCache::Role::kBuild);
+              auto data =
+                  std::make_shared<PartitionedDataset>(std::move(shuffled));
+              entry.data = data;
+              entry.join_index.resize(n);
+              ForEachPartition(n, [&](int p) {
+                JoinIndex& index = entry.join_index[p];
+                const std::vector<Record>& part = data->partition(p);
+                index.reserve(part.size());
+                for (const Record& r : part) {
+                  index[ExtractKey(r, node.left_key)].push_back(&r);
+                }
+              });
+              e = cache->Find(node.id, ExecCache::Role::kBuild);
+              if (op_span.active()) op_span.AddArg("cache_build", 1);
+            } else {
+              cache->CountHit();
+              ++local_stats.cache_hits;
+              local_stats.records_not_reshuffled += e->data->NumRecords();
+              if (op_span.active()) op_span.AddArg("cache_hit", 1);
+            }
+            PartitionedDataset right = Shuffle(input_of(node.inputs[1]),
+                                               node.right_key, &local_stats);
+            PartitionedDataset out(n);
+            ForEachPartition(op_span, &right, n, [&](int p) {
+              const JoinIndex& index = e->join_index[p];
+              for (const Record& r : right.partition(p)) {
+                auto it = index.find(ExtractKey(r, node.right_key));
+                if (it == index.end()) continue;
+                for (const Record* l : it->second) {
+                  out.partition(p).push_back(node.join_fn(*l, r));
+                }
               }
-              it->second = std::move(folded);
+            });
+            if (hit) {
+              // Only the probe side is processed this superstep; the
+              // cached side costs nothing (that is the optimization).
+              local_stats.records_processed += right.NumRecords();
+              ChargeCompute(right);
+            } else {
+              local_stats.records_processed +=
+                  e->data->NumRecords() + right.NumRecords();
+              ChargeCompute(*e->data, &right);
             }
+            push_owned(std::move(out));
+            break;
           }
-          std::vector<const Record*> keys;
-          keys.reserve(acc.size());
-          for (const auto& [k, v] : acc) keys.push_back(&k);
-          std::sort(keys.begin(), keys.end(),
-                    [](const Record* a, const Record* b) {
-                      return RecordLess(*a, *b);
-                    });
-          out.partition(p).reserve(keys.size());
-          for (const Record* k : keys) {
-            out.partition(p).push_back(std::move(acc.at(*k)));
-          }
-        });
-        FLINKLESS_RETURN_NOT_OK(first_error());
-        local_stats.records_processed += shuffled.NumRecords();
-        ChargeCompute(shuffled);
-        results.push_back(std::move(out));
-        break;
-      }
-
-      case OpKind::kGroupReduceByKey: {
-        const PartitionedDataset& in = results[node.inputs[0]];
-        PartitionedDataset shuffled = Shuffle(in, node.left_key, &local_stats);
-        PartitionedDataset out(n);
-        ForEachPartition(op_span, &shuffled, n, [&](int p) {
-          GroupMap groups = GroupByKey(shuffled.partition(p), node.left_key);
-          std::vector<const Record*> keys = SortedKeys(groups);
-          out.partition(p).reserve(keys.size());
-          for (const Record* key : keys) {
-            out.partition(p).push_back(
-                node.group_reduce_fn(*key, groups.at(*key)));
-          }
-        });
-        local_stats.records_processed += shuffled.NumRecords();
-        ChargeCompute(shuffled);
-        results.push_back(std::move(out));
-        break;
-      }
-
-      case OpKind::kJoin: {
-        PartitionedDataset left =
-            Shuffle(results[node.inputs[0]], node.left_key, &local_stats);
-        PartitionedDataset right =
-            Shuffle(results[node.inputs[1]], node.right_key, &local_stats);
-        PartitionedDataset out(n);
-        ForEachPartition(op_span, &left, n, [&](int p) {
-          GroupMap build = GroupByKey(left.partition(p), node.left_key);
-          for (const Record& r : right.partition(p)) {
-            auto it = build.find(ExtractKey(r, node.right_key));
-            if (it == build.end()) continue;
-            for (const Record& l : it->second) {
-              out.partition(p).push_back(node.join_fn(l, r));
+          if (probe_static) {
+            // Loop-invariant probe side: its shuffle is cached; the hash
+            // table still rebuilds from the changing build side.
+            ExecCache::Entry* e =
+                cache->Find(node.id, ExecCache::Role::kProbe);
+            const bool hit = e != nullptr;
+            if (!hit) {
+              PartitionedDataset shuffled = Shuffle(
+                  input_of(node.inputs[1]), node.right_key, &local_stats);
+              ExecCache::Entry& entry =
+                  cache->Emplace(node.id, ExecCache::Role::kProbe);
+              entry.data =
+                  std::make_shared<PartitionedDataset>(std::move(shuffled));
+              e = cache->Find(node.id, ExecCache::Role::kProbe);
+              if (op_span.active()) op_span.AddArg("cache_build", 1);
+            } else {
+              cache->CountHit();
+              ++local_stats.cache_hits;
+              local_stats.records_not_reshuffled += e->data->NumRecords();
+              if (op_span.active()) op_span.AddArg("cache_hit", 1);
             }
-          }
-        });
-        local_stats.records_processed +=
-            left.NumRecords() + right.NumRecords();
-        ChargeCompute(left, &right);
-        results.push_back(std::move(out));
-        break;
-      }
-
-      case OpKind::kCoGroup: {
-        PartitionedDataset left =
-            Shuffle(results[node.inputs[0]], node.left_key, &local_stats);
-        PartitionedDataset right =
-            Shuffle(results[node.inputs[1]], node.right_key, &local_stats);
-        PartitionedDataset out(n);
-        static const std::vector<Record> kEmptyGroup;
-        ForEachPartition(op_span, &left, n, [&](int p) {
-          GroupMap lgroups = GroupByKey(left.partition(p), node.left_key);
-          GroupMap rgroups = GroupByKey(right.partition(p), node.right_key);
-          // Sweep the union of both key sets in RecordLess order, exactly
-          // like the old sorted-map merge.
-          std::vector<const Record*> keys;
-          keys.reserve(lgroups.size() + rgroups.size());
-          for (const auto& [k, g] : lgroups) keys.push_back(&k);
-          for (const auto& [k, g] : rgroups) {
-            if (lgroups.find(k) == lgroups.end()) keys.push_back(&k);
-          }
-          std::sort(keys.begin(), keys.end(),
-                    [](const Record* a, const Record* b) {
-                      return RecordLess(*a, *b);
-                    });
-          for (const Record* key : keys) {
-            auto lit = lgroups.find(*key);
-            auto rit = rgroups.find(*key);
-            node.cogroup_fn(*key,
-                            lit != lgroups.end() ? lit->second : kEmptyGroup,
-                            rit != rgroups.end() ? rit->second : kEmptyGroup,
-                            &out.partition(p));
-          }
-        });
-        local_stats.records_processed +=
-            left.NumRecords() + right.NumRecords();
-        ChargeCompute(left, &right);
-        results.push_back(std::move(out));
-        break;
-      }
-
-      case OpKind::kCross: {
-        const PartitionedDataset& left = results[node.inputs[0]];
-        const PartitionedDataset& right = results[node.inputs[1]];
-        // Broadcast the right side: every record is replicated to every
-        // partition but its own (counted as messages).
-        std::vector<Record> right_all = right.Collect();
-        uint64_t broadcast_messages =
-            right.NumRecords() * static_cast<uint64_t>(n > 0 ? n - 1 : 0);
-        local_stats.messages_shuffled += broadcast_messages;
-        ChargeNetwork(broadcast_messages);
-        PartitionedDataset out(n);
-        ForEachPartition(op_span, &left, n, [&](int p) {
-          out.partition(p).reserve(left.partition(p).size() *
-                                   right_all.size());
-          for (const Record& l : left.partition(p)) {
-            for (const Record& r : right_all) {
-              out.partition(p).push_back(node.join_fn(l, r));
+            const PartitionedDataset& right = *e->data;
+            PartitionedDataset left = Shuffle(input_of(node.inputs[0]),
+                                              node.left_key, &local_stats);
+            PartitionedDataset out(n);
+            ForEachPartition(op_span, &left, n, [&](int p) {
+              GroupMap build = GroupByKey(left.partition(p), node.left_key);
+              for (const Record& r : right.partition(p)) {
+                auto it = build.find(ExtractKey(r, node.right_key));
+                if (it == build.end()) continue;
+                for (const Record& l : it->second) {
+                  out.partition(p).push_back(node.join_fn(l, r));
+                }
+              }
+            });
+            if (hit) {
+              local_stats.records_processed += left.NumRecords();
+              ChargeCompute(left);
+            } else {
+              local_stats.records_processed +=
+                  left.NumRecords() + right.NumRecords();
+              ChargeCompute(left, &right);
             }
+            push_owned(std::move(out));
+            break;
           }
-        });
-        local_stats.records_processed +=
-            left.NumRecords() + right.NumRecords();
-        // Partition p pays for its own left records against the whole
-        // broadcast right side; the critical path is the largest partition.
-        ChargeCompute(std::vector<uint64_t>{MaxPartitionSize(left) *
-                                            right_all.size()});
-        results.push_back(std::move(out));
-        break;
+          PartitionedDataset left =
+              Shuffle(input_of(node.inputs[0]), node.left_key, &local_stats);
+          PartitionedDataset right =
+              Shuffle(input_of(node.inputs[1]), node.right_key, &local_stats);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &left, n, [&](int p) {
+            GroupMap build = GroupByKey(left.partition(p), node.left_key);
+            for (const Record& r : right.partition(p)) {
+              auto it = build.find(ExtractKey(r, node.right_key));
+              if (it == build.end()) continue;
+              for (const Record& l : it->second) {
+                out.partition(p).push_back(node.join_fn(l, r));
+              }
+            }
+          });
+          local_stats.records_processed +=
+              left.NumRecords() + right.NumRecords();
+          ChargeCompute(left, &right);
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kCoGroup: {
+          const bool left_static = cache != nullptr && !invariant[node.id] &&
+                                   invariant[node.inputs[0]];
+          const bool right_static = cache != nullptr && !invariant[node.id] &&
+                                    invariant[node.inputs[1]];
+          if (left_static || right_static) {
+            // One loop-invariant side: shuffle + group it once, reuse the
+            // materialized groups every later superstep.
+            const int static_in =
+                left_static ? node.inputs[0] : node.inputs[1];
+            const KeyColumns& static_key =
+                left_static ? node.left_key : node.right_key;
+            const ExecCache::Role role = left_static
+                                             ? ExecCache::Role::kBuild
+                                             : ExecCache::Role::kProbe;
+            ExecCache::Entry* e = cache->Find(node.id, role);
+            const bool hit = e != nullptr;
+            if (!hit) {
+              PartitionedDataset shuffled =
+                  Shuffle(input_of(static_in), static_key, &local_stats);
+              ExecCache::Entry& entry = cache->Emplace(node.id, role);
+              auto data =
+                  std::make_shared<PartitionedDataset>(std::move(shuffled));
+              entry.data = data;
+              entry.groups.resize(n);
+              ForEachPartition(n, [&](int p) {
+                entry.groups[p] = GroupByKey(data->partition(p), static_key);
+              });
+              e = cache->Find(node.id, role);
+              if (op_span.active()) op_span.AddArg("cache_build", 1);
+            } else {
+              cache->CountHit();
+              ++local_stats.cache_hits;
+              local_stats.records_not_reshuffled += e->data->NumRecords();
+              if (op_span.active()) op_span.AddArg("cache_hit", 1);
+            }
+            const int vol_in = left_static ? node.inputs[1] : node.inputs[0];
+            const KeyColumns& vol_key =
+                left_static ? node.right_key : node.left_key;
+            PartitionedDataset vol =
+                Shuffle(input_of(vol_in), vol_key, &local_stats);
+            PartitionedDataset out(n);
+            ForEachPartition(op_span, &vol, n, [&](int p) {
+              GroupMap vgroups = GroupByKey(vol.partition(p), vol_key);
+              const GroupMap& lgroups =
+                  left_static ? e->groups[p] : vgroups;
+              const GroupMap& rgroups =
+                  left_static ? vgroups : e->groups[p];
+              std::vector<const Record*> keys;
+              keys.reserve(lgroups.size() + rgroups.size());
+              for (const auto& [k, g] : lgroups) keys.push_back(&k);
+              for (const auto& [k, g] : rgroups) {
+                if (lgroups.find(k) == lgroups.end()) keys.push_back(&k);
+              }
+              std::sort(keys.begin(), keys.end(),
+                        [](const Record* a, const Record* b) {
+                          return RecordLess(*a, *b);
+                        });
+              for (const Record* key : keys) {
+                auto lit = lgroups.find(*key);
+                auto rit = rgroups.find(*key);
+                node.cogroup_fn(
+                    *key, lit != lgroups.end() ? lit->second : kEmptyGroup,
+                    rit != rgroups.end() ? rit->second : kEmptyGroup,
+                    &out.partition(p));
+              }
+            });
+            if (hit) {
+              local_stats.records_processed += vol.NumRecords();
+              ChargeCompute(vol);
+            } else {
+              local_stats.records_processed +=
+                  e->data->NumRecords() + vol.NumRecords();
+              ChargeCompute(*e->data, &vol);
+            }
+            push_owned(std::move(out));
+            break;
+          }
+          PartitionedDataset left =
+              Shuffle(input_of(node.inputs[0]), node.left_key, &local_stats);
+          PartitionedDataset right =
+              Shuffle(input_of(node.inputs[1]), node.right_key, &local_stats);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &left, n, [&](int p) {
+            GroupMap lgroups = GroupByKey(left.partition(p), node.left_key);
+            GroupMap rgroups = GroupByKey(right.partition(p), node.right_key);
+            // Sweep the union of both key sets in RecordLess order, exactly
+            // like the old sorted-map merge.
+            std::vector<const Record*> keys;
+            keys.reserve(lgroups.size() + rgroups.size());
+            for (const auto& [k, g] : lgroups) keys.push_back(&k);
+            for (const auto& [k, g] : rgroups) {
+              if (lgroups.find(k) == lgroups.end()) keys.push_back(&k);
+            }
+            std::sort(keys.begin(), keys.end(),
+                      [](const Record* a, const Record* b) {
+                        return RecordLess(*a, *b);
+                      });
+            for (const Record* key : keys) {
+              auto lit = lgroups.find(*key);
+              auto rit = rgroups.find(*key);
+              node.cogroup_fn(
+                  *key, lit != lgroups.end() ? lit->second : kEmptyGroup,
+                  rit != rgroups.end() ? rit->second : kEmptyGroup,
+                  &out.partition(p));
+            }
+          });
+          local_stats.records_processed +=
+              left.NumRecords() + right.NumRecords();
+          ChargeCompute(left, &right);
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kCross: {
+          const PartitionedDataset& left = input_of(node.inputs[0]);
+          const PartitionedDataset& right = input_of(node.inputs[1]);
+          // Broadcast the right side: every record is replicated to every
+          // partition but its own (counted as messages).
+          std::vector<Record> right_all = right.Collect();
+          uint64_t broadcast_messages =
+              right.NumRecords() * static_cast<uint64_t>(n > 0 ? n - 1 : 0);
+          local_stats.messages_shuffled += broadcast_messages;
+          ChargeNetwork(broadcast_messages);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &left, n, [&](int p) {
+            out.partition(p).reserve(left.partition(p).size() *
+                                     right_all.size());
+            for (const Record& l : left.partition(p)) {
+              for (const Record& r : right_all) {
+                out.partition(p).push_back(node.join_fn(l, r));
+              }
+            }
+          });
+          local_stats.records_processed +=
+              left.NumRecords() + right.NumRecords();
+          // Partition p pays for its own left records against the whole
+          // broadcast right side; the critical path is the largest
+          // partition.
+          ChargeCompute(std::vector<uint64_t>{MaxPartitionSize(left) *
+                                              right_all.size()});
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kUnion: {
+          const PartitionedDataset& a = input_of(node.inputs[0]);
+          const PartitionedDataset& b = input_of(node.inputs[1]);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &a, n, [&](int p) {
+            out.partition(p).reserve(a.partition(p).size() +
+                                     b.partition(p).size());
+            out.partition(p).insert(out.partition(p).end(),
+                                    a.partition(p).begin(),
+                                    a.partition(p).end());
+            out.partition(p).insert(out.partition(p).end(),
+                                    b.partition(p).begin(),
+                                    b.partition(p).end());
+          });
+          local_stats.records_processed += a.NumRecords() + b.NumRecords();
+          ChargeCompute(a, &b);
+          push_owned(std::move(out));
+          break;
+        }
+
+        case OpKind::kDistinct: {
+          PartitionedDataset shuffled = Shuffle(input_of(node.inputs[0]),
+                                                node.left_key, &local_stats);
+          PartitionedDataset out(n);
+          ForEachPartition(op_span, &shuffled, n, [&](int p) {
+            std::unordered_set<Record, RecordHash> seen;
+            seen.reserve(shuffled.partition(p).size());
+            for (const Record& r : shuffled.partition(p)) {
+              if (seen.insert(r).second) out.partition(p).push_back(r);
+            }
+          });
+          local_stats.records_processed += shuffled.NumRecords();
+          ChargeCompute(shuffled);
+          push_owned(std::move(out));
+          break;
+        }
       }
 
-      case OpKind::kUnion: {
-        const PartitionedDataset& a = results[node.inputs[0]];
-        const PartitionedDataset& b = results[node.inputs[1]];
-        PartitionedDataset out(n);
-        ForEachPartition(op_span, &a, n, [&](int p) {
-          out.partition(p).reserve(a.partition(p).size() +
-                                   b.partition(p).size());
-          out.partition(p).insert(out.partition(p).end(),
-                                  a.partition(p).begin(),
-                                  a.partition(p).end());
-          out.partition(p).insert(out.partition(p).end(),
-                                  b.partition(p).begin(),
-                                  b.partition(p).end());
-        });
-        local_stats.records_processed += a.NumRecords() + b.NumRecords();
-        ChargeCompute(a, &b);
-        results.push_back(std::move(out));
-        break;
-      }
-
-      case OpKind::kDistinct: {
-        PartitionedDataset shuffled =
-            Shuffle(results[node.inputs[0]], node.left_key, &local_stats);
-        PartitionedDataset out(n);
-        ForEachPartition(op_span, &shuffled, n, [&](int p) {
-          std::unordered_set<Record, RecordHash> seen;
-          seen.reserve(shuffled.partition(p).size());
-          for (const Record& r : shuffled.partition(p)) {
-            if (seen.insert(r).second) out.partition(p).push_back(r);
-          }
-        });
-        local_stats.records_processed += shuffled.NumRecords();
-        ChargeCompute(shuffled);
-        results.push_back(std::move(out));
-        break;
+      if (store_output) {
+        // First execution of an invariant node: move its output into the
+        // cache and keep serving this Execute from the cached copy.
+        Slot& s = slots.back();
+        auto shared = std::make_shared<PartitionedDataset>(std::move(s.owned));
+        cache->Emplace(node.id, ExecCache::Role::kOutput).data = shared;
+        s.keepalive = shared;
+        s.view = shared.get();
+        s.is_owned = false;
+        if (op_span.active()) op_span.AddArg("cache_build", 1);
       }
     }
-    count_output(node, results.back());
+
+    count_output(node, *slots.back().view);
     if (op_span.active()) {
-      const PartitionedDataset& produced = results.back();
+      const PartitionedDataset& produced = *slots.back().view;
       op_span.AddArg("records_in", static_cast<int64_t>(span_records_in));
       op_span.AddArg("records_out",
                      static_cast<int64_t>(produced.NumRecords()));
-      for (int p = 0; p < produced.num_partitions(); ++p) {
-        op_span.AddArg("out_p" + std::to_string(p),
-                       static_cast<int64_t>(produced.partition(p).size()));
+      if (per_partition_args_) {
+        PartitionKeyBuffer out_key("out_p");
+        for (int p = 0; p < produced.num_partitions(); ++p) {
+          op_span.AddArg(out_key.Key(p),
+                         static_cast<int64_t>(produced.partition(p).size()));
+        }
       }
     }
   }
 
   std::map<std::string, PartitionedDataset> outputs;
+  std::map<int, int> outputs_left;
+  for (const auto& [name, node] : plan.outputs()) ++outputs_left[node];
   for (const auto& [name, node] : plan.outputs()) {
-    outputs.emplace(name, results[node]);
+    Slot& s = slots[node];
+    // Executor-owned results move into their last requesting output;
+    // borrowed/cached views are copied (callers own their outputs).
+    if (s.is_owned && --outputs_left[node] == 0) {
+      outputs.emplace(name, std::move(s.owned));
+    } else {
+      outputs.emplace(name, *s.view);
+    }
   }
   if (stats != nullptr) stats->MergeFrom(local_stats);
   return outputs;

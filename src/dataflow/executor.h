@@ -27,6 +27,8 @@
 
 namespace flinkless::dataflow {
 
+class ExecCache;
+
 /// Input datasets for a plan execution, keyed by source binding name. The
 /// pointed-to datasets are borrowed and must outlive the Execute call.
 using Bindings = std::map<std::string, const PartitionedDataset*>;
@@ -40,12 +42,30 @@ struct ExecStats {
   /// paper's per-iteration "messages".
   uint64_t messages_shuffled = 0;
 
+  /// Loop-invariant cache hits (one per node/side served from the cache).
+  uint64_t cache_hits = 0;
+
+  /// Records whose shuffle was skipped because the shuffled dataset (or the
+  /// whole node output) was served from the loop-invariant cache.
+  uint64_t records_not_reshuffled = 0;
+
   /// Output record count per operator display name (accumulated when names
   /// repeat).
   std::map<std::string, uint64_t> node_output_counts;
 
   /// Merges another stats block into this one.
   void MergeFrom(const ExecStats& other);
+};
+
+/// How much per-partition detail operator/shuffle spans carry. The
+/// per-partition args ("out_p<i>", "moved_p<i>") cost one string-format and
+/// one arg entry per partition per operator — negligible at demo scale,
+/// real churn at hundreds of partitions.
+enum class TraceDetail {
+  /// Per-partition args on for <= 8 partitions, off beyond that.
+  kAuto = 0,
+  kPerPartition,  // always record per-partition args
+  kAggregate,     // only aggregate args (counts stay exact)
 };
 
 /// Execution configuration. The clock and cost model are optional; when
@@ -68,6 +88,16 @@ struct ExecOptions {
   /// the disabled path costs one branch. Tracing never changes outputs,
   /// ExecStats, or SimClock charges (DESIGN.md §8).
   runtime::Tracer* tracer = nullptr;
+
+  /// Optional loop-invariant cache, owned by the iteration driver and
+  /// shared across supersteps (see exec_cache.h and DESIGN.md §10). Null =
+  /// no caching; outputs are byte-identical either way, only the work
+  /// (shuffles, index builds) and its simulated charges are skipped on
+  /// cache hits.
+  ExecCache* cache = nullptr;
+
+  /// Per-partition trace-arg verbosity (see TraceDetail).
+  TraceDetail trace_detail = TraceDetail::kAuto;
 };
 
 /// Stateless plan interpreter. One Executor can run many plans; options are
@@ -134,6 +164,8 @@ class Executor {
                                  ExecStats* stats) const;
 
   ExecOptions options_;
+  /// Resolved TraceDetail: record per-partition span args?
+  bool per_partition_args_ = true;
   std::unique_ptr<runtime::ThreadPool> pool_;
 };
 

@@ -177,6 +177,33 @@ std::vector<std::string> Plan::SourceNames() const {
   return names;
 }
 
+std::vector<bool> Plan::InvariantNodes(
+    const std::vector<std::string>& volatile_bindings) const {
+  std::vector<bool> invariant(nodes_.size(), false);
+  for (const auto& n : nodes_) {
+    if (n.kind == OpKind::kSource) {
+      bool is_volatile = false;
+      for (const std::string& name : volatile_bindings) {
+        if (name == n.source_name) {
+          is_volatile = true;
+          break;
+        }
+      }
+      invariant[n.id] = !is_volatile;
+      continue;
+    }
+    bool all_invariant = true;
+    for (NodeId in : n.inputs) {
+      if (!invariant[in]) {
+        all_invariant = false;
+        break;
+      }
+    }
+    invariant[n.id] = all_invariant;
+  }
+  return invariant;
+}
+
 Status Plan::Validate() const {
   if (outputs_.empty()) {
     return Status::FailedPrecondition("plan declares no outputs");

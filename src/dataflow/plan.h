@@ -151,6 +151,16 @@ class Plan {
   /// Names of all source bindings the plan expects.
   std::vector<std::string> SourceNames() const;
 
+  /// Loop-invariant analysis for iterative execution: entry i says whether
+  /// node i reads the same data on every execution of the plan. A source is
+  /// invariant unless its binding name appears in `volatile_bindings` (the
+  /// bindings an iteration driver rebinds every superstep — workset,
+  /// solution, state); every other node is invariant iff all of its inputs
+  /// are. The executor caches the outputs, shuffles, and join build indexes
+  /// of invariant nodes across supersteps.
+  std::vector<bool> InvariantNodes(
+      const std::vector<std::string>& volatile_bindings) const;
+
   /// Structural sanity: inputs in range, arities right, at least one output,
   /// output names unique, UDFs present where required.
   Status Validate() const;

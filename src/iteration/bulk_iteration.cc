@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "dataflow/exec_cache.h"
 
 namespace flinkless::iteration {
 
@@ -51,7 +52,15 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
   if (exec_options_.tracer == nullptr) exec_options_.tracer = env_.tracer;
   runtime::Tracer* tracer = exec_options_.tracer;
 
-  dataflow::Executor executor(exec_options_);
+  // Loop-invariant cache for this run: only the state binding changes
+  // between supersteps, so everything derived purely from the static
+  // bindings is shuffled/indexed once and reused (DESIGN.md §10).
+  dataflow::ExecCache cache(std::vector<std::string>{config_.state_binding});
+  dataflow::ExecOptions exec_opts = exec_options_;
+  if (config_.cache_loop_invariant && exec_opts.cache == nullptr) {
+    exec_opts.cache = &cache;
+  }
+  dataflow::Executor executor(exec_opts);
 
   auto make_ctx = [&](int iteration) {
     IterationContext ctx;
@@ -181,6 +190,10 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
       env_.cluster->KillPartitions(lost);
       for (int p : lost) state.ClearPartition(p);
       FLINKLESS_RETURN_NOT_OK(env_.cluster->ReassignToFreshWorkers(lost));
+      // Cached artifacts are hash-partitioned: losing any partition means
+      // the fresh workers need a full re-scatter, so drop everything; the
+      // next superstep rebuilds from the (static) bindings.
+      if (exec_opts.cache != nullptr) exec_opts.cache->Invalidate(lost);
       runtime::TraceSpan comp_span(tracer, runtime::SpanKind::kCompensation,
                                    policy->name());
       if (comp_span.active()) {

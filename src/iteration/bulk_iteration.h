@@ -57,6 +57,12 @@ struct BulkIterationConfig {
   /// Safety valve: abort if recoveries push the total executed supersteps
   /// beyond this multiple of max_iterations.
   int max_total_supersteps_factor = 20;
+
+  /// Cache loop-invariant plan results (static shuffles, join build-side
+  /// indexes) across supersteps. Outputs are byte-identical either way;
+  /// only repeated work on the static bindings is skipped. See
+  /// exec_cache.h / DESIGN.md §10.
+  bool cache_loop_invariant = true;
 };
 
 /// Result of a bulk-iterative run.

@@ -47,6 +47,12 @@ struct DeltaIterationConfig {
 
   /// Safety valve against recovery loops (multiple of max_iterations).
   int max_total_supersteps_factor = 20;
+
+  /// Cache loop-invariant plan results (static shuffles, join build-side
+  /// indexes) across supersteps. The workset and solution bindings are
+  /// volatile; everything derived only from the static bindings is built
+  /// once. Outputs are byte-identical either way (DESIGN.md §10).
+  bool cache_loop_invariant = true;
 };
 
 /// Result of a delta-iterative run.

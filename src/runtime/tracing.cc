@@ -235,7 +235,8 @@ void TraceSpan::Cancel() {
 
 void TracedParallelFor(ThreadPool* pool, const TraceSpan& parent, int count,
                        const std::function<void(int)>& fn,
-                       const std::function<int64_t(int)>& records_of) {
+                       const std::function<int64_t(int)>& records_of,
+                       int partition_offset) {
   if (!parent.active()) {
     ParallelFor(pool, count, fn);
     return;
@@ -254,7 +255,7 @@ void TracedParallelFor(ThreadPool* pool, const TraceSpan& parent, int count,
     e.kind = TraceEvent::Kind::kSpan;
     e.category = category;
     e.name = name;
-    e.partition = p;
+    e.partition = partition_offset + p;
     e.worker = ThreadPool::CurrentWorkerId();
     e.iteration = iteration;
     e.seq = loop_seq;

@@ -248,10 +248,14 @@ class TraceSpan {
 /// makes pool utilization and partition skew visible. Degrades to a plain
 /// ParallelFor when `parent` is inactive. `records_of(i)`, when provided,
 /// is evaluated *before* fn(i) (fn may consume the input) and becomes the
-/// "records" arg of span i.
+/// "records" arg of span i. `partition_offset` shifts the recorded
+/// partition index of span i to `partition_offset + i` — the streaming
+/// shuffle scatters source partitions in blocks but still attributes each
+/// child span to its global partition.
 void TracedParallelFor(ThreadPool* pool, const TraceSpan& parent, int count,
                        const std::function<void(int)>& fn,
-                       const std::function<int64_t(int)>& records_of = {});
+                       const std::function<int64_t(int)>& records_of = {},
+                       int partition_offset = 0);
 
 // ----------------------------------------------------------- exporters --
 

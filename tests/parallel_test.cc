@@ -239,9 +239,12 @@ struct AlgoRun {
   int pr_iterations = 0;
   uint64_t cc_messages = 0;
   uint64_t pr_messages = 0;
+  int64_t cc_sim_ns = 0;
+  int64_t pr_sim_ns = 0;
 };
 
-AlgoRun RunBothAlgos(int num_threads, bool with_failures) {
+AlgoRun RunBothAlgos(int num_threads, bool with_failures,
+                     bool cache_loop_invariant = true) {
   AlgoRun out;
   Rng rng(2025);
   graph::Graph directed = graph::Rmat(9, 6, &rng);  // 512 vertices
@@ -266,12 +269,14 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures) {
     options.num_partitions = 4;
     options.num_threads = num_threads;
     options.max_iterations = 12;
+    options.cache_loop_invariant = cache_loop_invariant;
     algos::FixRanksCompensation fix(directed.num_vertices());
     core::OptimisticRecoveryPolicy policy(&fix);
     auto result = algos::RunPageRank(directed, options, env, &policy, nullptr);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     out.pr_ranks = result->ranks;
     out.pr_iterations = result->iterations;
+    out.pr_sim_ns = clock.TotalNs();
     for (const auto& it : metrics.iterations()) {
       out.pr_messages += it.messages_shuffled;
     }
@@ -300,6 +305,7 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures) {
     algos::ConnectedComponentsOptions options;
     options.num_partitions = 4;
     options.num_threads = num_threads;
+    options.cache_loop_invariant = cache_loop_invariant;
     algos::FixComponentsCompensation fix(&undirected);
     core::OptimisticRecoveryPolicy policy(&fix);
     auto result =
@@ -308,6 +314,7 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures) {
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     out.cc_labels = result->labels;
     out.cc_supersteps = result->supersteps_executed;
+    out.cc_sim_ns = clock.TotalNs();
     for (const auto& it : metrics.iterations()) {
       out.cc_messages += it.messages_shuffled;
     }
@@ -326,6 +333,8 @@ TEST_P(AlgoDeterminismTest, FailureFreeRunsMatchSerial) {
   EXPECT_EQ(serial.pr_iterations, parallel.pr_iterations);
   EXPECT_EQ(serial.cc_messages, parallel.cc_messages);
   EXPECT_EQ(serial.pr_messages, parallel.pr_messages);
+  EXPECT_EQ(serial.cc_sim_ns, parallel.cc_sim_ns);
+  EXPECT_EQ(serial.pr_sim_ns, parallel.pr_sim_ns);
 }
 
 TEST_P(AlgoDeterminismTest, FailureAndCompensationRunsMatchSerial) {
@@ -337,6 +346,48 @@ TEST_P(AlgoDeterminismTest, FailureAndCompensationRunsMatchSerial) {
   EXPECT_EQ(serial.pr_iterations, parallel.pr_iterations);
   EXPECT_EQ(serial.cc_messages, parallel.cc_messages);
   EXPECT_EQ(serial.pr_messages, parallel.pr_messages);
+  EXPECT_EQ(serial.cc_sim_ns, parallel.cc_sim_ns);
+  EXPECT_EQ(serial.pr_sim_ns, parallel.pr_sim_ns);
+}
+
+TEST_P(AlgoDeterminismTest, CachingIsByteInvisibleInResults) {
+  // The loop-invariant cache only removes work: failure-free runs with the
+  // cache on and off converge to byte-identical labels and ranks in the
+  // same number of supersteps, at every thread count — while shuffling
+  // strictly fewer messages and charging strictly less simulated time.
+  AlgoRun cached = RunBothAlgos(GetParam(), /*with_failures=*/false,
+                                /*cache_loop_invariant=*/true);
+  AlgoRun plain = RunBothAlgos(GetParam(), /*with_failures=*/false,
+                               /*cache_loop_invariant=*/false);
+  EXPECT_EQ(cached.cc_labels, plain.cc_labels);
+  EXPECT_EQ(cached.pr_ranks, plain.pr_ranks);
+  EXPECT_EQ(cached.cc_supersteps, plain.cc_supersteps);
+  EXPECT_EQ(cached.pr_iterations, plain.pr_iterations);
+  // The drivers co-partition static inputs before the loop, so the skipped
+  // shuffles move no records — caching cannot change the message counts,
+  // only remove the per-superstep scatter/gather and index-build work.
+  EXPECT_EQ(cached.cc_messages, plain.cc_messages);
+  EXPECT_EQ(cached.pr_messages, plain.pr_messages);
+  EXPECT_LT(cached.cc_sim_ns, plain.cc_sim_ns);
+  EXPECT_LT(cached.pr_sim_ns, plain.pr_sim_ns);
+}
+
+TEST_P(AlgoDeterminismTest, CachingIsByteInvisibleUnderFailures) {
+  // Same contract through the recovery path: failures invalidate the cache,
+  // the rebuild is re-charged, and compensation still lands on the exact
+  // results of the uncached run.
+  AlgoRun cached = RunBothAlgos(GetParam(), /*with_failures=*/true,
+                                /*cache_loop_invariant=*/true);
+  AlgoRun plain = RunBothAlgos(GetParam(), /*with_failures=*/true,
+                               /*cache_loop_invariant=*/false);
+  EXPECT_EQ(cached.cc_labels, plain.cc_labels);
+  EXPECT_EQ(cached.pr_ranks, plain.pr_ranks);
+  EXPECT_EQ(cached.cc_supersteps, plain.cc_supersteps);
+  EXPECT_EQ(cached.pr_iterations, plain.pr_iterations);
+  EXPECT_EQ(cached.cc_messages, plain.cc_messages);
+  EXPECT_EQ(cached.pr_messages, plain.pr_messages);
+  EXPECT_LT(cached.cc_sim_ns, plain.cc_sim_ns);
+  EXPECT_LT(cached.pr_sim_ns, plain.pr_sim_ns);
 }
 
 TEST_P(AlgoDeterminismTest, RecoveredResultIsCorrect) {
