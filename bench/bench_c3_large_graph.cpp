@@ -366,5 +366,157 @@ int main() {
                     "cannot write " + json_path);
     std::cout << "json: wrote " << json_path << "\n";
   }
+
+  // --------------------------------------------- memory-budget spill sweep --
+  // The budgeted MemoryManager (DESIGN.md §11) under pressure: the same two
+  // failure/recovery jobs at an unlimited budget, then at 50% and 10% of
+  // the peak residency the unlimited run measured. Correctness is enforced
+  // bit-for-bit at every budget; the cost of the thrash shows up in
+  // simulated checkpoint I/O per superstep, reported per iteration in
+  // BENCH_spill.json together with the spilled bytes.
+  {
+    std::cout << "Memory-budget spill sweep (unlimited vs 50% vs 10% of "
+                 "peak residency)\n";
+    bench::JsonReport report("C3-spill");
+    TablePrinter table({"algo", "budget", "sim_ms", "spills", "unspills",
+                        "spilled_bytes", "peak_resident_bytes", "identical"});
+
+    struct SpillPoint {
+      const char* label;
+      uint64_t budget;
+    };
+    auto budgets_of = [](uint64_t peak) {
+      return std::vector<SpillPoint>{{"unlimited", 0},
+                                     {"50%-of-peak", std::max<uint64_t>(
+                                                         1, peak / 2)},
+                                     {"10%-of-peak", std::max<uint64_t>(
+                                                         1, peak / 10)}};
+    };
+
+    // ---- PageRank ----
+    {
+      std::vector<double> pr_baseline;
+      uint64_t pr_peak = 0;
+      std::vector<SpillPoint> points{{"unlimited", 0}};
+      for (size_t i = 0; i < points.size(); ++i) {
+        const SpillPoint point = points[i];
+        algos::PageRankOptions options;
+        options.num_partitions = parts;
+        options.max_iterations = 25;
+        options.memory_budget_bytes = point.budget;
+        bench::JobHarness harness(std::string("c3-pr-spill-") + point.label);
+        harness.SetFailures(runtime::FailureSchedule(
+            std::vector<runtime::FailureEvent>{{8, {3}}, {16, {5}}}));
+        algos::FixRanksCompensation fix_ranks(g.num_vertices());
+        core::OptimisticRecoveryPolicy policy(&fix_ranks);
+        auto result =
+            algos::RunPageRank(g, options, harness.Env(), &policy, nullptr);
+        FLINKLESS_CHECK(result.ok(), result.status().ToString());
+        if (point.budget == 0) pr_baseline = result->ranks;
+        bool identical = result->ranks == pr_baseline;
+        FLINKLESS_CHECK(identical, "budget changed the PageRank result");
+
+        uint64_t spills = 0, unspills = 0, spilled = 0, peak = 0;
+        for (const auto& it : harness.metrics().iterations()) {
+          spills += it.spills;
+          unspills += it.unspills;
+          spilled += it.spilled_bytes;
+          peak = std::max(peak, it.peak_resident_bytes);
+          report.AddEntry()
+              .Set("algo", "pagerank")
+              .Set("budget", point.label)
+              .Set("budget_bytes", static_cast<int64_t>(point.budget))
+              .Set("iteration", static_cast<int64_t>(it.iteration))
+              .Set("sim_ms", static_cast<double>(it.sim_time_ns) / 1e6)
+              .Set("spilled_bytes", static_cast<int64_t>(it.spilled_bytes))
+              .Set("spills", static_cast<int64_t>(it.spills))
+              .Set("unspills", static_cast<int64_t>(it.unspills));
+        }
+        if (point.budget == 0) {
+          pr_peak = peak;
+          auto sized = budgets_of(pr_peak);
+          points.assign(sized.begin(), sized.end());
+          FLINKLESS_CHECK(spills == 0,
+                          "unlimited budget must not spill");
+        } else {
+          FLINKLESS_CHECK(spills > 0, "budget below peak must spill");
+        }
+        table.Row()
+            .Cell("pagerank")
+            .Cell(point.label)
+            .Cell(harness.clock().TotalMs())
+            .Cell(spills)
+            .Cell(unspills)
+            .Cell(spilled)
+            .Cell(peak)
+            .Cell(identical ? "yes" : "NO");
+      }
+    }
+
+    // ---- Connected Components ----
+    {
+      std::vector<int64_t> cc_baseline;
+      uint64_t cc_peak = 0;
+      std::vector<SpillPoint> points{{"unlimited", 0}};
+      for (size_t i = 0; i < points.size(); ++i) {
+        const SpillPoint point = points[i];
+        algos::ConnectedComponentsOptions options;
+        options.num_partitions = parts;
+        options.memory_budget_bytes = point.budget;
+        bench::JobHarness harness(std::string("c3-cc-spill-") + point.label);
+        harness.SetFailures(runtime::FailureSchedule(
+            std::vector<runtime::FailureEvent>{{3, {1}}}));
+        algos::FixComponentsCompensation fix_components(&cc_graph);
+        core::OptimisticRecoveryPolicy policy(&fix_components);
+        auto result = algos::RunConnectedComponents(cc_graph, options,
+                                                    harness.Env(), &policy);
+        FLINKLESS_CHECK(result.ok(), result.status().ToString());
+        if (point.budget == 0) cc_baseline = result->labels;
+        bool identical = result->labels == cc_baseline;
+        FLINKLESS_CHECK(identical, "budget changed the CC result");
+
+        uint64_t spills = 0, unspills = 0, spilled = 0, peak = 0;
+        for (const auto& it : harness.metrics().iterations()) {
+          spills += it.spills;
+          unspills += it.unspills;
+          spilled += it.spilled_bytes;
+          peak = std::max(peak, it.peak_resident_bytes);
+          report.AddEntry()
+              .Set("algo", "connected-components")
+              .Set("budget", point.label)
+              .Set("budget_bytes", static_cast<int64_t>(point.budget))
+              .Set("iteration", static_cast<int64_t>(it.iteration))
+              .Set("sim_ms", static_cast<double>(it.sim_time_ns) / 1e6)
+              .Set("spilled_bytes", static_cast<int64_t>(it.spilled_bytes))
+              .Set("spills", static_cast<int64_t>(it.spills))
+              .Set("unspills", static_cast<int64_t>(it.unspills));
+        }
+        if (point.budget == 0) {
+          cc_peak = peak;
+          auto sized = budgets_of(cc_peak);
+          points.assign(sized.begin(), sized.end());
+          FLINKLESS_CHECK(spills == 0,
+                          "unlimited budget must not spill");
+        } else {
+          FLINKLESS_CHECK(spills > 0, "budget below peak must spill");
+        }
+        table.Row()
+            .Cell("connected-components")
+            .Cell(point.label)
+            .Cell(harness.clock().TotalMs())
+            .Cell(spills)
+            .Cell(unspills)
+            .Cell(spilled)
+            .Cell(peak)
+            .Cell(identical ? "yes" : "NO");
+      }
+    }
+
+    bench::Emit(table);
+    const std::string json_path = "BENCH_spill.json";
+    FLINKLESS_CHECK(report.WriteFile(json_path),
+                    "cannot write " + json_path);
+    std::cout << "json: wrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -15,8 +15,10 @@
 // Flags: --graph=demo|twitter|chain|grid, --fail=iter:parts[;iter:parts],
 //        --partitions=N, --threads=N, --delay-ms=N, --interactive,
 //        --no-color, --strategy=optimistic|rollback|restart,
-//        --cache=true|false
+//        --cache=true|false,
+//        --mem-budget=BYTES (spill cached artifacts beyond this)
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <thread>
@@ -105,6 +107,10 @@ int main(int argc, char** argv) {
       "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
   bool* cache = flags.Bool(
       "cache", true, "reuse loop-invariant shuffles/indexes across supersteps");
+  int64_t* mem_budget = flags.Int64(
+      "mem-budget", 0,
+      "byte budget for cached artifacts; cold entries spill to stable "
+      "storage beyond it (0 = unlimited)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s << "\n" << flags.Usage();
     return 1;
@@ -164,6 +170,9 @@ int main(int argc, char** argv) {
   options.num_threads = static_cast<int>(*threads);
   options.trace_path = *trace_path;
   options.cache_loop_invariant = *cache;
+  if (*mem_budget > 0) {
+    options.memory_budget_bytes = static_cast<uint64_t>(*mem_budget);
+  }
 
   algos::FixComponentsCompensation compensation(&g);
   std::unique_ptr<iteration::FaultTolerancePolicy> policy;
@@ -230,6 +239,18 @@ int main(int argc, char** argv) {
   std::cout << AsciiPlot(message_series, 8, "messages per iteration:")
             << "\n";
 
+  if (*mem_budget > 0) {
+    uint64_t spills = 0, unspills = 0, spilled_bytes = 0, peak = 0;
+    for (const auto& it : metrics.iterations()) {
+      spills += it.spills;
+      unspills += it.unspills;
+      spilled_bytes += it.spilled_bytes;
+      peak = std::max(peak, it.peak_resident_bytes);
+    }
+    std::cout << "memory budget " << *mem_budget << " bytes: spills="
+              << spills << " unspills=" << unspills << " spilled_bytes="
+              << spilled_bytes << " peak_resident_bytes=" << peak << "\n";
+  }
   std::cout << "result correct vs union-find ground truth: "
             << (run->labels == truth ? "yes" : "NO") << " ("
             << run->iterations << " iterations, " << run->failures_recovered

@@ -17,7 +17,8 @@
 // Flags: --graph=demo|twitter|cycle, --fail=iter:parts[;...],
 //        --partitions=N, --threads=N, --max-iterations=N, --delay-ms=N,
 //        --interactive, --strategy=optimistic|rollback|restart,
-//        --compensation=redistribute|uniform|full, --cache=true|false
+//        --compensation=redistribute|uniform|full, --cache=true|false,
+//        --mem-budget=BYTES (spill cached artifacts beyond this)
 
 #include <chrono>
 #include <cmath>
@@ -113,6 +114,10 @@ int main(int argc, char** argv) {
       "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
   bool* cache = flags.Bool(
       "cache", true, "reuse loop-invariant shuffles/indexes across supersteps");
+  int64_t* mem_budget = flags.Int64(
+      "mem-budget", 0,
+      "byte budget for cached artifacts; cold entries spill to stable "
+      "storage beyond it (0 = unlimited)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s << "\n" << flags.Usage();
     return 1;
@@ -141,6 +146,9 @@ int main(int argc, char** argv) {
   options.converged_tolerance = 1e-6;
   options.trace_path = *trace_path;
   options.cache_loop_invariant = *cache;
+  if (*mem_budget > 0) {
+    options.memory_budget_bytes = static_cast<uint64_t>(*mem_budget);
+  }
   auto truth = graph::ReferencePageRank(g, options.damping, 1000, 1e-14);
 
   std::cout << "Optimistic Recovery demo — PageRank (bulk iterations)\n"
@@ -240,6 +248,18 @@ int main(int argc, char** argv) {
                          "estimates:")
             << "\n";
 
+  if (*mem_budget > 0) {
+    uint64_t spills = 0, unspills = 0, spilled_bytes = 0, peak = 0;
+    for (const auto& it : metrics.iterations()) {
+      spills += it.spills;
+      unspills += it.unspills;
+      spilled_bytes += it.spilled_bytes;
+      peak = std::max(peak, it.peak_resident_bytes);
+    }
+    std::cout << "memory budget " << *mem_budget << " bytes: spills="
+              << spills << " unspills=" << unspills << " spilled_bytes="
+              << spilled_bytes << " peak_resident_bytes=" << peak << "\n";
+  }
   double max_err = 0;
   for (size_t v = 0; v < truth.size(); ++v) {
     max_err = std::max(max_err, std::abs(run->ranks[v] - truth[v]));

@@ -279,6 +279,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsWithSnapshots(
   exec.clock = env.clock;
   exec.costs = env.costs;
   exec.tracer = env.tracer;
+  exec.memory_budget_bytes = options.memory_budget_bytes;
 
   iteration::DeltaIterationDriver driver(&plan, statics, config, exec, env);
   FLINKLESS_ASSIGN_OR_RETURN(
@@ -372,6 +373,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
   exec.clock = env.clock;
   exec.costs = env.costs;
   exec.tracer = env.tracer;
+  exec.memory_budget_bytes = options.memory_budget_bytes;
 
   iteration::BulkIterationDriver driver(&plan, statics, config, exec, env);
   PartitionedDataset initial = PartitionedDataset::HashPartitioned(

@@ -296,6 +296,7 @@ Result<PageRankResult> RunPageRankWithSnapshots(
   exec.clock = env.clock;
   exec.costs = env.costs;
   exec.tracer = env.tracer;
+  exec.memory_budget_bytes = options.memory_budget_bytes;
 
   iteration::BulkIterationDriver driver(&plan, statics, config, exec, env);
   FLINKLESS_ASSIGN_OR_RETURN(

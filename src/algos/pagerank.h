@@ -40,6 +40,11 @@ struct PageRankOptions {
   /// build-side hash index across supersteps. Results are byte-identical
   /// either way (DESIGN.md §10).
   bool cache_loop_invariant = true;
+  /// Byte budget for the cached artifacts (0 = unlimited): cold entries
+  /// spill to the job's StableStorage and reload on access, trading
+  /// simulated I/O for residency. Results are byte-identical at any
+  /// budget (DESIGN.md §11).
+  uint64_t memory_budget_bytes = 0;
 };
 
 /// Builds the Figure 1(b) step plan. Sources: "state" (vertex, rank),

@@ -69,4 +69,79 @@ bool PartitionedDataset::IsPartitionedBy(const KeyColumns& key) const {
   return true;
 }
 
+namespace {
+
+/// Spill blob format v1 ("FLKDST1\0" little-endian); the leading magic
+/// disambiguates dataset blobs from every other blob family in
+/// StableStorage (checkpoints start with record counts or their own magic).
+constexpr uint64_t kDatasetBlobMagicV1 = 0x00315453444b4c46ULL;
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+bool GetU64(const std::vector<uint8_t>& bytes, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > bytes.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(bytes[*offset + i]) << (8 * i);
+  }
+  *offset += 8;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializePartitionedDataset(
+    const PartitionedDataset& ds) {
+  std::vector<uint8_t> out;
+  out.reserve(SerializedDatasetBytes(ds));
+  PutU64(kDatasetBlobMagicV1, &out);
+  PutU64(static_cast<uint64_t>(ds.num_partitions()), &out);
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    const std::vector<Record>& part = ds.partition(p);
+    PutU64(part.size(), &out);
+    for (const Record& r : part) SerializeRecord(r, &out);
+  }
+  return out;
+}
+
+Result<PartitionedDataset> DeserializePartitionedDataset(
+    const std::vector<uint8_t>& bytes) {
+  size_t offset = 0;
+  uint64_t magic = 0;
+  if (!GetU64(bytes, &offset, &magic) || magic != kDatasetBlobMagicV1) {
+    return Status::DataLoss("dataset blob: bad magic");
+  }
+  uint64_t num_partitions = 0;
+  if (!GetU64(bytes, &offset, &num_partitions) ||
+      num_partitions > static_cast<uint64_t>(1) << 32) {
+    return Status::DataLoss("dataset blob: bad partition count");
+  }
+  PartitionedDataset ds(static_cast<int>(num_partitions));
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    uint64_t count = 0;
+    if (!GetU64(bytes, &offset, &count)) {
+      return Status::DataLoss("dataset blob: truncated partition header");
+    }
+    std::vector<Record>& part = ds.partition(p);
+    part.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      FLINKLESS_ASSIGN_OR_RETURN(Record r,
+                                 DeserializeRecord(bytes, &offset));
+      part.push_back(std::move(r));
+    }
+  }
+  if (offset != bytes.size()) {
+    return Status::DataLoss("dataset blob: trailing garbage");
+  }
+  return ds;
+}
+
+uint64_t SerializedDatasetBytes(const PartitionedDataset& ds) {
+  // Magic + partition count, then per partition the same [count][records]
+  // layout SerializedSize measures.
+  return 16 + ds.SerializedSizeBytes();
+}
+
 }  // namespace flinkless::dataflow

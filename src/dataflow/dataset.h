@@ -74,6 +74,22 @@ class PartitionedDataset {
   std::vector<std::vector<Record>> partitions_;
 };
 
+/// Frames a whole dataset into one blob — the spill format of cached
+/// execution artifacts (DESIGN.md §11), following the checkpoint blob
+/// conventions of core/policies: a magic u64 first ("FLKDST1\0",
+/// little-endian), then the partition count, then per partition the same
+/// [u64 record count][records...] encoding checkpoints use (record.h).
+std::vector<uint8_t> SerializePartitionedDataset(const PartitionedDataset& ds);
+
+/// Inverse of SerializePartitionedDataset; fails cleanly on a bad magic,
+/// truncation, or trailing garbage.
+Result<PartitionedDataset> DeserializePartitionedDataset(
+    const std::vector<uint8_t>& bytes);
+
+/// Exact byte size SerializePartitionedDataset(ds) would produce — the
+/// residency measure the memory manager budgets against.
+uint64_t SerializedDatasetBytes(const PartitionedDataset& ds);
+
 }  // namespace flinkless::dataflow
 
 #endif  // FLINKLESS_DATAFLOW_DATASET_H_

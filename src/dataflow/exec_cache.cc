@@ -1,0 +1,197 @@
+#include "dataflow/exec_cache.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "runtime/stable_storage.h"
+
+namespace flinkless::dataflow {
+
+/// One cache entry as the MemoryManager sees it. Spilling serializes only
+/// the dataset — join_index/groups reference the dataset's records by
+/// pointer, so they are dropped with it and rebuilt (deterministically,
+/// from entry.index_key) when the bytes come back.
+struct ExecCache::Segment : public runtime::SpillableSegment {
+  Segment(std::string key, runtime::StableStorage* storage, int partitions)
+      : key_(std::move(key)), storage_(storage), partitions_(partitions) {}
+
+  const std::string& spill_key() const override { return key_; }
+  uint64_t resident_bytes() const override {
+    return spilled_ ? 0 : serialized_bytes_;
+  }
+  int num_partitions() const override { return partitions_; }
+  bool spilled() const override { return spilled_; }
+
+  /// Called by OnEntryFilled once the executor built the entry.
+  void MeasureResident() {
+    FLINKLESS_CHECK(entry.data != nullptr,
+                    "cache segment measured before its data was set");
+    serialized_bytes_ = SerializedDatasetBytes(*entry.data);
+    spilled_ = false;
+  }
+
+  /// Serialized bytes whether resident or spilled (spill blobs are exactly
+  /// the serialized dataset).
+  uint64_t serialized_bytes() const { return serialized_bytes_; }
+
+  Status Spill() override {
+    FLINKLESS_CHECK(!spilled_ && entry.data != nullptr,
+                    "spilling a segment that is not resident");
+    had_join_index_ = !entry.join_index.empty();
+    had_groups_ = !entry.groups.empty();
+    FLINKLESS_RETURN_NOT_OK(
+        storage_->Write(key_, SerializePartitionedDataset(*entry.data)));
+    // Consumers still holding the shared_ptr keep their dataset; the cache
+    // just stops keeping it resident.
+    entry.data.reset();
+    entry.join_index.clear();
+    entry.groups.clear();
+    spilled_ = true;
+    return Status::OK();
+  }
+
+  Status Unspill() override {
+    FLINKLESS_CHECK(spilled_, "unspilling a resident segment");
+    FLINKLESS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                               storage_->Read(key_));
+    FLINKLESS_ASSIGN_OR_RETURN(PartitionedDataset ds,
+                               DeserializePartitionedDataset(blob));
+    storage_->Delete(key_);  // the blob only exists while spilled
+    auto data = std::make_shared<PartitionedDataset>(std::move(ds));
+    entry.data = data;
+    const int n = data->num_partitions();
+    if (had_join_index_) {
+      entry.join_index.assign(n, JoinIndex());
+      for (int p = 0; p < n; ++p) {
+        JoinIndex& index = entry.join_index[p];
+        const std::vector<Record>& part = data->partition(p);
+        index.reserve(part.size());
+        for (const Record& r : part) {
+          index[ExtractKey(r, entry.index_key)].push_back(&r);
+        }
+      }
+    }
+    if (had_groups_) {
+      entry.groups.assign(n, CachedGroups());
+      for (int p = 0; p < n; ++p) {
+        CachedGroups& groups = entry.groups[p];
+        const std::vector<Record>& part = data->partition(p);
+        groups.reserve(part.size());
+        for (const Record& r : part) {
+          groups[ExtractKey(r, entry.index_key)].push_back(r);
+        }
+      }
+    }
+    spilled_ = false;
+    return Status::OK();
+  }
+
+  /// Deletes the spill blob if one exists.
+  void DropBlob() {
+    if (spilled_) storage_->Delete(key_);
+  }
+
+  Entry entry;
+
+ private:
+  std::string key_;
+  runtime::StableStorage* storage_;
+  int partitions_;
+  uint64_t serialized_bytes_ = 0;
+  bool spilled_ = false;
+  bool had_join_index_ = false;
+  bool had_groups_ = false;
+};
+
+ExecCache::ExecCache(std::vector<std::string> volatile_bindings)
+    : volatile_bindings_(std::move(volatile_bindings)) {}
+
+ExecCache::~ExecCache() { Clear(); }
+
+void ExecCache::AttachMemoryManager(runtime::MemoryManager* manager,
+                                    runtime::StableStorage* storage,
+                                    const std::string& job_id) {
+  FLINKLESS_CHECK(manager != nullptr && storage != nullptr,
+                  "AttachMemoryManager needs a manager and a storage");
+  FLINKLESS_CHECK(entries_.empty(),
+                  "attach the memory manager before the first Execute");
+  manager_ = manager;
+  storage_ = storage;
+  spill_prefix_ = "spill/" + (job_id.empty() ? "job" : job_id) + "/";
+}
+
+ExecCache::Entry* ExecCache::Find(int node_id, Role role) {
+  auto it = entries_.find({node_id, static_cast<int>(role)});
+  return it != entries_.end() ? &it->second->entry : nullptr;
+}
+
+Result<ExecCache::Entry*> ExecCache::FindResident(int node_id, Role role,
+                                                  runtime::Tracer* tracer,
+                                                  bool* reloaded) {
+  if (reloaded != nullptr) *reloaded = false;
+  auto it = entries_.find({node_id, static_cast<int>(role)});
+  if (it == entries_.end()) return static_cast<Entry*>(nullptr);
+  Segment* seg = it->second.get();
+  if (manager_ != nullptr) {
+    FLINKLESS_RETURN_NOT_OK(manager_->Touch(seg, tracer, reloaded));
+    // An unspill may push residency back over budget; evict colder
+    // entries, never the one about to be consumed.
+    FLINKLESS_RETURN_NOT_OK(manager_->EnforceBudget(seg, tracer));
+  }
+  return &seg->entry;
+}
+
+ExecCache::Entry& ExecCache::Emplace(int node_id, Role role) {
+  const std::pair<int, int> key{node_id, static_cast<int>(role)};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Rebuild over a stale entry: its blob and registration go with it.
+    Release(it->second.get());
+    entries_.erase(it);
+  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "n%04d.r%d", node_id,
+                static_cast<int>(role));
+  auto seg = std::make_unique<Segment>(spill_prefix_ + suffix, storage_,
+                                       num_partitions_);
+  it = entries_.emplace(key, std::move(seg)).first;
+  ++builds_;
+  return it->second->entry;
+}
+
+Status ExecCache::OnEntryFilled(int node_id, Role role,
+                                runtime::Tracer* tracer) {
+  auto it = entries_.find({node_id, static_cast<int>(role)});
+  FLINKLESS_CHECK(it != entries_.end(), "OnEntryFilled without an entry");
+  Segment* seg = it->second.get();
+  seg->MeasureResident();
+  if (manager_ == nullptr) return Status::OK();
+  manager_->Register(seg);
+  // The just-built segment is exempt: the executor consumes it right after
+  // this call, and a lone artifact bigger than the whole budget must still
+  // be usable (the documented one-segment slack).
+  return manager_->EnforceBudget(seg, tracer);
+}
+
+uint64_t ExecCache::Release(Segment* segment) {
+  uint64_t bytes = segment->serialized_bytes();
+  if (manager_ != nullptr) manager_->Unregister(segment);
+  segment->DropBlob();
+  return bytes;
+}
+
+uint64_t ExecCache::Invalidate(const std::vector<int>& partitions) {
+  if (partitions.empty() || entries_.empty()) return 0;
+  uint64_t released = Clear();
+  ++invalidations_;
+  return released;
+}
+
+uint64_t ExecCache::Clear() {
+  uint64_t released = 0;
+  for (auto& [key, seg] : entries_) released += Release(seg.get());
+  entries_.clear();
+  return released;
+}
+
+}  // namespace flinkless::dataflow

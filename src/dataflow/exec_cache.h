@@ -15,13 +15,22 @@
 //  * the shuffled probe side of joins / the grouped side of cogroups whose
 //    other side is invariant (role kProbe).
 //
+// Memory budget (DESIGN.md §11): with a MemoryManager attached, every
+// entry is a SpillableSegment keyed "spill/<job>/n<node>.r<role>". When
+// residency exceeds the budget the manager spills LRU entries to
+// StableStorage (serialized datasets only — join indexes and groups hold
+// raw pointers into the cached records, so they are dropped and rebuilt
+// from the reloaded bytes on access). Residency is measured in serialized
+// bytes so budget decisions are platform-independent and deterministic.
+//
 // Lifetime: created before superstep 1, reused across supersteps and across
 // recovery. Invalidate(partitions) is called from the failure-injection
 // path; since every cached artifact is hash-partitioned, losing any
 // partition requires a full re-scatter from all sources, so invalidation
-// drops every entry and the next superstep rebuilds (and re-charges) them.
-// Entries are valid for one partition count — repartitioning invalidates
-// naturally via EnsurePartitionCount.
+// drops every entry — spilled ones included, deleting their blobs so
+// recovery re-pays the rebuild instead of reloading stale state. Entries
+// are valid for one partition count — repartitioning invalidates naturally
+// via EnsurePartitionCount.
 //
 // Threading: the cache is touched only from the executor's orchestration
 // thread; per-partition index builds write disjoint vector slots.
@@ -37,8 +46,16 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "dataflow/dataset.h"
 #include "dataflow/record.h"
+#include "runtime/memory_manager.h"
+
+namespace flinkless::runtime {
+class StableStorage;
+class Tracer;
+}  // namespace flinkless::runtime
 
 namespace flinkless::dataflow {
 
@@ -66,57 +83,88 @@ class ExecCache {
 
   struct Entry {
     /// The cached dataset (node output or shuffled join side). Consumers
-    /// hold the shared_ptr alive while referencing its records.
+    /// hold the shared_ptr alive while referencing its records — a spill
+    /// only drops the cache's reference, never a dataset in use.
     std::shared_ptr<const PartitionedDataset> data;
     /// kBuild on kJoin: per-partition index into `data`'s records.
     std::vector<JoinIndex> join_index;
     /// kBuild/kProbe on kCoGroup: per-partition groups of `data`.
     std::vector<CachedGroups> groups;
+    /// Key columns join_index/groups are built on. The executor sets this
+    /// at build time; a spilled entry rebuilds the structures from the
+    /// reloaded records with it.
+    KeyColumns index_key;
   };
 
   /// `volatile_bindings` names the source bindings rebound every superstep;
   /// everything derived from only the other bindings is loop-invariant.
-  explicit ExecCache(std::vector<std::string> volatile_bindings)
-      : volatile_bindings_(std::move(volatile_bindings)) {}
+  /// Defined out-of-line: member construction/destruction needs the
+  /// Segment definition, which only exec_cache.cc has.
+  explicit ExecCache(std::vector<std::string> volatile_bindings);
+
+  /// Dropping the cache deletes its spill blobs and unregisters every
+  /// segment from the attached manager.
+  ~ExecCache();
+
+  ExecCache(const ExecCache&) = delete;
+  ExecCache& operator=(const ExecCache&) = delete;
 
   const std::vector<std::string>& volatile_bindings() const {
     return volatile_bindings_;
   }
 
+  /// Puts the cache under `manager`'s budget: entries become spillable
+  /// segments writing to `storage` under "spill/<job_id>/". Neither
+  /// pointer is owned; both must outlive the cache. Call before the first
+  /// Execute.
+  void AttachMemoryManager(runtime::MemoryManager* manager,
+                           runtime::StableStorage* storage,
+                           const std::string& job_id);
+
+  runtime::MemoryManager* memory_manager() const { return manager_; }
+
   /// Entries are keyed per partition count: executing with a different
   /// count drops everything (a repartition invalidates every shuffle).
   void EnsurePartitionCount(int num_partitions) {
     if (num_partitions_ != num_partitions) {
-      entries_.clear();
+      Clear();
       num_partitions_ = num_partitions;
     }
   }
 
-  /// The entry for (node, role), or nullptr when not cached.
-  Entry* Find(int node_id, Role role) {
-    auto it = entries_.find({node_id, static_cast<int>(role)});
-    return it != entries_.end() ? &it->second : nullptr;
-  }
+  /// The entry for (node, role) regardless of residency, or nullptr when
+  /// not cached. A spilled entry has a null `data`; use FindResident on
+  /// paths that consume the records.
+  Entry* Find(int node_id, Role role);
 
-  /// Creates (or resets) the entry for (node, role).
-  Entry& Emplace(int node_id, Role role) {
-    Entry& e = entries_[{node_id, static_cast<int>(role)}];
-    e = Entry();
-    ++builds_;
-    return e;
-  }
+  /// Find + budget bookkeeping: marks the entry most-recently-used and
+  /// reloads it from storage when spilled (recording a "cache.unspill"
+  /// span on `tracer` and setting `*reloaded`). Returns nullptr on a
+  /// plain miss.
+  Result<Entry*> FindResident(int node_id, Role role,
+                              runtime::Tracer* tracer, bool* reloaded);
+
+  /// Creates (or resets) the entry for (node, role). A reset entry's spill
+  /// blob is deleted and its segment re-registered on fill.
+  Entry& Emplace(int node_id, Role role);
+
+  /// Budget hook: the executor calls this once the Emplace'd entry is
+  /// fully built. Measures residency, registers the segment with the
+  /// manager, and evicts LRU entries over budget (sparing this one —
+  /// that's the "one segment of slack").
+  Status OnEntryFilled(int node_id, Role role, runtime::Tracer* tracer);
 
   /// Failure hook: `partitions` of a worker were lost. Cached artifacts are
   /// hash-partitioned, so rebuilding any one partition needs a full
-  /// re-scatter from every source — drop all entries; the next superstep
-  /// rebuilds them from the (static) bindings.
-  void Invalidate(const std::vector<int>& partitions) {
-    if (partitions.empty() || entries_.empty()) return;
-    entries_.clear();
-    ++invalidations_;
-  }
+  /// re-scatter from every source — drop all entries, resident and spilled
+  /// alike (spill blobs are deleted so recovery cannot reload stale
+  /// state); the next superstep rebuilds them from the (static) bindings.
+  /// Returns the serialized bytes released (resident + spilled), so the
+  /// manager's accounting is verifiable against StableStorage::live_bytes.
+  uint64_t Invalidate(const std::vector<int>& partitions);
 
-  void Clear() { entries_.clear(); }
+  /// Drops everything (blobs included). Returns the bytes released.
+  uint64_t Clear();
 
   void CountHit() { ++hits_; }
 
@@ -126,10 +174,21 @@ class ExecCache {
   uint64_t invalidations() const { return invalidations_; }
 
  private:
+  /// The SpillableSegment wrapping one Entry; defined in exec_cache.cc.
+  struct Segment;
+
+  /// Unregisters the segment and deletes its spill blob; returns the
+  /// serialized bytes that vanish with it.
+  uint64_t Release(Segment* segment);
+
   std::vector<std::string> volatile_bindings_;
   int num_partitions_ = -1;
-  /// (node id, role) -> entry.
-  std::map<std::pair<int, int>, Entry> entries_;
+  runtime::MemoryManager* manager_ = nullptr;
+  runtime::StableStorage* storage_ = nullptr;
+  /// Spill key prefix: "spill/<job_id>/".
+  std::string spill_prefix_;
+  /// (node id, role) -> segment. std::map: deterministic iteration order.
+  std::map<std::pair<int, int>, std::unique_ptr<Segment>> entries_;
   uint64_t hits_ = 0;
   uint64_t builds_ = 0;
   uint64_t invalidations_ = 0;

@@ -357,8 +357,12 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
     bool store_output = false;
     if (cache != nullptr && node.kind != OpKind::kSource &&
         invariant[node.id]) {
-      if (ExecCache::Entry* e =
-              cache->Find(node.id, ExecCache::Role::kOutput)) {
+      bool reloaded = false;
+      FLINKLESS_ASSIGN_OR_RETURN(
+          ExecCache::Entry* e,
+          cache->FindResident(node.id, ExecCache::Role::kOutput,
+                              options_.tracer, &reloaded));
+      if (e != nullptr) {
         cache->CountHit();
         ++local_stats.cache_hits;
         switch (node.kind) {
@@ -377,7 +381,10 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             break;
         }
         push_cached(e->data);
-        if (op_span.active()) op_span.AddArg("cache_hit", 1);
+        if (op_span.active()) {
+          op_span.AddArg("cache_hit", 1);
+          op_span.AddArg("reloaded", reloaded ? 1 : 0);
+        }
         from_cache = true;
       } else {
         store_output = true;
@@ -575,8 +582,11 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             // Loop-invariant build side: shuffle + index it once; later
             // supersteps probe the prebuilt per-partition hash index,
             // whose entries reference the cached records directly.
-            ExecCache::Entry* e =
-                cache->Find(node.id, ExecCache::Role::kBuild);
+            bool reloaded = false;
+            FLINKLESS_ASSIGN_OR_RETURN(
+                ExecCache::Entry* e,
+                cache->FindResident(node.id, ExecCache::Role::kBuild,
+                                    options_.tracer, &reloaded));
             const bool hit = e != nullptr;
             if (!hit) {
               PartitionedDataset shuffled = Shuffle(
@@ -586,6 +596,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               auto data =
                   std::make_shared<PartitionedDataset>(std::move(shuffled));
               entry.data = data;
+              entry.index_key = node.left_key;
               entry.join_index.resize(n);
               ForEachPartition(n, [&](int p) {
                 JoinIndex& index = entry.join_index[p];
@@ -596,12 +607,17 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                 }
               });
               e = cache->Find(node.id, ExecCache::Role::kBuild);
+              FLINKLESS_RETURN_NOT_OK(cache->OnEntryFilled(
+                  node.id, ExecCache::Role::kBuild, options_.tracer));
               if (op_span.active()) op_span.AddArg("cache_build", 1);
             } else {
               cache->CountHit();
               ++local_stats.cache_hits;
               local_stats.records_not_reshuffled += e->data->NumRecords();
-              if (op_span.active()) op_span.AddArg("cache_hit", 1);
+              if (op_span.active()) {
+                op_span.AddArg("cache_hit", 1);
+                op_span.AddArg("reloaded", reloaded ? 1 : 0);
+              }
             }
             PartitionedDataset right = Shuffle(input_of(node.inputs[1]),
                                                node.right_key, &local_stats);
@@ -632,8 +648,11 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           if (probe_static) {
             // Loop-invariant probe side: its shuffle is cached; the hash
             // table still rebuilds from the changing build side.
-            ExecCache::Entry* e =
-                cache->Find(node.id, ExecCache::Role::kProbe);
+            bool reloaded = false;
+            FLINKLESS_ASSIGN_OR_RETURN(
+                ExecCache::Entry* e,
+                cache->FindResident(node.id, ExecCache::Role::kProbe,
+                                    options_.tracer, &reloaded));
             const bool hit = e != nullptr;
             if (!hit) {
               PartitionedDataset shuffled = Shuffle(
@@ -643,12 +662,17 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               entry.data =
                   std::make_shared<PartitionedDataset>(std::move(shuffled));
               e = cache->Find(node.id, ExecCache::Role::kProbe);
+              FLINKLESS_RETURN_NOT_OK(cache->OnEntryFilled(
+                  node.id, ExecCache::Role::kProbe, options_.tracer));
               if (op_span.active()) op_span.AddArg("cache_build", 1);
             } else {
               cache->CountHit();
               ++local_stats.cache_hits;
               local_stats.records_not_reshuffled += e->data->NumRecords();
-              if (op_span.active()) op_span.AddArg("cache_hit", 1);
+              if (op_span.active()) {
+                op_span.AddArg("cache_hit", 1);
+                op_span.AddArg("reloaded", reloaded ? 1 : 0);
+              }
             }
             const PartitionedDataset& right = *e->data;
             PartitionedDataset left = Shuffle(input_of(node.inputs[0]),
@@ -712,7 +736,11 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             const ExecCache::Role role = left_static
                                              ? ExecCache::Role::kBuild
                                              : ExecCache::Role::kProbe;
-            ExecCache::Entry* e = cache->Find(node.id, role);
+            bool reloaded = false;
+            FLINKLESS_ASSIGN_OR_RETURN(
+                ExecCache::Entry* e,
+                cache->FindResident(node.id, role, options_.tracer,
+                                    &reloaded));
             const bool hit = e != nullptr;
             if (!hit) {
               PartitionedDataset shuffled =
@@ -721,17 +749,23 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               auto data =
                   std::make_shared<PartitionedDataset>(std::move(shuffled));
               entry.data = data;
+              entry.index_key = static_key;
               entry.groups.resize(n);
               ForEachPartition(n, [&](int p) {
                 entry.groups[p] = GroupByKey(data->partition(p), static_key);
               });
               e = cache->Find(node.id, role);
+              FLINKLESS_RETURN_NOT_OK(
+                  cache->OnEntryFilled(node.id, role, options_.tracer));
               if (op_span.active()) op_span.AddArg("cache_build", 1);
             } else {
               cache->CountHit();
               ++local_stats.cache_hits;
               local_stats.records_not_reshuffled += e->data->NumRecords();
-              if (op_span.active()) op_span.AddArg("cache_hit", 1);
+              if (op_span.active()) {
+                op_span.AddArg("cache_hit", 1);
+                op_span.AddArg("reloaded", reloaded ? 1 : 0);
+              }
             }
             const int vol_in = left_static ? node.inputs[1] : node.inputs[0];
             const KeyColumns& vol_key =
@@ -889,6 +923,8 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         s.keepalive = shared;
         s.view = shared.get();
         s.is_owned = false;
+        FLINKLESS_RETURN_NOT_OK(cache->OnEntryFilled(
+            node.id, ExecCache::Role::kOutput, options_.tracer));
         if (op_span.active()) op_span.AddArg("cache_build", 1);
       }
     }

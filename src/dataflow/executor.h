@@ -96,6 +96,14 @@ struct ExecOptions {
   /// cache hits.
   ExecCache* cache = nullptr;
 
+  /// Byte budget for cached loop-invariant artifacts (0 = unlimited).
+  /// Enforced by the iteration drivers: when set (and a StableStorage is
+  /// available), the driver attaches a MemoryManager to its ExecCache and
+  /// LRU entries spill to storage once serialized residency exceeds the
+  /// budget (DESIGN.md §11). Outputs are byte-identical at any budget;
+  /// only the simulated I/O charges change.
+  uint64_t memory_budget_bytes = 0;
+
   /// Per-partition trace-arg verbosity (see TraceDetail).
   TraceDetail trace_detail = TraceDetail::kAuto;
 };

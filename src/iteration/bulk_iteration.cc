@@ -55,10 +55,19 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
   // Loop-invariant cache for this run: only the state binding changes
   // between supersteps, so everything derived purely from the static
   // bindings is shuffled/indexed once and reused (DESIGN.md §10).
+  // Budgeted residency for the cached artifacts (DESIGN.md §11): cold
+  // entries spill to the job's stable storage once serialized residency
+  // exceeds memory_budget_bytes. Attached even with an unlimited budget so
+  // peak residency is always measured (no spills happen then). Declared
+  // before the cache: the cache unregisters its segments on destruction.
+  runtime::MemoryManager memory(exec_options_.memory_budget_bytes);
   dataflow::ExecCache cache(std::vector<std::string>{config_.state_binding});
   dataflow::ExecOptions exec_opts = exec_options_;
   if (config_.cache_loop_invariant && exec_opts.cache == nullptr) {
     exec_opts.cache = &cache;
+  }
+  if (exec_opts.cache == &cache && env_.storage != nullptr) {
+    cache.AttachMemoryManager(&memory, env_.storage, env_.job_id);
   }
   dataflow::Executor executor(exec_opts);
 
@@ -124,6 +133,7 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
       }
     }
     runtime::WallTimer wall;
+    const runtime::MemoryManager::Stats mem_before = memory.stats();
 
     if (tracer != nullptr) tracer->set_iteration(iteration);
     runtime::TraceSpan iter_span(tracer, runtime::SpanKind::kIteration,
@@ -155,6 +165,11 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
       converged = config_.convergence(state.data(), next, &metric);
     }
     state.data() = std::move(next);
+
+    // Superstep boundary: no cached entry is in use any more, so enforce
+    // the budget with no exemption — cold artifacts (even the one touched
+    // last) spill now rather than occupying residency across supersteps.
+    FLINKLESS_RETURN_NOT_OK(memory.EnforceBudget(nullptr, tracer));
 
     runtime::IterationStats istats;
     istats.iteration = iteration;
@@ -191,8 +206,10 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
       for (int p : lost) state.ClearPartition(p);
       FLINKLESS_RETURN_NOT_OK(env_.cluster->ReassignToFreshWorkers(lost));
       // Cached artifacts are hash-partitioned: losing any partition means
-      // the fresh workers need a full re-scatter, so drop everything; the
-      // next superstep rebuilds from the (static) bindings.
+      // the fresh workers need a full re-scatter, so drop everything —
+      // spilled entries and their blobs included, so recovery re-pays the
+      // rebuild instead of reloading stale state; the next superstep
+      // rebuilds from the (static) bindings.
       if (exec_opts.cache != nullptr) exec_opts.cache->Invalidate(lost);
       runtime::TraceSpan comp_span(tracer, runtime::SpanKind::kCompensation,
                                    policy->name());
@@ -255,6 +272,11 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
             charges_before[c];
       }
     }
+    istats.spills = memory.stats().spills - mem_before.spills;
+    istats.unspills = memory.stats().unspills - mem_before.unspills;
+    istats.spilled_bytes =
+        memory.stats().spilled_bytes - mem_before.spilled_bytes;
+    istats.peak_resident_bytes = memory.stats().peak_resident_bytes;
     istats.wall_time_ns = wall.ElapsedNs();
     env_.metrics->RecordIteration(std::move(istats));
 

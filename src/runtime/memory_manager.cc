@@ -1,0 +1,101 @@
+#include "runtime/memory_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flinkless::runtime {
+
+MemoryManager::Slot* MemoryManager::FindSlot(
+    const SpillableSegment* segment) {
+  for (Slot& s : segments_) {
+    if (s.segment == segment) return &s;
+  }
+  return nullptr;
+}
+
+void MemoryManager::NotePeak() {
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, resident_bytes());
+}
+
+void MemoryManager::Register(SpillableSegment* segment) {
+  FLINKLESS_CHECK(segment != nullptr, "cannot register a null segment");
+  Slot* slot = FindSlot(segment);
+  if (slot == nullptr) {
+    segments_.push_back(Slot{segment, 0});
+    slot = &segments_.back();
+  }
+  slot->last_access = next_access_++;
+  NotePeak();
+}
+
+void MemoryManager::Unregister(SpillableSegment* segment) {
+  segments_.erase(
+      std::remove_if(segments_.begin(), segments_.end(),
+                     [&](const Slot& s) { return s.segment == segment; }),
+      segments_.end());
+}
+
+Status MemoryManager::Touch(SpillableSegment* segment, Tracer* tracer,
+                            bool* reloaded) {
+  Slot* slot = FindSlot(segment);
+  FLINKLESS_CHECK(slot != nullptr, "touched an unregistered segment");
+  slot->last_access = next_access_++;
+  if (reloaded != nullptr) *reloaded = false;
+  if (!segment->spilled()) return Status::OK();
+
+  TraceSpan span(tracer, SpanKind::kCacheUnspill, segment->spill_key());
+  FLINKLESS_RETURN_NOT_OK(segment->Unspill());
+  uint64_t bytes = segment->resident_bytes();
+  ++stats_.unspills;
+  stats_.unspilled_bytes += bytes;
+  NotePeak();
+  if (span.active()) {
+    span.AddArg("bytes", static_cast<int64_t>(bytes));
+    span.AddArg("partitions", segment->num_partitions());
+    span.AddArg("resident_after", static_cast<int64_t>(resident_bytes()));
+  }
+  if (reloaded != nullptr) *reloaded = true;
+  return Status::OK();
+}
+
+Status MemoryManager::EnforceBudget(const SpillableSegment* keep,
+                                    Tracer* tracer) {
+  if (budget_bytes_ == 0) return Status::OK();
+  while (resident_bytes() > budget_bytes_) {
+    // Deterministic LRU victim: smallest logical access time, spill_key as
+    // a defensive tie-break. The `keep` segment and already-spilled
+    // segments are not candidates.
+    Slot* victim = nullptr;
+    for (Slot& s : segments_) {
+      if (s.segment == keep || s.segment->spilled()) continue;
+      if (victim == nullptr || s.last_access < victim->last_access ||
+          (s.last_access == victim->last_access &&
+           s.segment->spill_key() < victim->segment->spill_key())) {
+        victim = &s;
+      }
+    }
+    if (victim == nullptr) break;  // only `keep` left — the slack segment
+    SpillableSegment* seg = victim->segment;
+    uint64_t bytes = seg->resident_bytes();
+    TraceSpan span(tracer, SpanKind::kCacheSpill, seg->spill_key());
+    FLINKLESS_RETURN_NOT_OK(seg->Spill());
+    ++stats_.spills;
+    stats_.spilled_bytes += bytes;
+    if (span.active()) {
+      span.AddArg("bytes", static_cast<int64_t>(bytes));
+      span.AddArg("partitions", seg->num_partitions());
+      span.AddArg("resident_after", static_cast<int64_t>(resident_bytes()));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MemoryManager::resident_bytes() const {
+  uint64_t total = 0;
+  for (const Slot& s : segments_) total += s.segment->resident_bytes();
+  return total;
+}
+
+}  // namespace flinkless::runtime

@@ -53,6 +53,17 @@ struct IterationStats {
   /// Wall-clock nanoseconds this iteration took.
   int64_t wall_time_ns = 0;
 
+  /// Budget evictions this iteration: cached artifacts written to stable
+  /// storage / reloaded from it, and the bytes the spills wrote. Zero
+  /// without a memory budget (see DESIGN.md §11).
+  uint64_t spills = 0;
+  uint64_t unspills = 0;
+  uint64_t spilled_bytes = 0;
+
+  /// High-water mark of cached-artifact residency at the end of this
+  /// iteration (absolute, not per-iteration; monotone over the run).
+  uint64_t peak_resident_bytes = 0;
+
   /// Algorithm-specific gauges ("converged_vertices", "l1_diff", ...).
   std::map<std::string, double> gauges;
 

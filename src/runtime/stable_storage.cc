@@ -12,7 +12,10 @@ Status StableStorage::Write(const std::string& key,
   }
   bytes_written_ += blob.size();
   ++num_writes_;
-  blobs_[key] = std::move(blob);
+  live_bytes_ += blob.size();
+  auto [it, inserted] = blobs_.try_emplace(key);
+  if (!inserted) live_bytes_ -= it->second.size();  // overwrite
+  it->second = std::move(blob);
   return Status::OK();
 }
 
@@ -31,12 +34,18 @@ Result<std::vector<uint8_t>> StableStorage::Read(
   return it->second;
 }
 
-void StableStorage::Delete(const std::string& key) { blobs_.erase(key); }
+void StableStorage::Delete(const std::string& key) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return;
+  live_bytes_ -= it->second.size();
+  blobs_.erase(it);
+}
 
 size_t StableStorage::DeleteWithPrefix(const std::string& prefix) {
   auto it = blobs_.lower_bound(prefix);
   size_t removed = 0;
   while (it != blobs_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    live_bytes_ -= it->second.size();
     it = blobs_.erase(it);
     ++removed;
   }
@@ -56,12 +65,6 @@ std::vector<std::string> StableStorage::ListWithPrefix(
     out.push_back(it->first);
   }
   return out;
-}
-
-uint64_t StableStorage::live_bytes() const {
-  uint64_t total = 0;
-  for (const auto& [key, blob] : blobs_) total += blob.size();
-  return total;
 }
 
 }  // namespace flinkless::runtime

@@ -54,8 +54,9 @@ class StableStorage {
   /// Number of Write() calls (== number of checkpoint syncs charged).
   uint64_t num_writes() const { return num_writes_; }
 
-  /// Bytes currently held live.
-  uint64_t live_bytes() const;
+  /// Bytes currently held live. O(1): a running counter maintained by
+  /// Write/Delete/DeleteWithPrefix (it sits on the hot spill path).
+  uint64_t live_bytes() const { return live_bytes_; }
 
  private:
   SimClock* clock_;
@@ -64,6 +65,7 @@ class StableStorage {
   uint64_t bytes_written_ = 0;
   mutable uint64_t bytes_read_ = 0;
   uint64_t num_writes_ = 0;
+  uint64_t live_bytes_ = 0;
 };
 
 }  // namespace flinkless::runtime

@@ -88,6 +88,10 @@ const char* SpanKindName(SpanKind kind) {
       return "checkpoint";
     case SpanKind::kCompensation:
       return "compensation";
+    case SpanKind::kCacheSpill:
+      return "cache.spill";
+    case SpanKind::kCacheUnspill:
+      return "cache.unspill";
   }
   return "?";
 }
@@ -411,6 +415,20 @@ TraceSummary TraceSummary::FromSnapshot(const Tracer::Snapshot& snapshot) {
     ++summary.span_events;
     if (e.category == SpanKindName(SpanKind::kIteration)) {
       ++summary.iteration_spans;
+    }
+    if (e.category == SpanKindName(SpanKind::kCacheSpill)) {
+      ++summary.spills;
+      summary.spilled_bytes += static_cast<uint64_t>(e.Arg("bytes"));
+      summary.peak_resident_bytes =
+          std::max(summary.peak_resident_bytes,
+                   static_cast<uint64_t>(e.Arg("resident_after")) +
+                       static_cast<uint64_t>(e.Arg("bytes")));
+    } else if (e.category == SpanKindName(SpanKind::kCacheUnspill)) {
+      ++summary.unspills;
+      summary.unspilled_bytes += static_cast<uint64_t>(e.Arg("bytes"));
+      summary.peak_resident_bytes =
+          std::max(summary.peak_resident_bytes,
+                   static_cast<uint64_t>(e.Arg("resident_after")));
     }
     if (e.category != SpanKindName(SpanKind::kOperator)) {
       // Shuffle phases attribute their messages to the enclosing operator.

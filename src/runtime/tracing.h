@@ -50,6 +50,8 @@ enum class SpanKind : int {
   kSolutionUpdate,     // partition-parallel solution-set delta application
   kCheckpoint,         // checkpoint I/O performed by a policy
   kCompensation,       // recovery action after a failure (OnFailure)
+  kCacheSpill,         // budget eviction: cached artifact written to storage
+  kCacheUnspill,       // spilled artifact read back and rebuilt on access
 };
 
 /// Stable category name of a span kind ("operator", "shuffle.scatter", ...).
@@ -328,6 +330,15 @@ struct TraceSummary {
   std::vector<std::pair<std::string, uint64_t>> instants;
   /// Iteration spans observed (= supersteps traced).
   uint64_t iteration_spans = 0;
+  /// Budget evictions observed ("cache.spill" spans) and their byte total.
+  uint64_t spills = 0;
+  uint64_t spilled_bytes = 0;
+  /// Spilled-artifact reloads ("cache.unspill" spans) and their byte total.
+  uint64_t unspills = 0;
+  uint64_t unspilled_bytes = 0;
+  /// Largest "resident_after" reported by a spill/unspill span — the peak
+  /// residency observed at spill boundaries (0 when nothing spilled).
+  uint64_t peak_resident_bytes = 0;
 
   static TraceSummary FromSnapshot(const Tracer::Snapshot& snapshot);
 

@@ -89,6 +89,52 @@ TEST(DatasetTest, SerializedSizeSumsPartitions) {
   EXPECT_GT(total, 0u);
 }
 
+TEST(DatasetSerdeTest, RoundTripPreservesEveryPartition) {
+  auto ds = PartitionedDataset::HashPartitioned(VertexRecords(200), {0}, 4);
+  std::vector<uint8_t> blob = SerializePartitionedDataset(ds);
+  EXPECT_EQ(blob.size(), SerializedDatasetBytes(ds));
+
+  auto back = DeserializePartitionedDataset(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_partitions(), ds.num_partitions());
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    EXPECT_EQ(back->partition(p), ds.partition(p)) << "partition " << p;
+  }
+}
+
+TEST(DatasetSerdeTest, RoundTripKeepsEmptyPartitions) {
+  PartitionedDataset ds(3);
+  ds.partition(1).push_back(MakeRecord(int64_t{7}, 3.5));
+  auto back = DeserializePartitionedDataset(SerializePartitionedDataset(ds));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_partitions(), 3);
+  EXPECT_TRUE(back->partition(0).empty());
+  EXPECT_EQ(back->partition(1), ds.partition(1));
+  EXPECT_TRUE(back->partition(2).empty());
+}
+
+TEST(DatasetSerdeTest, RejectsCorruptBlobs) {
+  auto ds = PartitionedDataset::HashPartitioned(VertexRecords(20), {0}, 2);
+  std::vector<uint8_t> blob = SerializePartitionedDataset(ds);
+
+  // Bad magic.
+  std::vector<uint8_t> bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializePartitionedDataset(bad_magic).ok());
+
+  // Truncated.
+  std::vector<uint8_t> truncated(blob.begin(), blob.end() - 3);
+  EXPECT_FALSE(DeserializePartitionedDataset(truncated).ok());
+
+  // Trailing garbage.
+  std::vector<uint8_t> trailing = blob;
+  trailing.push_back(0);
+  EXPECT_FALSE(DeserializePartitionedDataset(trailing).ok());
+
+  // Too short for even the header.
+  EXPECT_FALSE(DeserializePartitionedDataset({1, 2, 3}).ok());
+}
+
 TEST(DatasetTest, HashSpreadAcrossPartitions) {
   // With 1000 keys and 8 partitions, every partition should see records.
   auto ds = PartitionedDataset::HashPartitioned(VertexRecords(1000), {0}, 8);

@@ -17,7 +17,9 @@
 #include "dataflow/executor.h"
 #include "dataflow/plan.h"
 #include "runtime/cost_model.h"
+#include "runtime/memory_manager.h"
 #include "runtime/sim_clock.h"
+#include "runtime/stable_storage.h"
 #include "runtime/tracing.h"
 
 namespace flinkless {
@@ -449,6 +451,218 @@ TEST(ExecCacheTest, StreamingGatherBoundsOutboxPeak) {
   ASSERT_GT(serial_peak, 0);
   EXPECT_LT(serial_peak, 4000);          // never all sources at once
   EXPECT_EQ(serial_peak, peak_of(4));    // deterministic across threads
+}
+
+// ------------------------------------------- spill / memory budget (§11) --
+
+// Builds the per-partition hash index the executor builds for a cached
+// join build side, referencing the dataset's records in place.
+std::vector<dataflow::JoinIndex> BuildIndex(const PartitionedDataset& ds,
+                                            const dataflow::KeyColumns& key) {
+  std::vector<dataflow::JoinIndex> index(ds.num_partitions());
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    for (const Record& r : ds.partition(p)) {
+      index[p][dataflow::ExtractKey(r, key)].push_back(&r);
+    }
+  }
+  return index;
+}
+
+TEST(ExecCacheSpillTest, SpillRoundTripIsByteIdenticalAndRebuildsIndex) {
+  runtime::SimClock clock;
+  runtime::CostModel costs;
+  runtime::StableStorage storage(&clock, &costs);
+  runtime::MemoryManager manager(/*budget_bytes=*/1);
+  ExecCache cache({"volatile"});
+  cache.AttachMemoryManager(&manager, &storage, "test-job");
+  cache.EnsurePartitionCount(kParts);
+
+  auto ds = std::make_shared<PartitionedDataset>(Pairs(500, 32, /*salt=*/3));
+  ExecCache::Entry& entry = cache.Emplace(7, ExecCache::Role::kBuild);
+  entry.data = ds;
+  entry.index_key = {0};
+  entry.join_index = BuildIndex(*ds, {0});
+  ASSERT_TRUE(
+      cache.OnEntryFilled(7, ExecCache::Role::kBuild, nullptr).ok());
+
+  // The just-filled entry has the one-segment slack: resident over budget.
+  ASSERT_NE(cache.Find(7, ExecCache::Role::kBuild)->data, nullptr);
+  EXPECT_GT(manager.resident_bytes(), manager.budget_bytes());
+
+  // An unexempted pass pushes it out: resident state gone, blob written.
+  ASSERT_TRUE(manager.EnforceBudget(nullptr, nullptr).ok());
+  EXPECT_EQ(cache.Find(7, ExecCache::Role::kBuild)->data, nullptr);
+  EXPECT_TRUE(cache.Find(7, ExecCache::Role::kBuild)->join_index.empty());
+  EXPECT_GT(storage.live_bytes(), 0u);
+  EXPECT_EQ(manager.stats().spills, 1u);
+  const uint64_t io_after_spill = clock.Of(runtime::Charge::kCheckpointIo);
+  EXPECT_GT(io_after_spill, 0u);  // the spill write is charged
+
+  // Reload: byte-identical records, the index rebuilt over them.
+  bool reloaded = false;
+  auto e_or =
+      cache.FindResident(7, ExecCache::Role::kBuild, nullptr, &reloaded);
+  ASSERT_TRUE(e_or.ok()) << e_or.status().ToString();
+  ExecCache::Entry* e = *e_or;
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(reloaded);
+  ASSERT_NE(e->data, nullptr);
+  ExpectIdenticalDatasets(*e->data, *ds);
+  EXPECT_GT(clock.Of(runtime::Charge::kCheckpointIo), io_after_spill);
+
+  // The rebuilt index answers every probe like one built over the original.
+  auto fresh = BuildIndex(*ds, {0});
+  ASSERT_EQ(e->join_index.size(), fresh.size());
+  for (size_t p = 0; p < fresh.size(); ++p) {
+    SCOPED_TRACE("partition " + std::to_string(p));
+    ASSERT_EQ(e->join_index[p].size(), fresh[p].size());
+    for (const auto& [key, group] : fresh[p]) {
+      auto it = e->join_index[p].find(key);
+      ASSERT_NE(it, e->join_index[p].end());
+      ASSERT_EQ(it->second.size(), group.size());
+      for (size_t i = 0; i < group.size(); ++i) {
+        EXPECT_EQ(*it->second[i], *group[i]);  // same records, same order
+      }
+    }
+  }
+
+  // The blob only exists while the entry is spilled.
+  EXPECT_EQ(storage.live_bytes(), 0u);
+  EXPECT_EQ(manager.stats().unspills, 1u);
+}
+
+TEST(ExecCacheSpillTest, CachedGroupsSurviveTheRoundTrip) {
+  runtime::StableStorage storage(nullptr, nullptr);
+  runtime::MemoryManager manager(1);
+  ExecCache cache({"volatile"});
+  cache.AttachMemoryManager(&manager, &storage, "test-job");
+  cache.EnsurePartitionCount(kParts);
+
+  auto ds = std::make_shared<PartitionedDataset>(Pairs(300, 16, /*salt=*/9));
+  ExecCache::Entry& entry = cache.Emplace(2, ExecCache::Role::kProbe);
+  entry.data = ds;
+  entry.index_key = {0};
+  entry.groups.resize(kParts);
+  for (int p = 0; p < kParts; ++p) {
+    for (const Record& r : ds->partition(p)) {
+      entry.groups[p][dataflow::ExtractKey(r, {0})].push_back(r);
+    }
+  }
+  auto expected = entry.groups;
+  ASSERT_TRUE(
+      cache.OnEntryFilled(2, ExecCache::Role::kProbe, nullptr).ok());
+  ASSERT_TRUE(manager.EnforceBudget(nullptr, nullptr).ok());
+  ASSERT_TRUE(cache.Find(2, ExecCache::Role::kProbe)->groups.empty());
+
+  bool reloaded = false;
+  auto e_or =
+      cache.FindResident(2, ExecCache::Role::kProbe, nullptr, &reloaded);
+  ASSERT_TRUE(e_or.ok()) << e_or.status().ToString();
+  EXPECT_TRUE(reloaded);
+  EXPECT_EQ((*e_or)->groups, expected);
+}
+
+TEST(ExecCacheSpillTest, BudgetedSuperstepsAreByteIdenticalAndSpill) {
+  Plan plan = BuildStepPlan();
+  PartitionedDataset statics = Pairs(2000, 64, /*salt=*/0);
+  auto worksets = MakeWorksets(4);
+
+  auto run = [&](uint64_t budget, runtime::MemoryManager::Stats* stats_out) {
+    runtime::StableStorage storage(nullptr, nullptr);
+    runtime::MemoryManager manager(budget);
+    ExecCache cache({"volatile"});
+    cache.AttachMemoryManager(&manager, &storage, "sweep");
+    auto outs = RunSupersteps(plan, statics, worksets, &cache, nullptr);
+    if (stats_out != nullptr) *stats_out = manager.stats();
+    if (budget == 0) {
+      EXPECT_EQ(storage.live_bytes(), 0u);  // nothing spilled
+    }
+    return outs;
+  };
+
+  runtime::MemoryManager::Stats unlimited_stats, tiny_stats;
+  auto unlimited = run(0, &unlimited_stats);
+  auto tiny = run(1, &tiny_stats);
+
+  EXPECT_EQ(unlimited_stats.spills, 0u);
+  EXPECT_GT(unlimited_stats.peak_resident_bytes, 0u);
+  // Budget 1 with >= 2 cached artifacts: filling one evicts the other,
+  // and the next superstep's access reloads it — steady thrash.
+  EXPECT_GT(tiny_stats.spills, 0u);
+  EXPECT_GT(tiny_stats.unspills, 0u);
+  EXPECT_EQ(tiny_stats.peak_resident_bytes,
+            unlimited_stats.peak_resident_bytes);
+
+  ASSERT_EQ(unlimited.size(), tiny.size());
+  for (size_t s = 0; s < unlimited.size(); ++s) {
+    SCOPED_TRACE("superstep " + std::to_string(s));
+    ExpectIdenticalDatasets(unlimited[s], tiny[s]);
+  }
+}
+
+TEST(ExecCacheSpillTest, InvalidateDeletesSpillBlobs) {
+  runtime::StableStorage storage(nullptr, nullptr);
+  runtime::MemoryManager manager(1);
+  ExecCache cache({"volatile"});
+  cache.AttachMemoryManager(&manager, &storage, "test-job");
+  cache.EnsurePartitionCount(kParts);
+
+  auto ds = std::make_shared<PartitionedDataset>(Pairs(200, 16, /*salt=*/1));
+  cache.Emplace(0, ExecCache::Role::kOutput).data = ds;
+  ASSERT_TRUE(
+      cache.OnEntryFilled(0, ExecCache::Role::kOutput, nullptr).ok());
+  ASSERT_TRUE(manager.EnforceBudget(nullptr, nullptr).ok());
+  ASSERT_GT(storage.live_bytes(), 0u);
+
+  // A failure drops spilled entries *and* their blobs — recovery must
+  // rebuild from the sources, not reload stale state.
+  uint64_t released = cache.Invalidate({1});
+  EXPECT_GT(released, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(manager.num_segments(), 0u);
+  EXPECT_EQ(storage.live_bytes(), 0u);
+}
+
+TEST(ExecCacheSpillTest, SpillSpansAppearInTrace) {
+  runtime::Tracer tracer;
+  runtime::StableStorage storage(nullptr, nullptr);
+  runtime::MemoryManager manager(1);
+  ExecCache cache({"volatile"});
+  cache.AttachMemoryManager(&manager, &storage, "traced");
+  cache.EnsurePartitionCount(kParts);
+
+  auto ds = std::make_shared<PartitionedDataset>(Pairs(200, 16, /*salt=*/5));
+  cache.Emplace(4, ExecCache::Role::kOutput).data = ds;
+  ASSERT_TRUE(
+      cache.OnEntryFilled(4, ExecCache::Role::kOutput, &tracer).ok());
+  ASSERT_TRUE(manager.EnforceBudget(nullptr, &tracer).ok());
+  bool reloaded = false;
+  ASSERT_TRUE(
+      cache.FindResident(4, ExecCache::Role::kOutput, &tracer, &reloaded)
+          .ok());
+  ASSERT_TRUE(reloaded);
+
+  int spill_spans = 0, unspill_spans = 0;
+  auto snapshot = tracer.Flush();
+  for (const auto& e : snapshot.events) {
+    if (e.category == "cache.spill") {
+      ++spill_spans;
+      EXPECT_GT(e.Arg("bytes"), 0);
+      EXPECT_EQ(e.Arg("partitions"), kParts);
+    } else if (e.category == "cache.unspill") {
+      ++unspill_spans;
+      EXPECT_GT(e.Arg("bytes"), 0);
+    }
+  }
+  EXPECT_EQ(spill_spans, 1);
+  EXPECT_EQ(unspill_spans, 1);
+
+  // The summary aggregates them.
+  auto summary = runtime::TraceSummary::FromSnapshot(snapshot);
+  EXPECT_EQ(summary.spills, 1u);
+  EXPECT_EQ(summary.unspills, 1u);
+  EXPECT_GT(summary.spilled_bytes, 0u);
+  EXPECT_GT(summary.peak_resident_bytes, 0u);
 }
 
 }  // namespace

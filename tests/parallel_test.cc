@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <stdexcept>
@@ -241,10 +242,17 @@ struct AlgoRun {
   uint64_t pr_messages = 0;
   int64_t cc_sim_ns = 0;
   int64_t pr_sim_ns = 0;
+  uint64_t cc_spills = 0;
+  uint64_t pr_spills = 0;
+  uint64_t cc_unspills = 0;
+  uint64_t pr_unspills = 0;
+  uint64_t cc_peak_resident = 0;
+  uint64_t pr_peak_resident = 0;
 };
 
 AlgoRun RunBothAlgos(int num_threads, bool with_failures,
-                     bool cache_loop_invariant = true) {
+                     bool cache_loop_invariant = true,
+                     uint64_t memory_budget_bytes = 0) {
   AlgoRun out;
   Rng rng(2025);
   graph::Graph directed = graph::Rmat(9, 6, &rng);  // 512 vertices
@@ -254,6 +262,7 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures,
     runtime::SimClock clock;
     runtime::CostModel costs;
     runtime::MetricsRegistry metrics;
+    runtime::StableStorage storage(&clock, &costs);
     runtime::FailureSchedule failures(
         with_failures
             ? std::vector<runtime::FailureEvent>{{3, {1}}, {7, {0, 2}}}
@@ -263,6 +272,7 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures,
     env.costs = &costs;
     env.metrics = &metrics;
     env.failures = &failures;
+    env.storage = &storage;
     env.job_id = "det-pr";
 
     algos::PageRankOptions options;
@@ -270,6 +280,7 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures,
     options.num_threads = num_threads;
     options.max_iterations = 12;
     options.cache_loop_invariant = cache_loop_invariant;
+    options.memory_budget_bytes = memory_budget_bytes;
     algos::FixRanksCompensation fix(directed.num_vertices());
     core::OptimisticRecoveryPolicy policy(&fix);
     auto result = algos::RunPageRank(directed, options, env, &policy, nullptr);
@@ -279,7 +290,14 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures,
     out.pr_sim_ns = clock.TotalNs();
     for (const auto& it : metrics.iterations()) {
       out.pr_messages += it.messages_shuffled;
+      out.pr_spills += it.spills;
+      out.pr_unspills += it.unspills;
+      out.pr_peak_resident =
+          std::max(out.pr_peak_resident, it.peak_resident_bytes);
     }
+    // Spill blobs live only while an entry is out; at job end everything
+    // resident was dropped with the cache and every blob deleted with it.
+    EXPECT_EQ(storage.ListWithPrefix("spill/").size(), 0u);
   }
 
   // ---- Connected Components (delta iteration + FixComponents) ----
@@ -292,6 +310,7 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures,
     runtime::SimClock clock;
     runtime::CostModel costs;
     runtime::MetricsRegistry metrics;
+    runtime::StableStorage storage(&clock, &costs);
     runtime::FailureSchedule failures(
         with_failures ? std::vector<runtime::FailureEvent>{{2, {3}}}
                       : std::vector<runtime::FailureEvent>{});
@@ -300,12 +319,14 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures,
     env.costs = &costs;
     env.metrics = &metrics;
     env.failures = &failures;
+    env.storage = &storage;
     env.job_id = "det-cc";
 
     algos::ConnectedComponentsOptions options;
     options.num_partitions = 4;
     options.num_threads = num_threads;
     options.cache_loop_invariant = cache_loop_invariant;
+    options.memory_budget_bytes = memory_budget_bytes;
     algos::FixComponentsCompensation fix(&undirected);
     core::OptimisticRecoveryPolicy policy(&fix);
     auto result =
@@ -317,7 +338,12 @@ AlgoRun RunBothAlgos(int num_threads, bool with_failures,
     out.cc_sim_ns = clock.TotalNs();
     for (const auto& it : metrics.iterations()) {
       out.cc_messages += it.messages_shuffled;
+      out.cc_spills += it.spills;
+      out.cc_unspills += it.unspills;
+      out.cc_peak_resident =
+          std::max(out.cc_peak_resident, it.peak_resident_bytes);
     }
+    EXPECT_EQ(storage.ListWithPrefix("spill/").size(), 0u);
   }
   return out;
 }
@@ -388,6 +414,67 @@ TEST_P(AlgoDeterminismTest, CachingIsByteInvisibleUnderFailures) {
   EXPECT_EQ(cached.pr_messages, plain.pr_messages);
   EXPECT_LT(cached.cc_sim_ns, plain.cc_sim_ns);
   EXPECT_LT(cached.pr_sim_ns, plain.pr_sim_ns);
+}
+
+TEST_P(AlgoDeterminismTest, TinyBudgetSpillsStayByteInvisible) {
+  // DESIGN.md §11: a memory budget far below peak residency forces spills
+  // and reloads every superstep — through an injected failure that also
+  // invalidates spilled entries — yet labels, ranks, and superstep counts
+  // must be byte-identical to the unlimited run at every thread count.
+  constexpr uint64_t kTinyBudget = 1;
+  AlgoRun unlimited = RunBothAlgos(GetParam(), /*with_failures=*/true,
+                                   /*cache_loop_invariant=*/true,
+                                   /*memory_budget_bytes=*/0);
+  AlgoRun tiny = RunBothAlgos(GetParam(), /*with_failures=*/true,
+                              /*cache_loop_invariant=*/true, kTinyBudget);
+
+  // Results are a pure function of the data, never of the budget.
+  EXPECT_EQ(unlimited.cc_labels, tiny.cc_labels);
+  EXPECT_EQ(unlimited.pr_ranks, tiny.pr_ranks);
+  EXPECT_EQ(unlimited.cc_supersteps, tiny.cc_supersteps);
+  EXPECT_EQ(unlimited.pr_iterations, tiny.pr_iterations);
+  EXPECT_EQ(unlimited.cc_messages, tiny.cc_messages);
+  EXPECT_EQ(unlimited.pr_messages, tiny.pr_messages);
+
+  // The budget bites: the unlimited run never touches storage, the tiny
+  // one thrashes (and pays for it in simulated I/O).
+  EXPECT_EQ(unlimited.cc_spills, 0u);
+  EXPECT_EQ(unlimited.pr_spills, 0u);
+  EXPECT_GT(tiny.cc_spills, 0u);
+  EXPECT_GT(tiny.pr_spills, 0u);
+  EXPECT_GT(tiny.cc_unspills, 0u);
+  EXPECT_GT(tiny.pr_unspills, 0u);
+  EXPECT_GT(tiny.cc_sim_ns, unlimited.cc_sim_ns);
+  EXPECT_GT(tiny.pr_sim_ns, unlimited.pr_sim_ns);
+  // Peak residency is measured identically in both runs: the high-water
+  // mark comes from filling the artifacts, before any eviction pass.
+  EXPECT_EQ(unlimited.cc_peak_resident, tiny.cc_peak_resident);
+  EXPECT_EQ(unlimited.pr_peak_resident, tiny.pr_peak_resident);
+}
+
+TEST_P(AlgoDeterminismTest, BudgetedRunsMatchSerialExactly) {
+  // Per configuration (budget fixed), every observable — results, stats,
+  // spill counts, and the SimClock — is identical at any thread count:
+  // eviction order is logical-LRU, never wall time.
+  constexpr uint64_t kTinyBudget = 1;
+  AlgoRun serial = RunBothAlgos(1, /*with_failures=*/true,
+                                /*cache_loop_invariant=*/true, kTinyBudget);
+  AlgoRun parallel = RunBothAlgos(GetParam(), /*with_failures=*/true,
+                                  /*cache_loop_invariant=*/true, kTinyBudget);
+  EXPECT_EQ(serial.cc_labels, parallel.cc_labels);
+  EXPECT_EQ(serial.pr_ranks, parallel.pr_ranks);
+  EXPECT_EQ(serial.cc_supersteps, parallel.cc_supersteps);
+  EXPECT_EQ(serial.pr_iterations, parallel.pr_iterations);
+  EXPECT_EQ(serial.cc_messages, parallel.cc_messages);
+  EXPECT_EQ(serial.pr_messages, parallel.pr_messages);
+  EXPECT_EQ(serial.cc_spills, parallel.cc_spills);
+  EXPECT_EQ(serial.pr_spills, parallel.pr_spills);
+  EXPECT_EQ(serial.cc_unspills, parallel.cc_unspills);
+  EXPECT_EQ(serial.pr_unspills, parallel.pr_unspills);
+  EXPECT_EQ(serial.cc_peak_resident, parallel.cc_peak_resident);
+  EXPECT_EQ(serial.pr_peak_resident, parallel.pr_peak_resident);
+  EXPECT_EQ(serial.cc_sim_ns, parallel.cc_sim_ns);
+  EXPECT_EQ(serial.pr_sim_ns, parallel.pr_sim_ns);
 }
 
 TEST_P(AlgoDeterminismTest, RecoveredResultIsCorrect) {
