@@ -13,6 +13,7 @@
 #include "algos/datasets.h"
 #include "algos/pagerank.h"
 #include "bench_util.h"
+#include "common/flags.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -23,8 +24,21 @@
 
 using namespace flinkless;
 
-int main() {
+int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
+  FlagParser flags;
+  int64_t* scale = flags.Int64(
+      "scale", 14, "RMAT scale: 2^scale vertices, 8x that many edges");
+  bool* sweep_only = flags.Bool(
+      "sweep-only", false,
+      "run only the thread-count sweep (the CI perf-smoke subset)");
+  bool* batch = flags.Bool(
+      "batch", true,
+      "columnar batch execution in the thread sweep (false = record path)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s << "\n" << flags.Usage();
+    return 1;
+  }
   bench::Banner("C3",
                 "Large Twitter-like graph scenario: statistics-only "
                 "tracking of PageRank and Connected Components with "
@@ -32,12 +46,13 @@ int main() {
 
   const int parts = 8;
   Rng rng(2026);
-  graph::Graph g = graph::Rmat(14, 8, &rng);  // 16384 vertices, 131072 edges
-  std::cout << "graph: " << g.ToString() << " (RMAT scale 14, Graph500 "
-            << "skew; Twitter-snapshot substitute)\n\n";
+  // Default: 16384 vertices, 131072 edges.
+  graph::Graph g = graph::Rmat(static_cast<int>(*scale), 8, &rng);
+  std::cout << "graph: " << g.ToString() << " (RMAT scale " << *scale
+            << ", Graph500 skew; Twitter-snapshot substitute)\n\n";
 
   // ------------------------------------------------------------ PageRank --
-  {
+  if (!*sweep_only) {
     algos::PageRankOptions options;
     options.num_partitions = parts;
     options.max_iterations = 25;
@@ -80,7 +95,7 @@ int main() {
   }
 
   // ------------------------------------------------- Connected Components --
-  {
+  if (!*sweep_only) {
     auto truth = graph::ReferenceConnectedComponents(cc_graph);
 
     algos::ConnectedComponentsOptions options;
@@ -137,6 +152,7 @@ int main() {
         options.num_partitions = parts;
         options.max_iterations = 25;
         options.num_threads = threads;
+        options.columnar_batch = *batch;
         bench::JobHarness harness("c3-pr-t" + std::to_string(threads));
         harness.SetFailures(runtime::FailureSchedule(
             std::vector<runtime::FailureEvent>{{8, {3}}, {16, {5}}}));
@@ -162,6 +178,7 @@ int main() {
         report.AddEntry()
             .Set("algo", "pagerank")
             .Set("num_threads", threads)
+            .Set("columnar_batch", *batch)
             .Set("wall_ms", wall_ms)
             .Set("sim_ms", harness.clock().TotalMs())
             .Set("iterations", result->iterations)
@@ -173,6 +190,7 @@ int main() {
         algos::ConnectedComponentsOptions options;
         options.num_partitions = parts;
         options.num_threads = threads;
+        options.columnar_batch = *batch;
         bench::JobHarness harness("c3-cc-t" + std::to_string(threads));
         harness.SetFailures(runtime::FailureSchedule(
             std::vector<runtime::FailureEvent>{{3, {1}}}));
@@ -198,6 +216,7 @@ int main() {
         report.AddEntry()
             .Set("algo", "connected-components")
             .Set("num_threads", threads)
+            .Set("columnar_batch", *batch)
             .Set("wall_ms", wall_ms)
             .Set("sim_ms", harness.clock().TotalMs())
             .Set("iterations", result->iterations)
@@ -267,7 +286,7 @@ int main() {
   // in simulated time per superstep — the static side (links, dangling,
   // edges) is shuffled and index-built once per job instead of once per
   // superstep.
-  {
+  if (!*sweep_only) {
     std::cout << "Loop-invariant cache sweep (cache off vs on)\n";
     bench::JsonReport report("C3-cache");
     TablePrinter table({"algo", "cache", "wall_ms", "sim_ms",
@@ -374,7 +393,7 @@ int main() {
   // bit-for-bit at every budget; the cost of the thrash shows up in
   // simulated checkpoint I/O per superstep, reported per iteration in
   // BENCH_spill.json together with the spilled bytes.
-  {
+  if (!*sweep_only) {
     std::cout << "Memory-budget spill sweep (unlimited vs 50% vs 10% of "
                  "peak residency)\n";
     bench::JsonReport report("C3-spill");

@@ -5,11 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "algos/connected_components.h"
 #include "algos/datasets.h"
 #include "algos/pagerank.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "dataflow/columnar.h"
 #include "dataflow/exec_cache.h"
 #include "dataflow/executor.h"
 #include "graph/generators.h"
@@ -160,6 +163,81 @@ BENCHMARK(BM_JoinStaticBuildSide)
     ->Args({1 << 10, 1})
     ->Args({1 << 13, 0})
     ->Args({1 << 13, 1});
+
+void BM_ShuffleSerdeRecord(benchmark::State& state) {
+  // Record-path spill serde twin of BM_ShuffleSerdeColumnar: the per-record
+  // tagged framing a v1 dataset blob holds, over the same data.
+  auto ds = RandomPairs(state.range(0), state.range(0), 4, 10);
+  for (auto _ : state) {
+    for (int p = 0; p < ds.num_partitions(); ++p) {
+      auto bytes = dataflow::SerializeRecords(ds.partition(p));
+      auto back = dataflow::DeserializeRecords(bytes);
+      benchmark::DoNotOptimize(back);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShuffleSerdeRecord)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ShuffleSerdeColumnar(benchmark::State& state) {
+  // Columnar spill serde (v2 blobs): whole-column writes per partition
+  // block instead of one tag+payload per value.
+  auto ds = RandomPairs(state.range(0), state.range(0), 4, 10);
+  for (auto _ : state) {
+    auto blob = dataflow::SerializePartitionedDataset(ds);
+    auto back = dataflow::DeserializePartitionedDataset(blob);
+    FLINKLESS_CHECK(back.ok(), "columnar round-trip failed");
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShuffleSerdeColumnar)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_JoinProbeRecord(benchmark::State& state) {
+  // Record-path join core: map of materialized keys to record-pointer
+  // chains, probed with a freshly extracted key per record.
+  auto build = RandomPairs(state.range(0), state.range(0) / 2, 1, 11);
+  auto probe = RandomPairs(state.range(0), state.range(0) / 2, 1, 12);
+  const std::vector<Record>& rows = build.partition(0);
+  for (auto _ : state) {
+    std::unordered_map<Record, std::vector<const Record*>,
+                       dataflow::RecordHash>
+        index;
+    index.reserve(rows.size());
+    for (const Record& r : rows) {
+      index[dataflow::ExtractKey(r, {0})].push_back(&r);
+    }
+    uint64_t matches = 0;
+    for (const Record& r : probe.partition(0)) {
+      auto it = index.find(dataflow::ExtractKey(r, {0}));
+      if (it == index.end()) continue;
+      matches += it->second.size();
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_JoinProbeRecord)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_JoinProbeColumnar(benchmark::State& state) {
+  // Columnar join core: flat open-addressing index keyed directly off the
+  // key column — no per-record key materialization or map nodes.
+  auto build = RandomPairs(state.range(0), state.range(0) / 2, 1, 11);
+  auto probe = RandomPairs(state.range(0), state.range(0) / 2, 1, 12);
+  const std::vector<Record>& rows = build.partition(0);
+  for (auto _ : state) {
+    dataflow::FlatKeyIndex index;
+    index.Build(rows, {0});
+    uint64_t matches = 0;
+    for (const Record& r : probe.partition(0)) {
+      int32_t row = index.FindFirst(r, {0}, dataflow::HashKey(r, {0}));
+      for (; row >= 0; row = index.Next(row)) ++matches;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_JoinProbeColumnar)->Arg(1 << 10)->Arg(1 << 14);
 
 void BM_RecordSerialization(benchmark::State& state) {
   std::vector<Record> records;

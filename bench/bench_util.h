@@ -27,6 +27,7 @@
 #include "runtime/metrics.h"
 #include "runtime/sim_clock.h"
 #include "runtime/stable_storage.h"
+#include "runtime/thread_pool.h"
 #include "runtime/tracing.h"
 
 namespace flinkless::bench {
@@ -161,6 +162,18 @@ class JsonReport {
   explicit JsonReport(std::string experiment_id)
       : experiment_id_(std::move(experiment_id)) {}
 
+// Build provenance, injected per-target by bench/CMakeLists.txt; the
+// fallbacks keep the header usable from translation units without them.
+#ifndef FLINKLESS_GIT_SHA
+#define FLINKLESS_GIT_SHA "unknown"
+#endif
+#ifndef FLINKLESS_BUILD_TYPE
+#define FLINKLESS_BUILD_TYPE "unknown"
+#endif
+#ifndef FLINKLESS_COMPILER
+#define FLINKLESS_COMPILER "unknown"
+#endif
+
   /// Appends a new entry; populate it with chained Set calls. The returned
   /// reference is invalidated by the next AddEntry.
   Entry& AddEntry() {
@@ -170,7 +183,12 @@ class JsonReport {
 
   void Serialize(std::ostream& out) const {
     out << "{\n  \"experiment\": " << Entry::Quote(experiment_id_)
-        << ",\n  \"entries\": [\n";
+        << ",\n  \"build\": {"
+        << "\"git_sha\": " << Entry::Quote(FLINKLESS_GIT_SHA) << ", "
+        << "\"build_type\": " << Entry::Quote(FLINKLESS_BUILD_TYPE) << ", "
+        << "\"compiler\": " << Entry::Quote(FLINKLESS_COMPILER) << ", "
+        << "\"hardware_concurrency\": "
+        << runtime::ThreadPool::HardwareConcurrency() << "},\n  \"entries\": [\n";
     for (size_t i = 0; i < entries_.size(); ++i) {
       out << "    {";
       const auto& fields = entries_[i].fields_;

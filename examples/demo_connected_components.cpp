@@ -16,6 +16,7 @@
 //        --partitions=N, --threads=N, --delay-ms=N, --interactive,
 //        --no-color, --strategy=optimistic|rollback|restart,
 //        --cache=true|false,
+//        --batch=true|false (columnar vs record-at-a-time execution),
 //        --mem-budget=BYTES (spill cached artifacts beyond this)
 
 #include <algorithm>
@@ -107,6 +108,10 @@ int main(int argc, char** argv) {
       "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
   bool* cache = flags.Bool(
       "cache", true, "reuse loop-invariant shuffles/indexes across supersteps");
+  bool* batch = flags.Bool(
+      "batch", true,
+      "columnar batch execution on the shuffle/join/reduce hot path "
+      "(false = record-at-a-time; results are byte-identical)");
   int64_t* mem_budget = flags.Int64(
       "mem-budget", 0,
       "byte budget for cached artifacts; cold entries spill to stable "
@@ -170,6 +175,7 @@ int main(int argc, char** argv) {
   options.num_threads = static_cast<int>(*threads);
   options.trace_path = *trace_path;
   options.cache_loop_invariant = *cache;
+  options.columnar_batch = *batch;
   if (*mem_budget > 0) {
     options.memory_budget_bytes = static_cast<uint64_t>(*mem_budget);
   }

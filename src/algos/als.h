@@ -65,6 +65,10 @@ struct AlsOptions {
   int num_partitions = 4;
   /// Executor worker threads (1 = serial, 0 = hardware concurrency).
   int num_threads = 1;
+  /// Columnar batch execution for the shuffle/join/reduce hot path
+  /// (ExecOptions::use_columnar). Off = record-at-a-time, for A/B runs;
+  /// results are byte-identical either way.
+  bool columnar_batch = true;
   int max_iterations = 30;
   /// Converged when no factor entry moved more than this between
   /// supersteps.

@@ -276,6 +276,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsWithSnapshots(
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
   exec.num_threads = options.num_threads;
+  exec.use_columnar = options.columnar_batch;
   exec.clock = env.clock;
   exec.costs = env.costs;
   exec.tracer = env.tracer;
@@ -370,6 +371,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
   exec.num_threads = options.num_threads;
+  exec.use_columnar = options.columnar_batch;
   exec.clock = env.clock;
   exec.costs = env.costs;
   exec.tracer = env.tracer;

@@ -23,6 +23,10 @@ struct PageRankOptions {
   int num_partitions = 4;
   /// Executor worker threads (1 = serial, 0 = hardware concurrency).
   int num_threads = 1;
+  /// Columnar batch execution for the shuffle/join/reduce hot path
+  /// (ExecOptions::use_columnar). Off = record-at-a-time, for A/B runs;
+  /// results are byte-identical either way.
+  bool columnar_batch = true;
   int max_iterations = 100;
   /// Damping factor d: next = (1-d)/n + d * (contributions + dangling/n).
   double damping = 0.85;

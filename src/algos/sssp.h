@@ -50,6 +50,10 @@ struct SsspOptions {
   int num_partitions = 4;
   /// Executor worker threads (1 = serial, 0 = hardware concurrency).
   int num_threads = 1;
+  /// Columnar batch execution for the shuffle/join/reduce hot path
+  /// (ExecOptions::use_columnar). Off = record-at-a-time, for A/B runs;
+  /// results are byte-identical either way.
+  bool columnar_batch = true;
   int max_iterations = 1000;
   /// When non-empty, trace the run and write the file here on return
   /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).

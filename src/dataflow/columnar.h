@@ -1,0 +1,173 @@
+// Columnar batch execution support (DESIGN.md §12).
+//
+// Record-at-a-time execution over boxed Value variants is what kept the
+// thread-sweep curve flat: every ExtractKey allocates a Record, every
+// unordered_map insert allocates a node, and every spill blob frames each
+// record separately. This header is the batch-side replacement:
+//
+//  * ColumnarBatch — per-partition contiguous typed arrays (int64_t/double
+//    columns plus an arena/offset layout for strings) with schema-driven
+//    construction from and conversion back to the Record API. Used as the
+//    storage representation of spill blobs (dataset serde v2) and as the
+//    round-trip bridge the tests pin down; the Record view remains the
+//    fallback for UDF-style operators.
+//  * FlatKeyIndex — an open-addressing hash index over a partition's rows,
+//    keyed on key columns in place (no ExtractKey allocation, no map
+//    nodes). Groups are arrival-order chains of row ids, so probing yields
+//    exactly the record order the legacy JoinIndex / GroupByKey paths
+//    produced — byte-identity with the record path is structural, not
+//    incidental.
+//
+// Determinism: every structure here is a pure function of the input rows
+// (hash seeds are fixed, insertion order is partition order), so outputs
+// are identical at any thread count — threads only decide which partition's
+// index is built when.
+
+#ifndef FLINKLESS_DATAFLOW_COLUMNAR_H_
+#define FLINKLESS_DATAFLOW_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/record.h"
+
+namespace flinkless::dataflow {
+
+/// Type-only schema of a columnar batch: the per-column ValueType tags.
+/// (The named Schema in schema.h describes sources for humans; batches only
+/// need the layout.)
+using BatchSchema = std::vector<ValueType>;
+
+/// Infers the common schema of `records`: true when every record has the
+/// same arity and per-column types (vacuously true for an empty vector,
+/// which yields an empty schema). On false, *schema is unspecified.
+bool InferBatchSchema(const std::vector<Record>& records, BatchSchema* schema);
+
+/// One partition's records as contiguous typed columns. Fixed-width columns
+/// are flat int64_t/double arrays; string columns are a byte arena plus a
+/// (rows + 1)-entry offset array.
+class ColumnarBatch {
+ public:
+  ColumnarBatch() = default;
+
+  /// An empty batch with the given layout (for AppendRow filling).
+  explicit ColumnarBatch(BatchSchema schema);
+
+  /// Converts `records` into a batch. Returns false when the records do not
+  /// share one schema (the caller falls back to the record path).
+  static bool FromRecords(const std::vector<Record>& records,
+                          ColumnarBatch* out);
+
+  /// Converts `records` whose schema the caller has already verified (e.g.
+  /// via a dataset-wide InferBatchSchema pass) — one row-major pass, no
+  /// re-validation in release builds.
+  static ColumnarBatch FromRecordsUnchecked(const std::vector<Record>& records,
+                                            BatchSchema schema);
+
+  /// Appends one row; the record must match the schema (checked).
+  void AppendRow(const Record& record);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.size(); }
+  const BatchSchema& schema() const { return schema_; }
+
+  /// Materializes row `row` as a Record (the UDF fallback view).
+  Record RowAsRecord(size_t row) const;
+
+  /// Materializes every row, in order.
+  std::vector<Record> ToRecords() const;
+
+  const std::vector<int64_t>& Int64Column(size_t col) const;
+  const std::vector<double>& DoubleColumn(size_t col) const;
+  std::string_view StringAt(size_t col, size_t row) const;
+
+  /// Hash of row `row` projected onto `key`; bit-identical to
+  /// HashKey(RowAsRecord(row), key).
+  uint64_t HashRowKey(size_t row, const KeyColumns& key) const;
+
+  /// Appends the serialized batch ([u64 rows] then whole-column payloads;
+  /// the schema travels separately — see dataset serde v2).
+  void SerializeTo(std::vector<uint8_t>* out) const;
+
+  /// Reads one batch with layout `schema` starting at *offset, advancing
+  /// it. Fails cleanly on truncated or corrupt input.
+  static Result<ColumnarBatch> Deserialize(const std::vector<uint8_t>& bytes,
+                                           size_t* offset,
+                                           const BatchSchema& schema);
+
+  /// Exact byte size SerializeTo would append.
+  uint64_t SerializedBytes() const;
+
+  friend bool operator==(const ColumnarBatch& a, const ColumnarBatch& b);
+
+ private:
+  struct Column {
+    std::vector<int64_t> i64;       // kInt64 payload
+    std::vector<double> f64;        // kDouble payload
+    std::vector<uint32_t> offsets;  // kString: rows + 1 offsets into arena
+    std::string arena;              // kString: concatenated bytes
+  };
+
+  BatchSchema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Per-partition open-addressing hash index over a vector of records, keyed
+/// on `key` columns in place. Replaces the unordered_map<Record, ...>
+/// JoinIndex/GroupMap structures on the batch path: power-of-two capacity,
+/// linear probing, cached per-row key hashes, and arrival-order group
+/// chains of row ids — zero allocation per probe, one allocation per array
+/// at build.
+///
+/// Lifetime: the index borrows `rows`; it must not outlive or observe
+/// mutation of them (same discipline as the legacy JoinIndex's record
+/// pointers).
+class FlatKeyIndex {
+ public:
+  /// Indexes `rows` on `key`. Rebuilding over an old index reuses storage.
+  void Build(const std::vector<Record>& rows, const KeyColumns& key);
+
+  /// First row (in arrival order) whose key equals `probe`'s projection
+  /// onto `probe_key`, or -1. `probe_hash` must be
+  /// HashKey(probe, probe_key) — callers hoist it so cached hashes are
+  /// compared before any value comparison.
+  int32_t FindFirst(const Record& probe, const KeyColumns& probe_key,
+                    uint64_t probe_hash) const;
+
+  /// Next row of the same group in arrival order, or -1 at the end.
+  int32_t Next(int32_t row) const { return next_[row]; }
+
+  /// One row id per distinct key, in first-arrival order — the batch-path
+  /// equivalent of iterating GroupByKey's map (before key sorting).
+  const std::vector<int32_t>& heads() const { return heads_; }
+
+  /// Cached HashKey of each indexed row.
+  const std::vector<uint64_t>& row_hashes() const { return hash_; }
+
+  size_t num_rows() const { return hash_.size(); }
+  size_t num_groups() const { return heads_.size(); }
+
+ private:
+  const std::vector<Record>* rows_ = nullptr;
+  KeyColumns key_;
+  std::vector<uint64_t> hash_;     // per row: HashKey(rows[i], key)
+  std::vector<int32_t> next_;      // per row: next row of the group, or -1
+  std::vector<int32_t> tail_;      // per head row: last row of the group
+  std::vector<int32_t> heads_;     // group head rows, first-arrival order
+  std::vector<int32_t> buckets_;   // open-addressing table of head rows
+  uint64_t mask_ = 0;              // buckets_.size() - 1 (power of two)
+
+  /// Single-column int64 fast path: the key values, flat. Empty when the
+  /// key is multi-column or any row's key column is not int64.
+  std::vector<int64_t> key64_;
+  bool use_key64_ = false;
+};
+
+}  // namespace flinkless::dataflow
+
+#endif  // FLINKLESS_DATAFLOW_COLUMNAR_H_

@@ -75,10 +75,12 @@ class PartitionedDataset {
 };
 
 /// Frames a whole dataset into one blob — the spill format of cached
-/// execution artifacts (DESIGN.md §11), following the checkpoint blob
-/// conventions of core/policies: a magic u64 first ("FLKDST1\0",
-/// little-endian), then the partition count, then per partition the same
-/// [u64 record count][records...] encoding checkpoints use (record.h).
+/// execution artifacts (DESIGN.md §11). Schema-homogeneous datasets use
+/// the columnar v2 format ("FLKCOL1\0" magic: one schema, then whole-column
+/// payloads per partition — DESIGN.md §12); heterogeneous ones fall back to
+/// v1 ("FLKDST1\0" magic: per partition the same [u64 record
+/// count][records...] encoding checkpoints use, record.h). Deserialization
+/// reads both.
 std::vector<uint8_t> SerializePartitionedDataset(const PartitionedDataset& ds);
 
 /// Inverse of SerializePartitionedDataset; fails cleanly on a bad magic,

@@ -38,13 +38,16 @@ struct ExecCache::Segment : public runtime::SpillableSegment {
     FLINKLESS_CHECK(!spilled_ && entry.data != nullptr,
                     "spilling a segment that is not resident");
     had_join_index_ = !entry.join_index.empty();
+    had_flat_index_ = !entry.flat_index.empty();
     had_groups_ = !entry.groups.empty();
     FLINKLESS_RETURN_NOT_OK(
         storage_->Write(key_, SerializePartitionedDataset(*entry.data)));
     // Consumers still holding the shared_ptr keep their dataset; the cache
-    // just stops keeping it resident.
+    // just stops keeping it resident. The flat index borrows the dataset's
+    // records, so it must go with them.
     entry.data.reset();
     entry.join_index.clear();
+    entry.flat_index.clear();
     entry.groups.clear();
     spilled_ = true;
     return Status::OK();
@@ -69,6 +72,12 @@ struct ExecCache::Segment : public runtime::SpillableSegment {
         for (const Record& r : part) {
           index[ExtractKey(r, entry.index_key)].push_back(&r);
         }
+      }
+    }
+    if (had_flat_index_) {
+      entry.flat_index.assign(n, FlatKeyIndex());
+      for (int p = 0; p < n; ++p) {
+        entry.flat_index[p].Build(data->partition(p), entry.index_key);
       }
     }
     if (had_groups_) {
@@ -100,6 +109,7 @@ struct ExecCache::Segment : public runtime::SpillableSegment {
   uint64_t serialized_bytes_ = 0;
   bool spilled_ = false;
   bool had_join_index_ = false;
+  bool had_flat_index_ = false;
   bool had_groups_ = false;
 };
 

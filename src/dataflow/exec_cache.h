@@ -48,6 +48,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "dataflow/columnar.h"
 #include "dataflow/dataset.h"
 #include "dataflow/record.h"
 #include "runtime/memory_manager.h"
@@ -86,8 +87,14 @@ class ExecCache {
     /// hold the shared_ptr alive while referencing its records — a spill
     /// only drops the cache's reference, never a dataset in use.
     std::shared_ptr<const PartitionedDataset> data;
-    /// kBuild on kJoin: per-partition index into `data`'s records.
+    /// kBuild on kJoin, record path: per-partition index into `data`'s
+    /// records.
     std::vector<JoinIndex> join_index;
+    /// kBuild on kJoin, batch path (DESIGN.md §12): per-partition flat
+    /// open-addressing index over `data`'s records — no per-record Value
+    /// hashing or map nodes. Only one of join_index/flat_index is built,
+    /// depending on ExecOptions::use_columnar.
+    std::vector<FlatKeyIndex> flat_index;
     /// kBuild/kProbe on kCoGroup: per-partition groups of `data`.
     std::vector<CachedGroups> groups;
     /// Key columns join_index/groups are built on. The executor sets this

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "dataflow/columnar.h"
 #include "dataflow/exec_cache.h"
 
 namespace flinkless::dataflow {
@@ -40,6 +41,111 @@ std::vector<const Record*> SortedKeys(const GroupMap& groups) {
   std::sort(keys.begin(), keys.end(),
             [](const Record* a, const Record* b) { return RecordLess(*a, *b); });
   return keys;
+}
+
+// ------------------------------------------------ batch path (§12) ------
+//
+// The batch implementations below replace the unordered_map/unordered_set
+// structures of the record path with flat open-addressing tables keyed on
+// columns in place. Grouping, fold order, and sorted-key emission are
+// structurally identical to the record path, so outputs stay byte-identical
+// — the only thing that changes is the per-record allocation count (zero).
+
+/// Open-addressing key -> dense-slot resolver. Slots are handed out in
+/// first-arrival order; the caller owns the per-slot payload (accumulator
+/// records, emitted rows) and supplies the equality predicate against it.
+class FlatSlotMap {
+ public:
+  explicit FlatSlotMap(size_t expected) {
+    size_t cap = 16;
+    while (cap < 2 * expected) cap <<= 1;
+    table_.assign(cap, -1);
+    mask_ = cap - 1;
+    hashes_.reserve(expected);
+  }
+
+  /// Slot of the key with hash `h` and equality `eq(slot)`, inserting the
+  /// next dense slot when absent (*inserted). After an insert the caller
+  /// must append the matching payload so eq can see it on later probes.
+  template <typename Eq>
+  int32_t FindOrInsert(uint64_t h, const Eq& eq, bool* inserted) {
+    if ((size_ + 1) * 2 > table_.size()) Grow();
+    uint64_t b = h & mask_;
+    for (;;) {
+      const int32_t slot = table_[b];
+      if (slot < 0) {
+        table_[b] = static_cast<int32_t>(size_);
+        hashes_.push_back(h);
+        *inserted = true;
+        return static_cast<int32_t>(size_++);
+      }
+      if (hashes_[slot] == h && eq(slot)) {
+        *inserted = false;
+        return slot;
+      }
+      b = (b + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  void Grow() {
+    const size_t cap = table_.size() * 2;
+    table_.assign(cap, -1);
+    mask_ = cap - 1;
+    for (size_t s = 0; s < size_; ++s) {
+      uint64_t b = hashes_[s] & mask_;
+      while (table_[b] >= 0) b = (b + 1) & mask_;
+      table_[b] = static_cast<int32_t>(s);
+    }
+  }
+
+  std::vector<int32_t> table_;
+  std::vector<uint64_t> hashes_;
+  uint64_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// Batch-path reduce of one partition: accumulate in first-arrival order
+/// through a FlatSlotMap, then emit accumulators sorted on their key
+/// columns — the same fold order and emission order as the record path's
+/// try_emplace + sorted-ExtractKey sweep. `validate` enforces the
+/// combiner-keeps-the-key contract (post-shuffle phase only, matching the
+/// record path).
+Status FlatReducePartition(const std::vector<Record>& in,
+                           const KeyColumns& key, const CombineFn& combine,
+                           bool validate, const std::string& node_name,
+                           std::vector<Record>* out) {
+  std::vector<Record> acc;
+  acc.reserve(in.size());
+  FlatSlotMap slots(in.size());
+  for (const Record& r : in) {
+    const uint64_t h = HashKey(r, key);
+    bool inserted = false;
+    const int32_t slot = slots.FindOrInsert(
+        h, [&](int32_t s) { return KeysEqual(acc[s], key, r, key); },
+        &inserted);
+    if (inserted) {
+      acc.push_back(r);
+      continue;
+    }
+    Record folded = combine(acc[slot], r);
+    if (validate && !KeysEqual(folded, key, r, key)) {
+      return Status::Internal("ReduceByKey '" + node_name +
+                              "': combiner changed the key (got " +
+                              RecordToString(folded) + ")");
+    }
+    acc[slot] = std::move(folded);
+  }
+  std::vector<int32_t> order(acc.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return KeyLess(acc[a], acc[b], key);
+  });
+  out->reserve(out->size() + order.size());
+  for (int32_t s : order) out->push_back(std::move(acc[s]));
+  return Status::OK();
 }
 
 uint64_t MaxPartitionSize(const PartitionedDataset& ds) {
@@ -79,6 +185,8 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   messages_shuffled += other.messages_shuffled;
   cache_hits += other.cache_hits;
   records_not_reshuffled += other.records_not_reshuffled;
+  batch_ops += other.batch_ops;
+  row_fallback_ops += other.row_fallback_ops;
   for (const auto& [name, count] : other.node_output_counts) {
     node_output_counts[name] += count;
   }
@@ -198,6 +306,35 @@ PartitionedDataset Executor::ShuffleImpl(Input&& input, const KeyColumns& key,
             const int p = base + i;
             auto& boxes = outbox[i];
             boxes.resize(n);
+            if (options_.use_columnar) {
+              // Batch scatter (§12): resolve the whole key column to
+              // target partitions in one pass, size every outbox exactly,
+              // then move — no per-record push_back growth. Record order
+              // within each outbox is unchanged, so the result is
+              // byte-identical to the single-pass path.
+              auto& src = input.partition(p);
+              std::vector<int32_t> target(src.size());
+              std::vector<size_t> counts(n, 0);
+              for (size_t r = 0; r < src.size(); ++r) {
+                const int t =
+                    PartitionedDataset::PartitionOf(src[r], key, n);
+                target[r] = t;
+                ++counts[t];
+                if (t != p) ++moved[p];
+              }
+              for (int t = 0; t < n; ++t) boxes[t].reserve(counts[t]);
+              if constexpr (kMove) {
+                for (size_t r = 0; r < src.size(); ++r) {
+                  boxes[target[r]].push_back(std::move(src[r]));
+                }
+                input.ReleasePartition(p);
+              } else {
+                for (size_t r = 0; r < src.size(); ++r) {
+                  boxes[target[r]].push_back(src[r]);
+                }
+              }
+              return;
+            }
             if constexpr (kMove) {
               for (Record& r : input.partition(p)) {
                 int target = PartitionedDataset::PartitionOf(r, key, n);
@@ -481,12 +618,21 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         }
 
         case OpKind::kReduceByKey: {
+          const bool batch = options_.use_columnar;
+          batch ? ++local_stats.batch_ops : ++local_stats.row_fallback_ops;
           const PartitionedDataset* in = &input_of(node.inputs[0]);
           PartitionedDataset combined;
           if (node.pre_combine) {
             // Local pre-aggregation before the shuffle: fewer messages.
             combined = PartitionedDataset(in->num_partitions());
+            reset_status();
             ForEachPartition(op_span, in, in->num_partitions(), [&](int p) {
+              if (batch) {
+                part_status[p] = FlatReducePartition(
+                    in->partition(p), node.left_key, node.combine_fn,
+                    /*validate=*/false, node.name, &combined.partition(p));
+                return;
+              }
               std::unordered_map<Record, Record, RecordHash> acc;
               acc.reserve(in->partition(p).size());
               for (const Record& r : in->partition(p)) {
@@ -506,6 +652,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                 combined.partition(p).push_back(std::move(acc.at(*k)));
               }
             });
+            FLINKLESS_RETURN_NOT_OK(first_error());
             local_stats.records_processed += in->NumRecords();
             ChargeCompute(*in);
             in = &combined;
@@ -517,6 +664,12 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           PartitionedDataset out(n);
           reset_status();
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
+            if (batch) {
+              part_status[p] = FlatReducePartition(
+                  shuffled.partition(p), node.left_key, node.combine_fn,
+                  /*validate=*/true, node.name, &out.partition(p));
+              return;
+            }
             std::unordered_map<Record, Record, RecordHash> acc;
             acc.reserve(shuffled.partition(p).size());
             for (const Record& r : shuffled.partition(p)) {
@@ -554,11 +707,39 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         }
 
         case OpKind::kGroupReduceByKey: {
+          const bool batch = options_.use_columnar;
+          batch ? ++local_stats.batch_ops : ++local_stats.row_fallback_ops;
           const PartitionedDataset& in = input_of(node.inputs[0]);
           PartitionedDataset shuffled =
               Shuffle(in, node.left_key, &local_stats);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
+            if (batch) {
+              // Batch path: one flat index instead of a map of materialized
+              // groups. Chains preserve arrival order, so each group's
+              // records reach the UDF in the same order the GroupMap held
+              // them; sorting first-arrival rows with KeyLess emits groups
+              // in the same key order as SortedKeys.
+              const std::vector<Record>& rows = shuffled.partition(p);
+              FlatKeyIndex index;
+              index.Build(rows, node.left_key);
+              std::vector<int32_t> heads = index.heads();
+              std::sort(heads.begin(), heads.end(),
+                        [&](int32_t a, int32_t b) {
+                          return KeyLess(rows[a], rows[b], node.left_key);
+                        });
+              out.partition(p).reserve(heads.size());
+              std::vector<Record> group;
+              for (int32_t head : heads) {
+                group.clear();
+                for (int32_t r = head; r >= 0; r = index.Next(r)) {
+                  group.push_back(rows[r]);
+                }
+                out.partition(p).push_back(node.group_reduce_fn(
+                    ExtractKey(rows[head], node.left_key), group));
+              }
+              return;
+            }
             GroupMap groups = GroupByKey(shuffled.partition(p), node.left_key);
             std::vector<const Record*> keys = SortedKeys(groups);
             out.partition(p).reserve(keys.size());
@@ -574,6 +755,8 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         }
 
         case OpKind::kJoin: {
+          const bool batch = options_.use_columnar;
+          batch ? ++local_stats.batch_ops : ++local_stats.row_fallback_ops;
           const bool build_static = cache != nullptr && !invariant[node.id] &&
                                     invariant[node.inputs[0]];
           const bool probe_static = cache != nullptr && !invariant[node.id] &&
@@ -597,15 +780,25 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                   std::make_shared<PartitionedDataset>(std::move(shuffled));
               entry.data = data;
               entry.index_key = node.left_key;
-              entry.join_index.resize(n);
-              ForEachPartition(n, [&](int p) {
-                JoinIndex& index = entry.join_index[p];
-                const std::vector<Record>& part = data->partition(p);
-                index.reserve(part.size());
-                for (const Record& r : part) {
-                  index[ExtractKey(r, node.left_key)].push_back(&r);
-                }
-              });
+              if (batch) {
+                // Batch path: flat open-addressing index over the key
+                // column — no per-record key materialization or map nodes.
+                entry.flat_index.resize(n);
+                ForEachPartition(n, [&](int p) {
+                  entry.flat_index[p].Build(data->partition(p),
+                                            node.left_key);
+                });
+              } else {
+                entry.join_index.resize(n);
+                ForEachPartition(n, [&](int p) {
+                  JoinIndex& index = entry.join_index[p];
+                  const std::vector<Record>& part = data->partition(p);
+                  index.reserve(part.size());
+                  for (const Record& r : part) {
+                    index[ExtractKey(r, node.left_key)].push_back(&r);
+                  }
+                });
+              }
               e = cache->Find(node.id, ExecCache::Role::kBuild);
               FLINKLESS_RETURN_NOT_OK(cache->OnEntryFilled(
                   node.id, ExecCache::Role::kBuild, options_.tracer));
@@ -623,6 +816,20 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                                                node.right_key, &local_stats);
             PartitionedDataset out(n);
             ForEachPartition(op_span, &right, n, [&](int p) {
+              // Probe whichever index kind this entry carries (a cache can
+              // outlive an executor, so the entry's mode wins over ours).
+              if (!e->flat_index.empty()) {
+                const FlatKeyIndex& index = e->flat_index[p];
+                const std::vector<Record>& build = e->data->partition(p);
+                for (const Record& r : right.partition(p)) {
+                  int32_t row = index.FindFirst(
+                      r, node.right_key, HashKey(r, node.right_key));
+                  for (; row >= 0; row = index.Next(row)) {
+                    out.partition(p).push_back(node.join_fn(build[row], r));
+                  }
+                }
+                return;
+              }
               const JoinIndex& index = e->join_index[p];
               for (const Record& r : right.partition(p)) {
                 auto it = index.find(ExtractKey(r, node.right_key));
@@ -679,6 +886,19 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                                               node.left_key, &local_stats);
             PartitionedDataset out(n);
             ForEachPartition(op_span, &left, n, [&](int p) {
+              if (batch) {
+                const std::vector<Record>& rows = left.partition(p);
+                FlatKeyIndex index;
+                index.Build(rows, node.left_key);
+                for (const Record& r : right.partition(p)) {
+                  int32_t row = index.FindFirst(
+                      r, node.right_key, HashKey(r, node.right_key));
+                  for (; row >= 0; row = index.Next(row)) {
+                    out.partition(p).push_back(node.join_fn(rows[row], r));
+                  }
+                }
+                return;
+              }
               GroupMap build = GroupByKey(left.partition(p), node.left_key);
               for (const Record& r : right.partition(p)) {
                 auto it = build.find(ExtractKey(r, node.right_key));
@@ -705,6 +925,19 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               Shuffle(input_of(node.inputs[1]), node.right_key, &local_stats);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &left, n, [&](int p) {
+            if (batch) {
+              const std::vector<Record>& rows = left.partition(p);
+              FlatKeyIndex index;
+              index.Build(rows, node.left_key);
+              for (const Record& r : right.partition(p)) {
+                int32_t row = index.FindFirst(
+                    r, node.right_key, HashKey(r, node.right_key));
+                for (; row >= 0; row = index.Next(row)) {
+                  out.partition(p).push_back(node.join_fn(rows[row], r));
+                }
+              }
+              return;
+            }
             GroupMap build = GroupByKey(left.partition(p), node.left_key);
             for (const Record& r : right.partition(p)) {
               auto it = build.find(ExtractKey(r, node.right_key));
@@ -722,6 +955,10 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         }
 
         case OpKind::kCoGroup: {
+          // Cogroup has no batch implementation: its UDF sweeps fully
+          // materialized groups on both sides at once, so flattening one
+          // side into an index buys nothing (DESIGN.md §12 fallback rule).
+          ++local_stats.row_fallback_ops;
           const bool left_static = cache != nullptr && !invariant[node.id] &&
                                    invariant[node.inputs[0]];
           const bool right_static = cache != nullptr && !invariant[node.id] &&
@@ -897,10 +1134,27 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         }
 
         case OpKind::kDistinct: {
+          const bool batch = options_.use_columnar;
+          batch ? ++local_stats.batch_ops : ++local_stats.row_fallback_ops;
           PartitionedDataset shuffled = Shuffle(input_of(node.inputs[0]),
                                                 node.left_key, &local_stats);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
+            if (batch) {
+              // Batch path: flat slot map keyed on the whole record; the
+              // emitted records double as the dedup table (first occurrence
+              // wins in both paths, so output order is identical).
+              std::vector<Record>& dst = out.partition(p);
+              FlatSlotMap slots(shuffled.partition(p).size());
+              for (const Record& r : shuffled.partition(p)) {
+                bool inserted = false;
+                slots.FindOrInsert(
+                    HashRecord(r), [&](int32_t s) { return dst[s] == r; },
+                    &inserted);
+                if (inserted) dst.push_back(r);
+              }
+              return;
+            }
             std::unordered_set<Record, RecordHash> seen;
             seen.reserve(shuffled.partition(p).size());
             for (const Record& r : shuffled.partition(p)) {

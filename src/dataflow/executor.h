@@ -49,6 +49,15 @@ struct ExecStats {
   /// whole node output) was served from the loop-invariant cache.
   uint64_t records_not_reshuffled = 0;
 
+  /// Hot-operator instances (reduce/join/group-reduce/distinct/cogroup)
+  /// that ran on the columnar batch path (DESIGN.md §12).
+  uint64_t batch_ops = 0;
+
+  /// Hot-operator instances that dropped to the record-at-a-time path —
+  /// either ExecOptions::use_columnar is off, or the operator's shape has
+  /// no batch implementation (cogroup's two-sided group sweep).
+  uint64_t row_fallback_ops = 0;
+
   /// Output record count per operator display name (accumulated when names
   /// repeat).
   std::map<std::string, uint64_t> node_output_counts;
@@ -103,6 +112,15 @@ struct ExecOptions {
   /// budget (DESIGN.md §11). Outputs are byte-identical at any budget;
   /// only the simulated I/O charges change.
   uint64_t memory_budget_bytes = 0;
+
+  /// Columnar batch execution (DESIGN.md §12): the shuffle scatter, reduce,
+  /// join, group-reduce, and distinct hot paths run over flat key columns
+  /// and open-addressing indexes instead of per-record Value hashing and
+  /// map nodes. Outputs, ExecStats record/message counts, and SimClock
+  /// charges are byte-identical to the record path at any thread count;
+  /// only wall-clock (and the batch_ops/row_fallback_ops counters) differ.
+  /// Off = the legacy record-at-a-time path, kept for A/B comparison.
+  bool use_columnar = true;
 
   /// Per-partition trace-arg verbosity (see TraceDetail).
   TraceDetail trace_detail = TraceDetail::kAuto;

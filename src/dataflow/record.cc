@@ -54,6 +54,16 @@ Record ExtractKey(const Record& record, const KeyColumns& key) {
   return out;
 }
 
+bool KeyLess(const Record& a, const Record& b, const KeyColumns& key) {
+  for (int col : key) {
+    const Value& va = a[col];
+    const Value& vb = b[col];
+    if (va < vb) return true;
+    if (vb < va) return false;
+  }
+  return false;
+}
+
 bool RecordLess(const Record& a, const Record& b) {
   size_t n = std::min(a.size(), b.size());
   for (size_t i = 0; i < n; ++i) {

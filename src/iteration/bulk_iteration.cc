@@ -178,6 +178,9 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     for (const auto& [op_name, count] : exec_stats.node_output_counts) {
       istats.gauges["out:" + op_name] = static_cast<double>(count);
     }
+    istats.gauges["batch_ops"] = static_cast<double>(exec_stats.batch_ops);
+    istats.gauges["row_fallback_ops"] =
+        static_cast<double>(exec_stats.row_fallback_ops);
     if (config_.convergence) istats.gauges["convergence_metric"] = metric;
 
     std::vector<int> lost =

@@ -190,6 +190,9 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     for (const auto& [op_name, count] : exec_stats.node_output_counts) {
       istats.gauges["out:" + op_name] = static_cast<double>(count);
     }
+    istats.gauges["batch_ops"] = static_cast<double>(exec_stats.batch_ops);
+    istats.gauges["row_fallback_ops"] =
+        static_cast<double>(exec_stats.row_fallback_ops);
     istats.gauges["solution_updates"] = static_cast<double>(updates);
     istats.gauges["workset_size"] =
         static_cast<double>(state.workset().NumRecords());

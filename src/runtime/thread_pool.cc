@@ -103,20 +103,28 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
     }
   };
 
-  // The calling thread participates too, so helpers = workers is enough.
-  const int helpers = std::min(num_threads(), count - 1);
-  state.active = helpers;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (int h = 0; h < helpers; ++h) {
-      queue_.push_back([&state, &drain] {
-        drain();
-        std::lock_guard<std::mutex> lock(state.mu);
-        if (--state.active == 0) state.done.notify_all();
-      });
+  // The calling thread participates too, so helpers = workers is enough —
+  // and since the tasks are CPU-bound, fanning out beyond the physical
+  // cores only buys context-switch overhead. Capping at cores-minus-caller
+  // makes an oversubscribed pool (8 threads on 1 core) behave like a serial
+  // run instead of a slower one; outputs are schedule-independent by
+  // construction, so only wall-clock changes.
+  const int helpers = std::min(
+      {num_threads(), count - 1, HardwareConcurrency() - 1});
+  state.active = helpers > 0 ? helpers : 0;
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int h = 0; h < helpers; ++h) {
+        queue_.push_back([&state, &drain] {
+          drain();
+          std::lock_guard<std::mutex> lock(state.mu);
+          if (--state.active == 0) state.done.notify_all();
+        });
+      }
     }
+    task_ready_.notify_all();
   }
-  task_ready_.notify_all();
 
   drain();
   {

@@ -37,10 +37,13 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs fn(i) for every i in [0, count), spread over the workers plus the
-  /// calling thread, and blocks until all indices completed. Exceptions
-  /// thrown by fn are captured; the first one (by completion order) is
-  /// rethrown on the calling thread after every index finished, so partial
-  /// results are never observed mid-flight.
+  /// calling thread, and blocks until all indices completed. Helper fan-out
+  /// is capped at HardwareConcurrency() - 1 (the caller takes the last
+  /// core): requesting more threads than cores never oversubscribes — it
+  /// just runs at the hardware's parallelism, down to fully serial on a
+  /// single-core host. Exceptions thrown by fn are captured; the first one
+  /// (by completion order) is rethrown on the calling thread after every
+  /// index finished, so partial results are never observed mid-flight.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
   /// Enqueues one task for any worker; Wait() blocks until all submitted
