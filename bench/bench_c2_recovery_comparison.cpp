@@ -28,6 +28,7 @@
 #include "core/policies.h"
 #include "graph/generators.h"
 #include "graph/reference.h"
+#include "runtime/profiler.h"
 
 using namespace flinkless;
 
@@ -50,10 +51,23 @@ using Runner = std::function<Status(iteration::JobEnv,
 void Scenario(const std::string& name, const Runner& run,
               core::CompensationFunction* compensation,
               const std::vector<runtime::FailureEvent>& failure_events,
+              bench::JsonReport* json,
               core::WorksetRefresher refresher = {}) {
   TablePrinter table({"strategy", "iterations", "supersteps_executed",
                       "failures_recovered", "sim_total_ms", "sim_ft_ms",
                       "messages", "correct"});
+
+  // Failure-free baseline of the same workload: recovery health below is
+  // reported net of it (time/messages *lost* to the failure, not the
+  // window's gross cost). The policy never fires without failures, so any
+  // strategy yields the same baseline.
+  bench::JobHarness baseline(name + "-baseline");
+  {
+    core::OptimisticRecoveryPolicy policy(compensation);
+    RunReport ignored;
+    Status status = run(baseline.Env(), &policy, &ignored);
+    FLINKLESS_CHECK(status.ok(), "baseline: " + status.ToString());
+  }
 
   auto run_with = [&](const std::string& label,
                       iteration::FaultTolerancePolicy* policy) {
@@ -78,6 +92,35 @@ void Scenario(const std::string& name, const Runner& run,
         .Cell(report.sim_ft_ms)
         .Cell(report.messages)
         .Cell(report.correct ? "yes" : "NO");
+
+    std::vector<runtime::RecoveryHealth> health =
+        runtime::ComputeRecoveryHealth(harness.metrics(),
+                                       &baseline.metrics());
+    for (const auto& h : health) {
+      json->AddEntry()
+          .Set("kind", "recovery_health")
+          .Set("workload", name)
+          .Set("strategy", label)
+          .Set("failure_iteration", h.failure_iteration)
+          .Set("supersteps_to_reconverge", h.supersteps_to_reconverge)
+          .Set("reconverged", h.reconverged)
+          .Set("sim_lost_ms", static_cast<double>(h.sim_lost_ns) / 1e6)
+          .Set("sim_lost_checkpoint_io_ms",
+               static_cast<double>(h.sim_lost_by_charge[static_cast<int>(
+                   runtime::Charge::kCheckpointIo)]) /
+                   1e6)
+          .Set("sim_lost_recovery_ms",
+               static_cast<double>(h.sim_lost_by_charge[static_cast<int>(
+                   runtime::Charge::kRecovery)]) /
+                   1e6)
+          .Set("messages_recomputed", h.messages_recomputed)
+          .Set("convergence_gap", h.convergence_gap)
+          .Set("baseline_adjusted", h.baseline_adjusted);
+    }
+    if (label == "optimistic") {
+      std::cout << "recovery health (" << name << ", optimistic):\n"
+                << runtime::RenderRecoveryHealth(health);
+    }
   };
 
   core::OptimisticRecoveryPolicy optimistic(compensation);
@@ -108,6 +151,10 @@ int main() {
                 "correct result; optimistic needs the fewest re-executed "
                 "supersteps and no checkpoint I/O");
 
+  // Per-failure recovery health (net of a failure-free baseline) for every
+  // strategy and workload, for trend dashboards.
+  bench::JsonReport json("C2-observability");
+
   // PageRank with one mid-run failure and one late failure.
   Rng rng(3);
   graph::Graph pr_graph = graph::Rmat(10, 8, &rng);
@@ -132,7 +179,7 @@ int main() {
         report->correct = err < 1e-6;
         return Status::OK();
       },
-      &fix_ranks, {{8, {1}}, {15, {0, 2}}});
+      &fix_ranks, {{8, {1}}, {15, {0, 2}}}, &json);
 
   // Connected Components with an early failure (costly for restart-style
   // strategies on a long diffusion).
@@ -155,7 +202,7 @@ int main() {
         report->correct = result->labels == cc_truth;
         return Status::OK();
       },
-      &fix_components, {{3, {2}}},
+      &fix_components, {{3, {2}}}, &json,
       algos::MakeNeighborhoodRefresher(&cc_graph));
 
   // SSSP with two failures.
@@ -176,7 +223,7 @@ int main() {
         report->correct = result->distances == sssp_truth;
         return Status::OK();
       },
-      &fix_distances, {{10, {1}}, {25, {3}}},
+      &fix_distances, {{10, {1}}, {25, {3}}}, &json,
       algos::MakeNeighborhoodRefresher(
           &sssp_graph, [](const dataflow::Record& r) {
             return r[1].AsInt64() < algos::kSsspInfinity;
@@ -203,13 +250,32 @@ int main() {
     const std::string trace_path = "TRACE_c2_recovery.json";
     Status written = runtime::WriteTraceFile(*tracer, trace_path);
     FLINKLESS_CHECK(written.ok(), written.ToString());
+    runtime::Tracer::Snapshot snapshot = tracer->Flush();
     runtime::TraceSummary summary =
-        runtime::TraceSummary::FromSnapshot(tracer->Flush());
+        runtime::TraceSummary::FromSnapshot(snapshot);
     std::cout << "recovery timeline: wrote " << trace_path << " ("
               << summary.total_events << " events, "
               << summary.InstantCount("failure.injected")
               << " failure(s), load in Perfetto)\n";
     bench::Emit(bench::TraceSummaryTable(summary));
+
+    // Critical-path profile of the traced recovery run: the compensation
+    // span must show up on the failure superstep's critical path.
+    runtime::ProfileReport profile =
+        runtime::ProfileReport::FromSnapshot(snapshot);
+    std::cout << profile.RenderText();
+    json.AddEntry()
+        .Set("kind", "profile")
+        .Set("workload", "connected-components-pa-2000v")
+        .Set("strategy", "optimistic")
+        .Set("supersteps_profiled",
+             static_cast<int64_t>(profile.supersteps.size()))
+        .Set("compensation_on_critical_path",
+             profile.CriticalPathHasCategory("compensation"));
   }
+
+  const std::string json_path = "BENCH_observability.json";
+  FLINKLESS_CHECK(json.WriteFile(json_path), "cannot write " + json_path);
+  std::cout << "json: wrote " << json_path << "\n";
   return 0;
 }

@@ -7,6 +7,11 @@
 // micro-costs — and reports the wall-time overhead of tracing on vs off
 // (target: < 5%), plus the traced run's per-operator TraceSummary table.
 //
+// Metrics v2 gets the same treatment: a null MetricsSink* costs one branch
+// per call site, and an installed sink only bumps worker-sharded slots, so
+// the metrics-on/off pair is measured alongside the tracing pair against
+// the same < 5% target.
+//
 // Overhead is reported, not asserted: wall time on shared CI machines is
 // noisy, so the JSON report records the measured ratio and the reader (or a
 // trend dashboard) judges it.
@@ -21,26 +26,42 @@
 #include "common/rng.h"
 #include "core/policies.h"
 #include "graph/generators.h"
+#include "runtime/metrics.h"
 #include "runtime/tracing.h"
 
 using namespace flinkless;
 
 namespace {
 
+enum class Mode { kOff, kTrace, kMetrics };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kTrace: return "trace-on";
+    case Mode::kMetrics: return "metrics-on";
+  }
+  return "?";
+}
+
 struct Measurement {
   double wall_ms = 0;        // best-of-repeats wall time
   double sim_ms = 0;         // simulated time (must match across modes)
   int iterations = 0;
   uint64_t trace_events = 0;
+  uint64_t metric_records = 0;  // exec.records total from the sink
   std::vector<double> ranks;
 };
 
-Measurement RunOnce(const graph::Graph& g, bool traced,
+Measurement RunOnce(const graph::Graph& g, Mode mode,
                     runtime::TraceSummary* summary_out) {
-  bench::JobHarness harness(traced ? "trace-on" : "trace-off");
+  bench::JobHarness harness(ModeName(mode));
   harness.SetFailures(runtime::FailureSchedule(
       std::vector<runtime::FailureEvent>{{5, {1}}}));
-  if (traced) harness.EnableTracing();
+  if (mode == Mode::kTrace) harness.EnableTracing();
+  runtime::MetricsSink sink;
+  iteration::JobEnv env = harness.Env();
+  if (mode == Mode::kMetrics) env.metrics_sink = &sink;
 
   algos::PageRankOptions options;
   options.num_partitions = 4;
@@ -49,28 +70,32 @@ Measurement RunOnce(const graph::Graph& g, bool traced,
   core::OptimisticRecoveryPolicy policy(&compensation);
 
   runtime::WallTimer wall;
-  auto result = algos::RunPageRank(g, options, harness.Env(), &policy);
+  auto result = algos::RunPageRank(g, options, env, &policy);
   Measurement m;
   m.wall_ms = wall.ElapsedMs();
   FLINKLESS_CHECK(result.ok(), result.status().ToString());
   m.sim_ms = harness.clock().TotalMs();
   m.iterations = result->iterations;
   m.ranks = std::move(result->ranks);
-  if (traced) {
+  if (mode == Mode::kTrace) {
     runtime::Tracer::Snapshot snapshot = harness.tracer()->Flush();
     m.trace_events = snapshot.events.size();
     if (summary_out != nullptr) {
       *summary_out = runtime::TraceSummary::FromSnapshot(snapshot);
     }
   }
+  if (mode == Mode::kMetrics) {
+    m.metric_records =
+        static_cast<uint64_t>(sink.Collect().CounterTotal("exec.records"));
+  }
   return m;
 }
 
-Measurement BestOf(int repeats, const graph::Graph& g, bool traced,
+Measurement BestOf(int repeats, const graph::Graph& g, Mode mode,
                    runtime::TraceSummary* summary_out) {
   Measurement best;
   for (int r = 0; r < repeats; ++r) {
-    Measurement m = RunOnce(g, traced, summary_out);
+    Measurement m = RunOnce(g, mode, summary_out);
     if (r == 0 || m.wall_ms < best.wall_ms) best = std::move(m);
   }
   return best;
@@ -81,28 +106,36 @@ Measurement BestOf(int repeats, const graph::Graph& g, bool traced,
 int main() {
   SetLogLevel(LogLevel::kWarning);
   bench::Banner("T1",
-                "Tracing overhead: PageRank with a failure, tracing off vs "
-                "on (wall time; outputs and simulated time must not move)");
+                "Tracing and metrics overhead: PageRank with a failure, "
+                "instrumentation off vs on (wall time; outputs and "
+                "simulated time must not move)");
 
   Rng rng(7);
   graph::Graph g = graph::Rmat(10, 8, &rng);
   constexpr int kRepeats = 5;
 
   runtime::TraceSummary summary;
-  Measurement off = BestOf(kRepeats, g, false, nullptr);
-  Measurement on = BestOf(kRepeats, g, true, &summary);
+  Measurement off = BestOf(kRepeats, g, Mode::kOff, nullptr);
+  Measurement on = BestOf(kRepeats, g, Mode::kTrace, &summary);
+  Measurement metered = BestOf(kRepeats, g, Mode::kMetrics, nullptr);
 
   FLINKLESS_CHECK(off.ranks == on.ranks,
                   "tracing changed the computed ranks");
   FLINKLESS_CHECK(off.sim_ms == on.sim_ms,
                   "tracing changed the simulated time");
+  FLINKLESS_CHECK(off.ranks == metered.ranks,
+                  "metrics changed the computed ranks");
+  FLINKLESS_CHECK(off.sim_ms == metered.sim_ms,
+                  "metrics changed the simulated time");
 
   const double overhead_pct =
       off.wall_ms > 0 ? (on.wall_ms / off.wall_ms - 1.0) * 100.0 : 0.0;
+  const double metrics_overhead_pct =
+      off.wall_ms > 0 ? (metered.wall_ms / off.wall_ms - 1.0) * 100.0 : 0.0;
 
   TablePrinter table({"mode", "wall_ms", "sim_ms", "iterations", "events"});
   table.Row()
-      .Cell("trace-off")
+      .Cell("off")
       .Cell(off.wall_ms)
       .Cell(off.sim_ms)
       .Cell(static_cast<int64_t>(off.iterations))
@@ -113,8 +146,16 @@ int main() {
       .Cell(on.sim_ms)
       .Cell(static_cast<int64_t>(on.iterations))
       .Cell(static_cast<int64_t>(on.trace_events));
+  table.Row()
+      .Cell("metrics-on")
+      .Cell(metered.wall_ms)
+      .Cell(metered.sim_ms)
+      .Cell(static_cast<int64_t>(metered.iterations))
+      .Cell(static_cast<int64_t>(metered.metric_records));
   bench::Emit(table);
   std::cout << "tracing overhead: " << overhead_pct << "% (target < 5%)\n";
+  std::cout << "metrics overhead: " << metrics_overhead_pct
+            << "% (target < 5%)\n";
 
   std::cout << "per-operator trace summary (traced run):\n";
   bench::Emit(bench::TraceSummaryTable(summary));
@@ -134,11 +175,26 @@ int main() {
       .Set("iterations", on.iterations)
       .Set("trace_events", on.trace_events);
   report.AddEntry()
+      .Set("kind", "timing")
+      .Set("mode", "metrics")
+      .Set("wall_ms", metered.wall_ms)
+      .Set("sim_ms", metered.sim_ms)
+      .Set("iterations", metered.iterations)
+      .Set("metric_records", metered.metric_records);
+  report.AddEntry()
       .Set("kind", "overhead")
+      .Set("instrumentation", "tracing")
       .Set("overhead_pct", overhead_pct)
       .Set("target_pct", 5.0)
       .Set("outputs_identical", off.ranks == on.ranks)
       .Set("sim_time_identical", off.sim_ms == on.sim_ms);
+  report.AddEntry()
+      .Set("kind", "overhead")
+      .Set("instrumentation", "metrics")
+      .Set("overhead_pct", metrics_overhead_pct)
+      .Set("target_pct", 5.0)
+      .Set("outputs_identical", off.ranks == metered.ranks)
+      .Set("sim_time_identical", off.sim_ms == metered.sim_ms);
   bench::AddTraceSummary(&report, summary);
   const std::string json_path = "BENCH_trace_overhead.json";
   FLINKLESS_CHECK(report.WriteFile(json_path), "cannot write " + json_path);

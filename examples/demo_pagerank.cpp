@@ -19,7 +19,11 @@
 //        --interactive, --strategy=optimistic|rollback|restart,
 //        --compensation=redistribute|uniform|full, --cache=true|false,
 //        --batch=true|false (columnar vs record-at-a-time execution),
-//        --mem-budget=BYTES (spill cached artifacts beyond this)
+//        --mem-budget=BYTES (spill cached artifacts beyond this),
+//        --metrics-out=PATH (metrics v2 export: .prom = Prometheus text,
+//        else NDJSON), --profile (critical-path profile; implied by
+//        --trace), --baseline (failure-free re-run; recovery health is then
+//        reported net of it)
 
 #include <chrono>
 #include <cmath>
@@ -34,6 +38,7 @@
 #include "core/policies.h"
 #include "graph/generators.h"
 #include "graph/reference.h"
+#include "runtime/profiler.h"
 #include "runtime/stable_storage.h"
 #include "viz/playback.h"
 #include "viz/render.h"
@@ -123,6 +128,17 @@ int main(int argc, char** argv) {
       "mem-budget", 0,
       "byte budget for cached artifacts; cold entries spill to stable "
       "storage beyond it (0 = unlimited)");
+  std::string* metrics_out = flags.String(
+      "metrics-out", "",
+      "write a metrics v2 export here (.prom = Prometheus text, else "
+      "NDJSON)");
+  bool* profile = flags.Bool(
+      "profile", false,
+      "trace the run and print the critical-path profile (implied by "
+      "--trace)");
+  bool* baseline = flags.Bool(
+      "baseline", false,
+      "re-run the job failure-free and report recovery health net of it");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s << "\n" << flags.Usage();
     return 1;
@@ -149,7 +165,9 @@ int main(int argc, char** argv) {
   options.num_threads = static_cast<int>(*threads);
   options.max_iterations = static_cast<int>(*max_iterations);
   options.converged_tolerance = 1e-6;
-  options.trace_path = *trace_path;
+  // trace_path/metrics_path stay unset: the demo owns the tracer and sink
+  // itself (below) so it can run the profiler and render the dashboard
+  // after the run, and writes the export files at the end.
   options.cache_loop_invariant = *cache;
   options.columnar_batch = *batch;
   if (*mem_budget > 0) {
@@ -177,16 +195,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   algos::FixRanksCompensation compensation(g.num_vertices(), variant);
-  std::unique_ptr<iteration::FaultTolerancePolicy> policy;
-  if (*strategy == "optimistic") {
-    policy = std::make_unique<core::OptimisticRecoveryPolicy>(&compensation);
-  } else if (*strategy == "rollback") {
-    policy = std::make_unique<core::CheckpointRollbackPolicy>(2);
-  } else if (*strategy == "restart") {
-    policy = std::make_unique<core::RestartPolicy>();
-  } else if (*strategy == "none") {
-    policy = std::make_unique<core::NoFaultTolerancePolicy>();
-  } else {
+  // The baseline re-run (below) needs a fresh policy of the same kind, so
+  // policy construction is a factory rather than a one-off.
+  auto make_policy =
+      [&]() -> std::unique_ptr<iteration::FaultTolerancePolicy> {
+    if (*strategy == "optimistic") {
+      return std::make_unique<core::OptimisticRecoveryPolicy>(&compensation);
+    }
+    if (*strategy == "rollback") {
+      return std::make_unique<core::CheckpointRollbackPolicy>(2);
+    }
+    if (*strategy == "restart") return std::make_unique<core::RestartPolicy>();
+    if (*strategy == "none") {
+      return std::make_unique<core::NoFaultTolerancePolicy>();
+    }
+    return nullptr;
+  };
+  std::unique_ptr<iteration::FaultTolerancePolicy> policy = make_policy();
+  if (policy == nullptr) {
     std::cerr << "unknown strategy '" << *strategy << "'\n";
     return 1;
   }
@@ -198,6 +224,19 @@ int main(int argc, char** argv) {
   env.failures = &failures;
   env.storage = &storage;
   env.job_id = "demo-pagerank";
+  // Metrics v2 + tracing: the demo owns the clock, sink, and tracer so the
+  // dashboard, profiler, and exports below can read them after the run.
+  runtime::SimClock sim_clock;
+  env.clock = &sim_clock;
+  runtime::CostModel costs;
+  env.costs = &costs;
+  runtime::MetricsSink sink;
+  env.metrics_sink = &sink;
+  runtime::Tracer::Options tracer_options;
+  tracer_options.clock = &sim_clock;
+  runtime::Tracer tracer(tracer_options);
+  const bool tracing = *profile || !trace_path->empty();
+  if (tracing) env.tracer = &tracer;
 
   viz::Playback<viz::RanksFrame> playback;
   {
@@ -266,6 +305,76 @@ int main(int argc, char** argv) {
               << spills << " unspills=" << unspills << " spilled_bytes="
               << spilled_bytes << " peak_resident_bytes=" << peak << "\n";
   }
+
+  // Metrics v2 rollup: cache effectiveness, the batch/row execution mix,
+  // and the per-partition dashboard.
+  runtime::MetricsSnapshot msnap = sink.Collect();
+  std::cout << "cache: hits=" << msnap.CounterTotal(runtime::metric::kCacheHits)
+            << " builds=" << msnap.CounterTotal(runtime::metric::kCacheBuilds)
+            << " invalidations="
+            << msnap.CounterTotal(runtime::metric::kCacheInvalidations)
+            << " records_not_reshuffled="
+            << msnap.CounterTotal(
+                   runtime::metric::kCacheRecordsNotReshuffled)
+            << "\n"
+            << "exec: batch_ops="
+            << msnap.CounterTotal(runtime::metric::kExecBatchOps)
+            << " row_fallback_ops="
+            << msnap.CounterTotal(runtime::metric::kExecRowFallbackOps)
+            << " records=" << msnap.CounterTotal(runtime::metric::kExecRecords)
+            << " shuffled="
+            << msnap.CounterTotal(runtime::metric::kShuffleFanout) << "\n\n"
+            << viz::RenderMetricsDashboard(msnap) << "\n";
+
+  // Recovery health: one block per injected failure. With --baseline the
+  // same job runs once more without failures and the window costs are
+  // reported net of it ("time lost to the failure" instead of gross cost).
+  if (run->failures_recovered > 0) {
+    runtime::MetricsRegistry baseline_registry;
+    const runtime::MetricsRegistry* baseline_metrics = nullptr;
+    if (*baseline) {
+      runtime::FailureSchedule no_failures;
+      runtime::StableStorage baseline_storage(nullptr, nullptr);
+      runtime::SimClock baseline_clock;
+      iteration::JobEnv baseline_env;
+      baseline_env.clock = &baseline_clock;
+      baseline_env.costs = &costs;
+      baseline_env.metrics = &baseline_registry;
+      baseline_env.failures = &no_failures;
+      baseline_env.storage = &baseline_storage;
+      baseline_env.job_id = "demo-pagerank-baseline";
+      std::unique_ptr<iteration::FaultTolerancePolicy> baseline_policy =
+          make_policy();
+      auto base_run =
+          algos::RunPageRank(g, options, baseline_env, baseline_policy.get());
+      if (base_run.ok()) {
+        baseline_metrics = &baseline_registry;
+      } else {
+        std::cerr << "baseline run failed: " << base_run.status() << "\n";
+      }
+    }
+    std::cout << runtime::RenderRecoveryHealth(
+                     runtime::ComputeRecoveryHealth(metrics, baseline_metrics))
+              << "\n";
+  }
+
+  if (tracing) {
+    std::cout << runtime::ProfileReport::FromSnapshot(tracer.Flush())
+                     .RenderText()
+              << "\n";
+  }
+  if (!trace_path->empty()) {
+    if (Status s = runtime::WriteTraceFile(tracer, *trace_path); !s.ok()) {
+      std::cerr << "trace export failed: " << s << "\n";
+    }
+  }
+  if (!metrics_out->empty()) {
+    if (Status s = runtime::WriteMetricsFile(metrics, sink, *metrics_out);
+        !s.ok()) {
+      std::cerr << "metrics export failed: " << s << "\n";
+    }
+  }
+
   double max_err = 0;
   for (size_t v = 0; v < truth.size(); ++v) {
     max_err = std::max(max_err, std::abs(run->ranks[v] - truth[v]));

@@ -336,6 +336,8 @@ Result<AlsResult> RunAls(const std::vector<Rating>& ratings,
   // written when trace_file leaves scope (even on an error return).
   runtime::ScopedTraceFile trace_file(options.trace_path, env.clock,
                                       &env.tracer);
+  runtime::ScopedMetricsFile metrics_file(options.metrics_path, env.metrics,
+                                          &env.metrics_sink);
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;

@@ -272,6 +272,8 @@ Result<ConnectedComponentsResult> RunConnectedComponentsWithSnapshots(
   // written when trace_file leaves scope (even on an error return).
   runtime::ScopedTraceFile trace_file(options.trace_path, env.clock,
                                       &env.tracer);
+  runtime::ScopedMetricsFile metrics_file(options.metrics_path, env.metrics,
+                                          &env.metrics_sink);
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;
@@ -367,6 +369,8 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
   // written when trace_file leaves scope (even on an error return).
   runtime::ScopedTraceFile trace_file(options.trace_path, env.clock,
                                       &env.tracer);
+  runtime::ScopedMetricsFile metrics_file(options.metrics_path, env.metrics,
+                                          &env.metrics_sink);
 
   dataflow::ExecOptions exec;
   exec.num_partitions = options.num_partitions;

@@ -166,6 +166,9 @@ ExecCache::Entry& ExecCache::Emplace(int node_id, Role role) {
                                        num_partitions_);
   it = entries_.emplace(key, std::move(seg)).first;
   ++builds_;
+  if (metrics_ != nullptr) {
+    metrics_->Count(runtime::metric::kCacheBuilds, -1);
+  }
   return it->second->entry;
 }
 
@@ -194,6 +197,9 @@ uint64_t ExecCache::Invalidate(const std::vector<int>& partitions) {
   if (partitions.empty() || entries_.empty()) return 0;
   uint64_t released = Clear();
   ++invalidations_;
+  if (metrics_ != nullptr) {
+    metrics_->Count(runtime::metric::kCacheInvalidations, -1);
+  }
   return released;
 }
 

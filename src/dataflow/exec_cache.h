@@ -52,6 +52,7 @@
 #include "dataflow/dataset.h"
 #include "dataflow/record.h"
 #include "runtime/memory_manager.h"
+#include "runtime/metrics.h"
 
 namespace flinkless::runtime {
 class StableStorage;
@@ -130,6 +131,12 @@ class ExecCache {
 
   runtime::MemoryManager* memory_manager() const { return manager_; }
 
+  /// Mirrors hit/build/invalidation counts into the metrics v2 sink under
+  /// the canonical cache.* names. Borrowed, may be null (= off). The
+  /// legacy hits()/builds()/invalidations() accessors stay as shims over
+  /// the same counts.
+  void set_metrics(runtime::MetricsSink* metrics) { metrics_ = metrics; }
+
   /// Entries are keyed per partition count: executing with a different
   /// count drops everything (a repartition invalidates every shuffle).
   void EnsurePartitionCount(int num_partitions) {
@@ -173,7 +180,10 @@ class ExecCache {
   /// Drops everything (blobs included). Returns the bytes released.
   uint64_t Clear();
 
-  void CountHit() { ++hits_; }
+  void CountHit() {
+    ++hits_;
+    if (metrics_ != nullptr) metrics_->Count(runtime::metric::kCacheHits, -1);
+  }
 
   size_t size() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }
@@ -191,6 +201,7 @@ class ExecCache {
   std::vector<std::string> volatile_bindings_;
   int num_partitions_ = -1;
   runtime::MemoryManager* manager_ = nullptr;
+  runtime::MetricsSink* metrics_ = nullptr;
   runtime::StableStorage* storage_ = nullptr;
   /// Spill key prefix: "spill/<job_id>/".
   std::string spill_prefix_;

@@ -207,12 +207,23 @@ Executor::Executor(ExecOptions options) : options_(options) {
 
 void Executor::ForEachPartition(int count,
                                 const std::function<void(int)>& fn) const {
+  CountPoolWork(count);
   runtime::ParallelFor(pool_.get(), count, fn);
 }
 
 void Executor::ForEachPartition(const runtime::TraceSpan& parent,
                                 const PartitionedDataset* in, int count,
                                 const std::function<void(int)>& fn) const {
+  CountPoolWork(count);
+  if (options_.metrics != nullptr && in != nullptr) {
+    // Per-partition operator input records, counted on the orchestration
+    // thread so the family exists (with identical values) at any thread
+    // count.
+    for (int p = 0; p < count; ++p) {
+      options_.metrics->Count(runtime::metric::kExecRecords, p,
+                              in->partition(p).size());
+    }
+  }
   std::function<int64_t(int)> records_of;
   if (parent.active() && in != nullptr) {
     records_of = [in](int p) {
@@ -220,6 +231,32 @@ void Executor::ForEachPartition(const runtime::TraceSpan& parent,
     };
   }
   runtime::TracedParallelFor(pool_.get(), parent, count, fn, records_of);
+}
+
+void Executor::CountPoolWork(int tasks) const {
+  if (options_.metrics == nullptr || tasks <= 0) return;
+  options_.metrics->Count(runtime::metric::kPoolParallelSections, -1);
+  options_.metrics->Count(runtime::metric::kPoolTasks, -1,
+                          static_cast<uint64_t>(tasks));
+}
+
+void Executor::ObserveBatchRows(const PartitionedDataset& ds) const {
+  if (options_.metrics == nullptr) return;
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    options_.metrics->Observe(runtime::metric::kHistBatchRows,
+                              static_cast<int64_t>(ds.partition(p).size()));
+  }
+}
+
+void Executor::ObserveProbeChains(const FlatKeyIndex& index) const {
+  if (options_.metrics == nullptr) return;
+  runtime::Histogram local;
+  for (int32_t head : index.heads()) {
+    int64_t chain = 0;
+    for (int32_t row = head; row >= 0; row = index.Next(row)) ++chain;
+    local.Observe(chain);
+  }
+  options_.metrics->Merge(runtime::metric::kHistProbeChain, local);
 }
 
 void Executor::ChargeCompute(
@@ -300,6 +337,7 @@ PartitionedDataset Executor::ShuffleImpl(Input&& input, const KeyColumns& key,
           return static_cast<int64_t>(in_sizes[base + i]);
         };
       }
+      CountPoolWork(count);
       runtime::TracedParallelFor(
           pool_.get(), scatter_span, count,
           [&](int i) {
@@ -379,6 +417,17 @@ PartitionedDataset Executor::ShuffleImpl(Input&& input, const KeyColumns& key,
 
   uint64_t total_moved = 0;
   for (uint64_t m : moved) total_moved += m;
+  if (options_.metrics != nullptr) {
+    // Per-source-partition shuffle fan-out: how many of partition p's
+    // records left it for another partition. The counter makes skewed
+    // senders visible; the histogram gives the distribution across all
+    // shuffles of the run.
+    for (int p = 0; p < sources; ++p) {
+      options_.metrics->Count(runtime::metric::kShuffleFanout, p, moved[p]);
+      options_.metrics->Observe(runtime::metric::kHistShuffleFanout,
+                                static_cast<int64_t>(moved[p]));
+    }
+  }
   if (scatter_span.active()) {
     scatter_span.AddArg("messages", static_cast<int64_t>(total_moved));
     if (per_partition_args_) {
@@ -625,6 +674,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           if (node.pre_combine) {
             // Local pre-aggregation before the shuffle: fewer messages.
             combined = PartitionedDataset(in->num_partitions());
+            if (batch) ObserveBatchRows(*in);
             reset_status();
             ForEachPartition(op_span, in, in->num_partitions(), [&](int p) {
               if (batch) {
@@ -661,6 +711,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               in == &combined
                   ? Shuffle(std::move(combined), node.left_key, &local_stats)
                   : Shuffle(*in, node.left_key, &local_stats);
+          if (batch) ObserveBatchRows(shuffled);
           PartitionedDataset out(n);
           reset_status();
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
@@ -712,6 +763,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           const PartitionedDataset& in = input_of(node.inputs[0]);
           PartitionedDataset shuffled =
               Shuffle(in, node.left_key, &local_stats);
+          if (batch) ObserveBatchRows(shuffled);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
             if (batch) {
@@ -788,6 +840,10 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                   entry.flat_index[p].Build(data->partition(p),
                                             node.left_key);
                 });
+                ObserveBatchRows(*data);
+                for (int p = 0; p < n; ++p) {
+                  ObserveProbeChains(entry.flat_index[p]);
+                }
               } else {
                 entry.join_index.resize(n);
                 ForEachPartition(n, [&](int p) {
@@ -884,12 +940,14 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             const PartitionedDataset& right = *e->data;
             PartitionedDataset left = Shuffle(input_of(node.inputs[0]),
                                               node.left_key, &local_stats);
+            if (batch) ObserveBatchRows(left);
             PartitionedDataset out(n);
             ForEachPartition(op_span, &left, n, [&](int p) {
               if (batch) {
                 const std::vector<Record>& rows = left.partition(p);
                 FlatKeyIndex index;
                 index.Build(rows, node.left_key);
+                ObserveProbeChains(index);
                 for (const Record& r : right.partition(p)) {
                   int32_t row = index.FindFirst(
                       r, node.right_key, HashKey(r, node.right_key));
@@ -923,12 +981,14 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               Shuffle(input_of(node.inputs[0]), node.left_key, &local_stats);
           PartitionedDataset right =
               Shuffle(input_of(node.inputs[1]), node.right_key, &local_stats);
+          if (batch) ObserveBatchRows(left);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &left, n, [&](int p) {
             if (batch) {
               const std::vector<Record>& rows = left.partition(p);
               FlatKeyIndex index;
               index.Build(rows, node.left_key);
+              ObserveProbeChains(index);
               for (const Record& r : right.partition(p)) {
                 int32_t row = index.FindFirst(
                     r, node.right_key, HashKey(r, node.right_key));
@@ -1138,6 +1198,7 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           batch ? ++local_stats.batch_ops : ++local_stats.row_fallback_ops;
           PartitionedDataset shuffled = Shuffle(input_of(node.inputs[0]),
                                                 node.left_key, &local_stats);
+          if (batch) ObserveBatchRows(shuffled);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
             if (batch) {
@@ -1211,6 +1272,18 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
     } else {
       outputs.emplace(name, *s.view);
     }
+  }
+  if (options_.metrics != nullptr) {
+    // Job-level roll-ups of this Execute, under the canonical v2 names.
+    // The per-partition families (exec.records, shuffle.fanout) are
+    // recorded at the operator/shuffle sites above; cache hits are counted
+    // by the ExecCache itself.
+    runtime::MetricsSink* m = options_.metrics;
+    m->Count(runtime::metric::kExecBatchOps, -1, local_stats.batch_ops);
+    m->Count(runtime::metric::kExecRowFallbackOps, -1,
+             local_stats.row_fallback_ops);
+    m->Count(runtime::metric::kCacheRecordsNotReshuffled, -1,
+             local_stats.records_not_reshuffled);
   }
   if (stats != nullptr) stats->MergeFrom(local_stats);
   return outputs;

@@ -21,6 +21,7 @@
 #include "dataflow/dataset.h"
 #include "dataflow/plan.h"
 #include "runtime/cost_model.h"
+#include "runtime/metrics.h"
 #include "runtime/sim_clock.h"
 #include "runtime/thread_pool.h"
 #include "runtime/tracing.h"
@@ -28,6 +29,7 @@
 namespace flinkless::dataflow {
 
 class ExecCache;
+class FlatKeyIndex;
 
 /// Input datasets for a plan execution, keyed by source binding name. The
 /// pointed-to datasets are borrowed and must outlive the Execute call.
@@ -124,6 +126,15 @@ struct ExecOptions {
 
   /// Per-partition trace-arg verbosity (see TraceDetail).
   TraceDetail trace_detail = TraceDetail::kAuto;
+
+  /// Optional metrics v2 sink (see runtime/metrics.h). When set, the
+  /// executor records per-partition counters (operator input records,
+  /// shuffle fan-out) and job-level counters/histograms (batch vs row
+  /// ops, batch sizes, join probe chain lengths, parallel-section
+  /// dispatches). Null = metrics off. Recording never changes outputs,
+  /// ExecStats, or SimClock charges, and the recorded values are
+  /// identical at any thread count (DESIGN.md §13).
+  runtime::MetricsSink* metrics = nullptr;
 };
 
 /// Stateless plan interpreter. One Executor can run many plans; options are
@@ -184,6 +195,20 @@ class Executor {
                      const PartitionedDataset* b = nullptr) const;
 
   void ChargeNetwork(uint64_t messages) const;
+
+  /// Counts one parallel section of `tasks` task indices into the metrics
+  /// sink. Counted at the executor level, not inside the ThreadPool: a
+  /// serial executor (num_threads == 1) has no pool at all, and the
+  /// exported totals must be identical at any thread count.
+  void CountPoolWork(int tasks) const;
+
+  /// Observes every partition's row count into the batch-size histogram
+  /// (called on batch-path operators only).
+  void ObserveBatchRows(const PartitionedDataset& ds) const;
+
+  /// Observes each build-side group's chain length into the probe-chain
+  /// histogram. Safe from worker threads (histograms merge commutatively).
+  void ObserveProbeChains(const FlatKeyIndex& index) const;
 
   template <typename Input>
   PartitionedDataset ShuffleImpl(Input&& input, const KeyColumns& key,

@@ -52,6 +52,14 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
   if (exec_options_.tracer == nullptr) exec_options_.tracer = env_.tracer;
   runtime::Tracer* tracer = exec_options_.tracer;
 
+  // Metrics v2 flows the same two ways; either injection point wins and
+  // every layer (executor, cache, memory manager, driver) records into the
+  // same sink.
+  if (exec_options_.metrics == nullptr) {
+    exec_options_.metrics = env_.metrics_sink;
+  }
+  runtime::MetricsSink* metrics = exec_options_.metrics;
+
   // Loop-invariant cache for this run: only the state binding changes
   // between supersteps, so everything derived purely from the static
   // bindings is shuffled/indexed once and reused (DESIGN.md §10).
@@ -61,7 +69,9 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
   // peak residency is always measured (no spills happen then). Declared
   // before the cache: the cache unregisters its segments on destruction.
   runtime::MemoryManager memory(exec_options_.memory_budget_bytes);
+  memory.set_metrics(metrics);
   dataflow::ExecCache cache(std::vector<std::string>{config_.state_binding});
+  cache.set_metrics(metrics);
   dataflow::ExecOptions exec_opts = exec_options_;
   if (config_.cache_loop_invariant && exec_opts.cache == nullptr) {
     exec_opts.cache = &cache;
@@ -197,6 +207,11 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
       istats.failure_injected = true;
       converged = false;
       ++result.failures_recovered;
+      if (metrics != nullptr) {
+        for (int p : lost) {
+          metrics->Count(runtime::metric::kRecoveryPartitionsLost, p);
+        }
+      }
       if (tracer != nullptr) {
         tracer->Instant(runtime::InstantKind::kFailureInjected, -1,
                         {{"iteration", iteration},
@@ -247,6 +262,16 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
                                   "iteration " +
                                   std::to_string(iteration));
       }
+      if (metrics != nullptr) {
+        // Records now standing in the lost partitions: what the recovery
+        // action (compensation, checkpoint restore, or restart) put back.
+        for (int p : lost) {
+          const uint64_t repaired = state.data().partition(p).size();
+          metrics->Count(runtime::metric::kCompensationRecords, p, repaired);
+          metrics->Observe(runtime::metric::kHistCompensationRecords,
+                           static_cast<int64_t>(repaired));
+        }
+      }
     } else {
       runtime::TraceSpan cp_span(tracer, runtime::SpanKind::kCheckpoint,
                                  policy->name());
@@ -294,6 +319,14 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     }
   }
 
+  if (metrics != nullptr) {
+    // End-of-run per-partition state size — the balance the hash
+    // partitioner achieved.
+    for (int p = 0; p < n; ++p) {
+      metrics->SetGauge(runtime::metric::kGaugeStateRecords, p,
+                        static_cast<double>(state.data().partition(p).size()));
+    }
+  }
   result.final_state = std::move(state.data());
   return result;
 }

@@ -31,6 +31,11 @@ struct JobEnv {
   /// it into the executor and open superstep/checkpoint/compensation spans
   /// and failure instants on it. Null = tracing off.
   runtime::Tracer* tracer = nullptr;
+  /// Optional metrics v2 sink (per-partition counters, histograms,
+  /// gauges — see runtime/metrics.h). The drivers propagate it into the
+  /// executor, cache, and memory manager, and record recovery counters
+  /// (partitions lost, compensation records) on it. Null = metrics v2 off.
+  runtime::MetricsSink* metrics_sink = nullptr;
   std::string job_id = "job";
 };
 

@@ -54,6 +54,14 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
   if (exec_options_.tracer == nullptr) exec_options_.tracer = env_.tracer;
   runtime::Tracer* tracer = exec_options_.tracer;
 
+  // Metrics v2 flows the same two ways; either injection point wins and
+  // every layer (executor, cache, memory manager, driver) records into the
+  // same sink.
+  if (exec_options_.metrics == nullptr) {
+    exec_options_.metrics = env_.metrics_sink;
+  }
+  runtime::MetricsSink* metrics = exec_options_.metrics;
+
   // Loop-invariant cache for this run: the workset and solution bindings
   // are rebound every superstep; everything derived purely from the static
   // bindings is shuffled/indexed once and reused (DESIGN.md §10).
@@ -63,8 +71,10 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
   // peak residency is always measured (no spills happen then). Declared
   // before the cache: the cache unregisters its segments on destruction.
   runtime::MemoryManager memory(exec_options_.memory_budget_bytes);
+  memory.set_metrics(metrics);
   dataflow::ExecCache cache(std::vector<std::string>{
       config_.workset_binding, config_.solution_binding});
+  cache.set_metrics(metrics);
   dataflow::ExecOptions exec_opts = exec_options_;
   if (config_.cache_loop_invariant && exec_opts.cache == nullptr) {
     exec_opts.cache = &cache;
@@ -217,6 +227,11 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     if (!lost.empty()) {
       istats.failure_injected = true;
       ++result.failures_recovered;
+      if (metrics != nullptr) {
+        for (int p : lost) {
+          metrics->Count(runtime::metric::kRecoveryPartitionsLost, p);
+        }
+      }
       if (tracer != nullptr) {
         tracer->Instant(runtime::InstantKind::kFailureInjected, -1,
                         {{"iteration", iteration},
@@ -270,6 +285,17 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
                                   "iteration " +
                                   std::to_string(iteration));
       }
+      if (metrics != nullptr) {
+        // Entries now standing in the lost solution partitions: what the
+        // recovery action (compensation, checkpoint restore, or restart)
+        // put back.
+        for (int p : lost) {
+          const uint64_t repaired = state.solution().PartitionSize(p);
+          metrics->Count(runtime::metric::kCompensationRecords, p, repaired);
+          metrics->Observe(runtime::metric::kHistCompensationRecords,
+                           static_cast<int64_t>(repaired));
+        }
+      }
     } else {
       runtime::TraceSpan cp_span(tracer, runtime::SpanKind::kCheckpoint,
                                  policy->name());
@@ -317,6 +343,14 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
   if (result.converged && tracer != nullptr) {
     tracer->Instant(runtime::InstantKind::kConvergenceReached, -1,
                     {{"iteration", result.iterations}});
+  }
+  if (metrics != nullptr) {
+    // End-of-run per-partition solution size — the balance the hash
+    // partitioner achieved.
+    for (int p = 0; p < n; ++p) {
+      metrics->SetGauge(runtime::metric::kGaugeStateRecords, p,
+                        static_cast<double>(state.solution().PartitionSize(p)));
+    }
   }
   result.final_solution = std::move(state.solution());
   return result;

@@ -144,6 +144,12 @@ std::vector<Record> SolutionSet::PartitionRecords(int p) const {
   return out;
 }
 
+uint64_t SolutionSet::PartitionSize(int p) const {
+  FLINKLESS_CHECK(p >= 0 && p < num_partitions(),
+                  "solution-set partition " << p << " out of range");
+  return parts_[p].entries.size();
+}
+
 uint64_t SolutionSet::version(int p) const {
   FLINKLESS_CHECK(p >= 0 && p < num_partitions(),
                   "solution-set partition " << p << " out of range");

@@ -117,6 +117,9 @@ class SolutionSet {
   /// Entries of one partition in key order.
   std::vector<dataflow::Record> PartitionRecords(int p) const;
 
+  /// Entry count of one partition (no materialization).
+  uint64_t PartitionSize(int p) const;
+
   /// Partition `p`'s modification clock: bumped by every Upsert into it
   /// (and by ReplacePartition per record). Lets incremental checkpointing
   /// ask "what changed in this partition since version v". Clocks of

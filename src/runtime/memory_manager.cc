@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "runtime/metrics.h"
 
 namespace flinkless::runtime {
 
@@ -50,6 +51,10 @@ Status MemoryManager::Touch(SpillableSegment* segment, Tracer* tracer,
   uint64_t bytes = segment->resident_bytes();
   ++stats_.unspills;
   stats_.unspilled_bytes += bytes;
+  if (metrics_ != nullptr) {
+    metrics_->Count(metric::kMemoryUnspills, -1);
+    metrics_->Count(metric::kMemoryUnspilledBytes, -1, bytes);
+  }
   NotePeak();
   if (span.active()) {
     span.AddArg("bytes", static_cast<int64_t>(bytes));
@@ -83,6 +88,11 @@ Status MemoryManager::EnforceBudget(const SpillableSegment* keep,
     FLINKLESS_RETURN_NOT_OK(seg->Spill());
     ++stats_.spills;
     stats_.spilled_bytes += bytes;
+    if (metrics_ != nullptr) {
+      metrics_->Count(metric::kMemorySpills, -1);
+      metrics_->Count(metric::kMemorySpilledBytes, -1, bytes);
+      metrics_->Observe(metric::kHistSpillBytes, static_cast<int64_t>(bytes));
+    }
     if (span.active()) {
       span.AddArg("bytes", static_cast<int64_t>(bytes));
       span.AddArg("partitions", seg->num_partitions());

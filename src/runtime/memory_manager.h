@@ -31,6 +31,8 @@
 
 namespace flinkless::runtime {
 
+class MetricsSink;
+
 /// One unit of budgeted memory. Implementations serialize themselves to
 /// StableStorage under their `spill_key()` and rebuild on Unspill(); any
 /// derived structures (hash indexes) must be reconstructed from the
@@ -81,6 +83,12 @@ class MemoryManager {
 
   uint64_t budget_bytes() const { return budget_bytes_; }
 
+  /// Mirrors every spill/unspill (count, bytes, and the spill-size
+  /// histogram) into the metrics v2 sink. Borrowed, may be null (= off);
+  /// set by the owning driver before the run. The legacy stats() block
+  /// stays as a shim over the same events.
+  void set_metrics(MetricsSink* metrics) { metrics_ = metrics; }
+
   /// Registers a segment as most-recently-used. The caller still owns it
   /// and must Unregister before destroying it.
   void Register(SpillableSegment* segment);
@@ -121,6 +129,7 @@ class MemoryManager {
   void NotePeak();
 
   uint64_t budget_bytes_;
+  MetricsSink* metrics_ = nullptr;
   uint64_t next_access_ = 1;
   std::vector<Slot> segments_;
   Stats stats_;

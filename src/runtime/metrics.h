@@ -1,10 +1,27 @@
-// Metrics: counters and per-iteration statistics series.
+// Metrics: counters and per-iteration statistics series, plus the typed,
+// labeled metrics v2 layer (DESIGN.md §13).
 //
 // The paper's GUI plots per-iteration statistics — converged-vertex counts,
 // messages per iteration, the L1 norm of consecutive PageRank estimates. The
 // engine records an IterationStats entry per superstep; algorithms attach
 // custom gauges (e.g. "converged_vertices"), and the bench harnesses read the
 // series back to regenerate the plots.
+//
+// Metrics v2 adds what the series cannot answer: *where inside the job* the
+// work happened. A MetricsSink collects per-partition counters, job-level
+// fixed-bucket histograms, and orchestration-set gauges, sharded per worker
+// exactly like the Tracer's ring buffers so recording never contends across
+// threads. Determinism contract (mirrors tracing):
+//  * Counter increments and histogram observations are commutative, so the
+//    merged totals are independent of which worker recorded what.
+//  * Collect() merges the shards into std::map-ordered families, so an
+//    export is byte-identical at any thread count.
+//  * Gauges are last-write-wins and therefore orchestration-thread-only.
+//  * Labels are partition indices (or -1 = job-level), never worker ids —
+//    worker attribution is nondeterministic and belongs to tracing.
+// Exporters: NDJSON (per-iteration series + final families) and a
+// Prometheus-style text exposition. Neither format includes wall-clock
+// fields.
 
 #ifndef FLINKLESS_RUNTIME_METRICS_H_
 #define FLINKLESS_RUNTIME_METRICS_H_
@@ -12,9 +29,13 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "runtime/sim_clock.h"
 
 namespace flinkless::runtime {
@@ -85,6 +106,9 @@ class MetricsRegistry {
 
   const std::vector<IterationStats>& iterations() const { return iterations_; }
 
+  /// All whole-job counters, name-ordered (for exporters).
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
   /// The series of one gauge across iterations, with `fallback` for
   /// iterations that did not set it.
   std::vector<double> GaugeSeries(const std::string& name,
@@ -110,6 +134,208 @@ class MetricsRegistry {
  private:
   std::vector<IterationStats> iterations_;
   std::map<std::string, uint64_t> counters_;
+};
+
+// ------------------------------------------------------------ metrics v2 --
+
+/// Canonical v2 metric names. One naming convention —
+/// "<subsystem>.<what>[_<unit>]" — replaces the ad-hoc gauge/counter names
+/// that accumulated per PR (satellite of DESIGN.md §13). Call sites use
+/// these constants so a rename is one edit.
+namespace metric {
+// Executor (per-partition counters).
+inline constexpr char kExecRecords[] = "exec.records";
+inline constexpr char kExecBatchOps[] = "exec.batch_ops";
+inline constexpr char kExecRowFallbackOps[] = "exec.row_fallback_ops";
+// Shuffle: records leaving each source partition for another partition.
+inline constexpr char kShuffleFanout[] = "shuffle.fanout";
+// Cache (job-level counters).
+inline constexpr char kCacheHits[] = "cache.hits";
+inline constexpr char kCacheBuilds[] = "cache.builds";
+inline constexpr char kCacheInvalidations[] = "cache.invalidations";
+inline constexpr char kCacheRecordsNotReshuffled[] =
+    "cache.records_not_reshuffled";
+// Memory manager (job-level counters).
+inline constexpr char kMemorySpills[] = "memory.spills";
+inline constexpr char kMemoryUnspills[] = "memory.unspills";
+inline constexpr char kMemorySpilledBytes[] = "memory.spilled_bytes";
+inline constexpr char kMemoryUnspilledBytes[] = "memory.unspilled_bytes";
+// Thread pool (job-level counters; totals are schedule-independent).
+inline constexpr char kPoolTasks[] = "pool.tasks";
+inline constexpr char kPoolParallelSections[] = "pool.parallel_sections";
+// Recovery (per-partition counters).
+inline constexpr char kCompensationRecords[] = "compensation.records";
+inline constexpr char kRecoveryPartitionsLost[] = "recovery.partitions_lost";
+// Histograms (job-level distributions).
+inline constexpr char kHistBatchRows[] = "exec.batch_rows";
+inline constexpr char kHistProbeChain[] = "join.probe_chain";
+inline constexpr char kHistSpillBytes[] = "memory.spill_bytes";
+inline constexpr char kHistShuffleFanout[] = "shuffle.fanout_records";
+inline constexpr char kHistCompensationRecords[] = "compensation.records_hist";
+// Gauges (orchestration-set, per-partition).
+inline constexpr char kGaugeStateRecords[] = "state.records";
+}  // namespace metric
+
+/// Deterministic fixed-bucket histogram. Bucket 0 counts values <= 0;
+/// bucket b in [1, kNumBuckets-2] counts values in [2^(b-1), 2^b - 1];
+/// the last bucket is the overflow (values >= 2^(kNumBuckets-2)). The
+/// bounds are value-independent, so merging shards is a plain bucket-wise
+/// sum and the merged result is identical at any thread count.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 33;
+
+  /// Bucket index of `value` under the fixed power-of-two scheme.
+  static int BucketOf(int64_t value);
+
+  /// Inclusive upper bound of `bucket` (2^bucket - 1); the overflow bucket
+  /// has no finite bound and reports INT64_MAX.
+  static int64_t BucketUpperBound(int bucket);
+
+  void Observe(int64_t value);
+  void MergeFrom(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  /// Smallest / largest observed value; 0 when empty.
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  const std::array<uint64_t, kNumBuckets>& buckets() const { return buckets_; }
+
+  friend bool operator==(const Histogram& a, const Histogram& b) = default;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// A merged, deterministically ordered view of everything a MetricsSink
+/// recorded. All maps are std::map so iteration (and thus export) order is
+/// the lexicographic (name, partition) order regardless of recording order.
+struct MetricsSnapshot {
+  /// name -> partition -> value. Partition -1 holds job-level increments.
+  std::map<std::string, std::map<int, uint64_t>> counters;
+  /// name -> partition -> value (orchestration-set; partition -1 = job).
+  std::map<std::string, std::map<int, double>> gauges;
+  /// name -> merged histogram (histograms are job-level distributions).
+  std::map<std::string, Histogram> histograms;
+
+  /// Sum of one counter over all partitions (0 when absent).
+  uint64_t CounterTotal(const std::string& name) const;
+
+  /// One partition's value of a counter (0 when absent).
+  uint64_t Counter(const std::string& name, int partition) const;
+
+  /// The merged histogram, or nullptr when never observed.
+  const Histogram* FindHistogram(const std::string& name) const;
+};
+
+/// Thread-safe, worker-sharded collector for metrics v2. One sink observes
+/// one job run. Mirrors the Tracer's threading contract: Count/Observe are
+/// safe from any thread (each worker slot owns its shard, per-slot mutex
+/// only for the slot-table wrap case); SetGauge and Collect are
+/// orchestration-thread-only.
+class MetricsSink {
+ public:
+  MetricsSink();
+
+  MetricsSink(const MetricsSink&) = delete;
+  MetricsSink& operator=(const MetricsSink&) = delete;
+
+  /// Adds `delta` to counter `name` labeled with `partition` (-1 = job
+  /// level). Safe from any thread. Call sites aggregate locally and count
+  /// once per partition, not once per record.
+  void Count(const std::string& name, int partition, uint64_t delta = 1);
+
+  /// Records one observation into the job-level histogram `name`. Safe
+  /// from any thread.
+  void Observe(const std::string& name, int64_t value);
+
+  /// Folds a locally accumulated histogram into `name` in one step — the
+  /// bulk form of Observe for call sites that observe many values per
+  /// parallel task (e.g. one join probe chain per group). Safe from any
+  /// thread.
+  void Merge(const std::string& name, const Histogram& local);
+
+  /// Sets gauge `name` for `partition` (last write wins — orchestration
+  /// thread only, like Tracer::NextSeq).
+  void SetGauge(const std::string& name, int partition, double value);
+
+  /// Merges all shards into deterministic (name, partition) order. Call
+  /// after the job finished (not concurrently with Count/Observe).
+  MetricsSnapshot Collect() const;
+
+  void Reset();
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::map<std::pair<std::string, int>, uint64_t> counters;
+    std::map<std::string, Histogram> histograms;
+  };
+
+  Slot& SlotForThisThread();
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  // Orchestration-thread state (no lock; same discipline as Tracer's seq).
+  std::map<std::pair<std::string, int>, double> gauges_;
+};
+
+// -------------------------------------------------- metrics v2 exporters --
+
+/// NDJSON export: one {"kind": "iteration"} line per superstep (the
+/// registry's series, wall-clock excluded), then {"kind": "counter"} lines
+/// per (name, partition) plus a {"kind": "counter_total"} line per name,
+/// {"kind": "gauge"} lines, {"kind": "histogram"} lines (non-empty buckets
+/// only), and a {"kind": "meta"} trailer. Registry whole-job counters are
+/// folded in as partition -1 counter lines. Deterministic: byte-identical
+/// at any thread count.
+void ExportMetricsNdjson(const MetricsRegistry& registry,
+                         const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Prometheus-style text exposition: counters as
+/// `flinkless_<name>{partition="p"} v` samples plus an unlabeled total,
+/// histograms as cumulative `_bucket{le="..."}` / `_sum` / `_count`
+/// families, gauges as labeled samples, and registry totals
+/// (`flinkless_sim_time_ns{charge="..."}`, iteration/message/record
+/// totals). Metric names have '.' mapped to '_'. Deterministic.
+void ExportMetricsPrometheus(const MetricsRegistry& registry,
+                             const MetricsSnapshot& snapshot,
+                             std::ostream& out);
+
+/// Collects `sink` and writes `path`; format chosen by extension (".prom"
+/// → Prometheus text, anything else → NDJSON).
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const MetricsSink& sink, const std::string& path);
+
+/// Owns an optional MetricsSink for one algorithm run: when `path` is
+/// non-empty and `*slot` is null, installs a fresh sink into the slot and
+/// writes the metrics file on destruction (so the export survives error
+/// returns). `registry` is read at write time. This is how the algorithm
+/// drivers implement their `metrics_path` option — the analog of
+/// ScopedTraceFile.
+class ScopedMetricsFile {
+ public:
+  ScopedMetricsFile(std::string path, const MetricsRegistry* registry,
+                    MetricsSink** slot);
+  ~ScopedMetricsFile();
+
+  ScopedMetricsFile(const ScopedMetricsFile&) = delete;
+  ScopedMetricsFile& operator=(const ScopedMetricsFile&) = delete;
+
+  MetricsSink* sink() const { return sink_.get(); }
+
+ private:
+  std::string path_;
+  const MetricsRegistry* registry_ = nullptr;
+  std::unique_ptr<MetricsSink> sink_;
 };
 
 }  // namespace flinkless::runtime

@@ -1,0 +1,433 @@
+#include "runtime/profiler.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <unordered_map>
+
+namespace flinkless::runtime {
+
+namespace {
+
+/// Milliseconds with fixed 3-decimal precision for the text reports.
+std::string Ms(int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Per-span derived quantities, keyed by seq (job-level span seqs are
+/// unique; per-partition spans share their section's seq and are handled
+/// as groups instead).
+struct SelfTime {
+  int64_t sim_self_ns = 0;
+  int64_t wall_self_ns = 0;
+};
+
+/// The span tree: children of each job-level span, in snapshot order
+/// (seq, then partition — so a parallel section's spans are consecutive).
+struct SpanTree {
+  std::vector<const TraceEvent*> roots;
+  std::unordered_map<uint64_t, std::vector<const TraceEvent*>> children;
+  std::unordered_map<uint64_t, SelfTime> self;
+
+  static SpanTree Build(const Tracer::Snapshot& snapshot) {
+    SpanTree tree;
+    for (const TraceEvent& e : snapshot.events) {
+      if (e.kind != TraceEvent::Kind::kSpan) continue;
+      if (e.parent_seq == 0) {
+        tree.roots.push_back(&e);
+      } else {
+        tree.children[e.parent_seq].push_back(&e);
+      }
+      if (e.partition < 0) {
+        // Seed self time with the span's own duration; children subtract
+        // below. Per-partition spans never appear here — their wall time
+        // overlaps the parent's and their sim time is zero by contract.
+        SelfTime& st = tree.self[e.seq];
+        st.sim_self_ns += e.sim_dur_ns;
+        st.wall_self_ns += e.wall_dur_ns;
+      }
+    }
+    for (const TraceEvent& e : snapshot.events) {
+      if (e.kind != TraceEvent::Kind::kSpan) continue;
+      if (e.partition >= 0 || e.parent_seq == 0) continue;
+      auto it = tree.self.find(e.parent_seq);
+      if (it == tree.self.end()) continue;
+      it->second.sim_self_ns -= e.sim_dur_ns;
+      it->second.wall_self_ns -= e.wall_dur_ns;
+    }
+    for (auto& [seq, st] : tree.self) {
+      st.sim_self_ns = std::max<int64_t>(st.sim_self_ns, 0);
+      st.wall_self_ns = std::max<int64_t>(st.wall_self_ns, 0);
+    }
+    return tree;
+  }
+};
+
+/// Walks the critical path below `span`. Children in snapshot order are
+/// sequential segments, except runs sharing one seq: those are one
+/// parallel section, and only its longest (wall) partition is on the path.
+void WalkCriticalPath(const SpanTree& tree, const TraceEvent& span, int depth,
+                      std::vector<CriticalPathStep>* out) {
+  auto it = tree.children.find(span.seq);
+  if (it == tree.children.end()) return;
+  const std::vector<const TraceEvent*>& kids = it->second;
+  size_t i = 0;
+  while (i < kids.size()) {
+    size_t j = i + 1;
+    while (j < kids.size() && kids[j]->seq == kids[i]->seq) ++j;
+    if (kids[i]->partition >= 0) {
+      // Parallel section [i, j): the longest partition is critical. Ties
+      // resolve to the lowest partition (the group is partition-ordered).
+      const TraceEvent* critical = kids[i];
+      for (size_t k = i + 1; k < j; ++k) {
+        if (kids[k]->wall_dur_ns > critical->wall_dur_ns) critical = kids[k];
+      }
+      CriticalPathStep step;
+      step.category = critical->category;
+      step.name = critical->name;
+      step.partition = critical->partition;
+      step.depth = depth;
+      step.wall_self_ns = critical->wall_dur_ns;
+      out->push_back(std::move(step));
+    } else {
+      const TraceEvent& child = *kids[i];
+      CriticalPathStep step;
+      step.category = child.category;
+      step.name = child.name;
+      step.partition = -1;
+      step.depth = depth;
+      auto st = tree.self.find(child.seq);
+      if (st != tree.self.end()) {
+        step.sim_self_ns = st->second.sim_self_ns;
+        step.wall_self_ns = st->second.wall_self_ns;
+      }
+      out->push_back(std::move(step));
+      WalkCriticalPath(tree, child, depth + 1, out);
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+bool SuperstepProfile::HasCategory(const std::string& category) const {
+  for (const CriticalPathStep& step : critical_path) {
+    if (step.category == category) return true;
+  }
+  return false;
+}
+
+double OperatorProfile::WallSkew() const {
+  if (wall_partition_median_ns <= 0) return 1.0;
+  return static_cast<double>(wall_partition_max_ns) /
+         static_cast<double>(wall_partition_median_ns);
+}
+
+ProfileReport ProfileReport::FromSnapshot(const Tracer::Snapshot& snapshot) {
+  ProfileReport report;
+  report.total_events = snapshot.events.size();
+  report.dropped_events = snapshot.dropped;
+
+  SpanTree tree = SpanTree::Build(snapshot);
+
+  // Whole-run operator aggregates over every job-level span, plus per-
+  // partition wall observations for the skew stats.
+  std::map<std::pair<std::string, std::string>, OperatorProfile> operators;
+  std::map<std::pair<std::string, std::string>, std::vector<int64_t>>
+      partition_walls;
+  for (const TraceEvent& e : snapshot.events) {
+    if (e.kind != TraceEvent::Kind::kSpan) continue;
+    const std::pair<std::string, std::string> key{e.category, e.name};
+    if (e.partition >= 0) {
+      partition_walls[key].push_back(e.wall_dur_ns);
+      OperatorProfile& op = operators[key];
+      op.category = e.category;
+      op.name = e.name;
+      op.partitions_observed =
+          std::max(op.partitions_observed, e.partition + 1);
+      continue;
+    }
+    OperatorProfile& op = operators[key];
+    op.category = e.category;
+    op.name = e.name;
+    ++op.spans;
+    op.sim_total_ns += e.sim_dur_ns;
+    op.wall_total_ns += e.wall_dur_ns;
+    auto st = tree.self.find(e.seq);
+    if (st != tree.self.end()) {
+      op.sim_self_ns += st->second.sim_self_ns;
+      op.wall_self_ns += st->second.wall_self_ns;
+    }
+  }
+  for (auto& [key, walls] : partition_walls) {
+    std::sort(walls.begin(), walls.end());
+    OperatorProfile& op = operators[key];
+    op.wall_partition_max_ns = walls.back();
+    op.wall_partition_median_ns = walls[walls.size() / 2];
+  }
+  for (auto& [key, op] : operators) {
+    report.operators.push_back(std::move(op));
+  }
+
+  // Critical path of every iteration span (supersteps are root-level spans
+  // in both drivers; tolerate nesting by scanning all spans).
+  const char* iteration_category = SpanKindName(SpanKind::kIteration);
+  for (const TraceEvent& e : snapshot.events) {
+    if (e.kind != TraceEvent::Kind::kSpan || e.partition >= 0) continue;
+    if (e.category != iteration_category) continue;
+    SuperstepProfile profile;
+    profile.iteration = e.iteration;
+    profile.sim_ns = e.sim_dur_ns;
+    profile.wall_ns = e.wall_dur_ns;
+    WalkCriticalPath(tree, e, 0, &profile.critical_path);
+    auto st = tree.self.find(e.seq);
+    if (st != tree.self.end()) {
+      profile.sim_self_by_category[e.category] += st->second.sim_self_ns;
+    }
+    for (const CriticalPathStep& step : profile.critical_path) {
+      profile.sim_self_by_category[step.category] += step.sim_self_ns;
+    }
+    report.supersteps.push_back(std::move(profile));
+  }
+
+  return report;
+}
+
+const OperatorProfile* ProfileReport::Find(const std::string& category,
+                                           const std::string& name) const {
+  for (const OperatorProfile& op : operators) {
+    if (op.category == category && op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+std::vector<const OperatorProfile*> ProfileReport::Hotspots(size_t n) const {
+  std::vector<const OperatorProfile*> ranked;
+  ranked.reserve(operators.size());
+  for (const OperatorProfile& op : operators) ranked.push_back(&op);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const OperatorProfile* a, const OperatorProfile* b) {
+              if (a->sim_self_ns != b->sim_self_ns) {
+                return a->sim_self_ns > b->sim_self_ns;
+              }
+              if (a->category != b->category) return a->category < b->category;
+              return a->name < b->name;
+            });
+  if (ranked.size() > n) ranked.resize(n);
+  return ranked;
+}
+
+bool ProfileReport::CriticalPathHasCategory(const std::string& category) const {
+  for (const SuperstepProfile& superstep : supersteps) {
+    if (superstep.HasCategory(category)) return true;
+  }
+  return false;
+}
+
+std::string ProfileReport::RenderText(size_t top_n) const {
+  std::string out;
+  out += "== profile: " + std::to_string(supersteps.size()) + " supersteps, " +
+         std::to_string(operators.size()) + " span families";
+  if (dropped_events > 0) {
+    out += " (" + std::to_string(dropped_events) + " events dropped)";
+  }
+  out += " ==\n";
+
+  int64_t total_sim_self = 0;
+  for (const OperatorProfile& op : operators) total_sim_self += op.sim_self_ns;
+
+  out += "top hotspots by sim self time:\n";
+  size_t rank = 1;
+  for (const OperatorProfile* op : Hotspots(top_n)) {
+    double share = total_sim_self > 0
+                       ? 100.0 * static_cast<double>(op->sim_self_ns) /
+                             static_cast<double>(total_sim_self)
+                       : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %2zu. %-16s %-24s sim self %s (%.1f%%), %" PRIu64
+                  " spans, wall self %s\n",
+                  rank++, op->category.c_str(), op->name.c_str(),
+                  Ms(op->sim_self_ns).c_str(), share, op->spans,
+                  Ms(op->wall_self_ns).c_str());
+    out += line;
+  }
+
+  out += "partition skew (max/median wall over parallel sections):\n";
+  for (const OperatorProfile& op : operators) {
+    if (op.partitions_observed == 0) continue;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %-24s skew %.2f (max %s, median %s, %d "
+                  "partitions)\n",
+                  op.category.c_str(), op.name.c_str(), op.WallSkew(),
+                  Ms(op.wall_partition_max_ns).c_str(),
+                  Ms(op.wall_partition_median_ns).c_str(),
+                  op.partitions_observed);
+    out += line;
+  }
+
+  // The supersteps worth dumping: the most sim-expensive one, plus every
+  // superstep whose critical path includes compensation work (the recovery
+  // story the paper demos).
+  const SuperstepProfile* most_expensive = nullptr;
+  for (const SuperstepProfile& s : supersteps) {
+    if (most_expensive == nullptr || s.sim_ns > most_expensive->sim_ns) {
+      most_expensive = &s;
+    }
+  }
+  const std::string compensation = SpanKindName(SpanKind::kCompensation);
+  for (const SuperstepProfile& s : supersteps) {
+    const bool recovery = s.HasCategory(compensation);
+    if (&s != most_expensive && !recovery) continue;
+    out += "critical path, superstep " + std::to_string(s.iteration) +
+           (recovery ? " (recovery)" : " (most expensive)") + ": sim " +
+           Ms(s.sim_ns) + ", wall " + Ms(s.wall_ns) + "\n";
+    for (const CriticalPathStep& step : s.critical_path) {
+      out += "  ";
+      out.append(static_cast<size_t>(step.depth) * 2, ' ');
+      out += step.category + " " + step.name;
+      if (step.partition >= 0) {
+        out += " [p" + std::to_string(step.partition) + "] wall " +
+               Ms(step.wall_self_ns);
+      } else {
+        out += " sim self " + Ms(step.sim_self_ns);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------- recovery health --
+
+std::vector<RecoveryHealth> ComputeRecoveryHealth(
+    const MetricsRegistry& registry, const MetricsRegistry* baseline) {
+  const std::vector<IterationStats>& iters = registry.iterations();
+
+  // Baseline iterations by iteration number (both drivers number 1..N, but
+  // a recovered run can execute more supersteps than the baseline ran).
+  std::map<int, const IterationStats*> baseline_by_iteration;
+  if (baseline != nullptr) {
+    for (const IterationStats& it : baseline->iterations()) {
+      baseline_by_iteration[it.iteration] = &it;
+    }
+  }
+
+  std::vector<RecoveryHealth> reports;
+  for (size_t i = 0; i < iters.size(); ++i) {
+    if (!iters[i].failure_injected) continue;
+
+    RecoveryHealth r;
+    r.failure_iteration = iters[i].iteration;
+    r.baseline_adjusted = baseline != nullptr;
+    r.pre_failure_metric =
+        i > 0 ? iters[i - 1].Gauge("convergence_metric",
+                                   std::numeric_limits<double>::infinity())
+              : std::numeric_limits<double>::infinity();
+
+    // Convergence damage at the failure superstep, measured against the
+    // failure-free trajectory when we have one (how far the compensation
+    // fell short), else against the pre-failure metric.
+    const double at_failure = iters[i].Gauge(
+        "convergence_metric", std::numeric_limits<double>::infinity());
+    double reference = r.pre_failure_metric;
+    if (baseline != nullptr) {
+      auto bit = baseline_by_iteration.find(r.failure_iteration);
+      if (bit != baseline_by_iteration.end()) {
+        reference = bit->second->Gauge(
+            "convergence_metric", std::numeric_limits<double>::infinity());
+      }
+    }
+    if (std::isfinite(at_failure) && std::isfinite(reference)) {
+      r.convergence_gap = at_failure - reference;
+    }
+
+    // The recovery window: [failure, first iteration back at the
+    // pre-failure metric], cut short by the next failure or end of run.
+    size_t end = i;
+    for (size_t j = i; j < iters.size(); ++j) {
+      if (j > i && iters[j].failure_injected) break;
+      end = j;
+      const double metric = iters[j].Gauge(
+          "convergence_metric", std::numeric_limits<double>::infinity());
+      if (metric <= r.pre_failure_metric) {
+        r.reconverged = true;
+        break;
+      }
+    }
+    r.window_end_iteration = iters[end].iteration;
+    r.supersteps_to_reconverge = static_cast<int>(end - i) + 1;
+
+    for (size_t j = i; j <= end; ++j) {
+      const IterationStats* base = nullptr;
+      auto bit = baseline_by_iteration.find(iters[j].iteration);
+      if (bit != baseline_by_iteration.end()) base = bit->second;
+      for (int c = 0; c < kNumCharges; ++c) {
+        int64_t ns = iters[j].sim_time_by_charge[c];
+        if (base != nullptr) ns -= base->sim_time_by_charge[c];
+        r.sim_lost_by_charge[c] += ns;
+        r.sim_lost_ns += ns;
+      }
+      int64_t messages = static_cast<int64_t>(iters[j].messages_shuffled);
+      if (base != nullptr) {
+        messages -= static_cast<int64_t>(base->messages_shuffled);
+      }
+      r.messages_recomputed += messages;
+    }
+
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+std::string RenderRecoveryHealth(const std::vector<RecoveryHealth>& reports) {
+  if (reports.empty()) return "no failures injected\n";
+  std::string out;
+  for (const RecoveryHealth& r : reports) {
+    out += "failure @ superstep " + std::to_string(r.failure_iteration) + ": ";
+    if (r.reconverged) {
+      out += "reconverged in " + std::to_string(r.supersteps_to_reconverge) +
+             " superstep" + (r.supersteps_to_reconverge == 1 ? "" : "s") +
+             " (by superstep " + std::to_string(r.window_end_iteration) + ")";
+    } else {
+      out += "did not reconverge within the run (window ends at superstep " +
+             std::to_string(r.window_end_iteration) + ")";
+    }
+    out += "\n";
+    out += "  sim " + std::string(r.baseline_adjusted ? "lost" : "spent") +
+           ": " + Ms(r.sim_lost_ns) + " (";
+    for (int c = 0; c < kNumCharges; ++c) {
+      if (c > 0) out += ", ";
+      out += ChargeName(static_cast<Charge>(c)) + " " +
+             Ms(r.sim_lost_by_charge[c]);
+    }
+    out += ")";
+    if (r.baseline_adjusted) out += " [net of failure-free baseline]";
+    out += "\n";
+    out += "  messages recomputed: " + std::to_string(r.messages_recomputed) +
+           "\n";
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  convergence gap at failure: %s (pre-failure metric %s)\n",
+                  Num(r.convergence_gap).c_str(),
+                  std::isfinite(r.pre_failure_metric)
+                      ? Num(r.pre_failure_metric).c_str()
+                      : "inf");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace flinkless::runtime

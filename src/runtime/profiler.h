@@ -1,0 +1,173 @@
+// Trace-driven profiler: critical paths, self-time attribution, partition
+// skew, and recovery health reports (DESIGN.md §13).
+//
+// PR 2's Tracer records raw spans; this layer answers the questions the
+// paper's demo poses about them — *where does a superstep spend its time,
+// how skewed are the partitions, and how expensive was each recovery*. The
+// profiler consumes a Tracer::Snapshot (already merged into deterministic
+// order) and rebuilds the span tree via parent_seq:
+//  * Job-level children of a span ran sequentially on the orchestration
+//    thread — each is a segment of the parent's critical path.
+//  * Per-partition children sharing one seq (a TracedParallelFor section)
+//    ran in parallel — the longest partition is the critical one.
+// Simulated durations exist only on job-level spans (workers never touch
+// the SimClock), so parallel sections are compared by wall duration; the
+// chosen partition is therefore a real-schedule observation, not a
+// deterministic quantity. Everything else the profiler derives from
+// sim durations and span structure is deterministic.
+//
+// Recovery health is computed from the MetricsRegistry series instead (the
+// per-iteration stats both drivers record), optionally against a
+// failure-free baseline run of the same job — that baseline is what turns
+// "time spent in the recovery window" into "time *lost* to the failure".
+
+#ifndef FLINKLESS_RUNTIME_PROFILER_H_
+#define FLINKLESS_RUNTIME_PROFILER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "runtime/sim_clock.h"
+#include "runtime/tracing.h"
+
+namespace flinkless::runtime {
+
+/// One span on a superstep's critical path, in execution order.
+struct CriticalPathStep {
+  /// SpanKindName category ("operator", "compensation", ...).
+  std::string category;
+  std::string name;
+  /// Partition of a parallel-section step; -1 for job-level spans.
+  int partition = -1;
+  /// Nesting depth below the iteration span (0 = direct child).
+  int depth = 0;
+  /// Simulated self time of the step (0 for per-partition steps — workers
+  /// never charge the SimClock).
+  int64_t sim_self_ns = 0;
+  /// Wall self time (nondeterministic; the skew signal).
+  int64_t wall_self_ns = 0;
+};
+
+/// Critical-path decomposition of one superstep.
+struct SuperstepProfile {
+  int iteration = 0;
+  /// The iteration span's durations.
+  int64_t sim_ns = 0;
+  int64_t wall_ns = 0;
+  /// Spans on the critical path, pre-order (a step precedes its chosen
+  /// children).
+  std::vector<CriticalPathStep> critical_path;
+  /// Critical-path sim self time summed per category — e.g. how much of a
+  /// recovery superstep was "compensation".
+  std::map<std::string, int64_t> sim_self_by_category;
+
+  /// True when a step of `category` is on the critical path.
+  bool HasCategory(const std::string& category) const;
+};
+
+/// Whole-run aggregate for one (category, name) span family.
+struct OperatorProfile {
+  std::string category;
+  std::string name;
+  /// Job-level spans observed (= executions).
+  uint64_t spans = 0;
+  int64_t sim_total_ns = 0;
+  /// sim_total_ns minus job-level children — simulated time attributed to
+  /// the span itself.
+  int64_t sim_self_ns = 0;
+  int64_t wall_total_ns = 0;
+  int64_t wall_self_ns = 0;
+  /// Per-partition child span wall durations: the skew observations.
+  int64_t wall_partition_max_ns = 0;
+  int64_t wall_partition_median_ns = 0;
+  /// Partitions observed in parallel sections of this family.
+  int partitions_observed = 0;
+
+  /// max/median partition wall time — 1.0 is balanced, higher is skewed;
+  /// 1.0 when the family recorded no parallel sections.
+  double WallSkew() const;
+};
+
+/// The profiler's output: per-superstep critical paths plus whole-run
+/// operator aggregates.
+struct ProfileReport {
+  std::vector<SuperstepProfile> supersteps;
+  /// Sorted by (category, name).
+  std::vector<OperatorProfile> operators;
+  uint64_t total_events = 0;
+  uint64_t dropped_events = 0;
+
+  static ProfileReport FromSnapshot(const Tracer::Snapshot& snapshot);
+
+  const OperatorProfile* Find(const std::string& category,
+                              const std::string& name) const;
+
+  /// Indices of `operators` ordered by descending sim self time (ties by
+  /// category, name), truncated to `n` — the hotspot ranking.
+  std::vector<const OperatorProfile*> Hotspots(size_t n) const;
+
+  /// True when any superstep's critical path contains `category`
+  /// ("compensation" / "checkpoint" on a traced recovery run).
+  bool CriticalPathHasCategory(const std::string& category) const;
+
+  /// Human-readable report: top-N hotspots, skew table, and the critical
+  /// path of the most expensive superstep plus every failure superstep.
+  std::string RenderText(size_t top_n = 10) const;
+};
+
+// --------------------------------------------------------- recovery health --
+
+/// Everything measured about one injected failure's recovery, derived from
+/// the per-iteration series (and a failure-free baseline when available).
+struct RecoveryHealth {
+  /// Iteration the failure was injected into.
+  int failure_iteration = 0;
+  /// Last iteration of the recovery window: the first iteration whose
+  /// convergence metric returned to the pre-failure level, or the window's
+  /// forced end (next failure / end of run) when it never did.
+  int window_end_iteration = 0;
+  /// Supersteps executed from the failure until reconvergence (window
+  /// length). This is the paper's "how many supersteps did the failure
+  /// cost".
+  int supersteps_to_reconverge = 0;
+  bool reconverged = false;
+
+  /// Simulated time spent in the recovery window, by charge. With a
+  /// baseline, the same-numbered baseline iterations are subtracted —
+  /// time *lost* to the failure; without one it is the window's gross
+  /// cost (the difference is documented in the report).
+  std::array<int64_t, kNumCharges> sim_lost_by_charge{};
+  int64_t sim_lost_ns = 0;
+
+  /// Messages shuffled in the window (minus baseline when available) —
+  /// the recomputation traffic the failure caused.
+  int64_t messages_recomputed = 0;
+
+  /// Convergence-metric damage: metric at the failure iteration minus the
+  /// reference (baseline's same iteration, else the pre-failure value).
+  /// Smaller is better — an effective compensation keeps this near zero.
+  double convergence_gap = 0.0;
+  /// The metric the window had to return to.
+  double pre_failure_metric = 0.0;
+
+  bool baseline_adjusted = false;
+};
+
+/// One report per failure_injected iteration in `registry`. `baseline` is
+/// an optional failure-free run of the same job (same graph, options, and
+/// cost model); when present, window costs are reported net of it. A
+/// window ends at reconvergence, the next failure, or the end of the run.
+std::vector<RecoveryHealth> ComputeRecoveryHealth(
+    const MetricsRegistry& registry,
+    const MetricsRegistry* baseline = nullptr);
+
+/// Human-readable table of the reports (one block per failure).
+std::string RenderRecoveryHealth(const std::vector<RecoveryHealth>& reports);
+
+}  // namespace flinkless::runtime
+
+#endif  // FLINKLESS_RUNTIME_PROFILER_H_

@@ -46,6 +46,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  ++work_stats_.tasks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++in_flight_;
@@ -76,6 +77,8 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
+  ++work_stats_.parallel_sections;
+  work_stats_.tasks += static_cast<uint64_t>(count);
   if (count == 1 || workers_.empty()) {
     for (int i = 0; i < count; ++i) fn(i);
     return;

@@ -36,6 +36,20 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Cumulative work accounting: parallel sections dispatched and task
+  /// indices handed out (ParallelFor counts its `count`, Submit counts 1).
+  /// Bumped on the owning thread, so reading from that thread needs no
+  /// lock. Totals are a function of the submitted work, never the
+  /// schedule. Note the executor mirrors the same counts into metrics v2
+  /// at its own level, because a serial executor has no pool at all and
+  /// the exported numbers must not depend on num_threads.
+  struct WorkStats {
+    uint64_t parallel_sections = 0;
+    uint64_t tasks = 0;
+  };
+
+  const WorkStats& work_stats() const { return work_stats_; }
+
   /// Runs fn(i) for every i in [0, count), spread over the workers plus the
   /// calling thread, and blocks until all indices completed. Helper fan-out
   /// is capped at HardwareConcurrency() - 1 (the caller takes the last
@@ -69,6 +83,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  WorkStats work_stats_;
 
   std::mutex mu_;
   std::condition_variable task_ready_;

@@ -90,6 +90,70 @@ std::string RenderRanks(const RanksFrame& frame, int bar_width) {
   return out;
 }
 
+std::string RenderMetricsDashboard(const runtime::MetricsSnapshot& snapshot) {
+  constexpr int kBarWidth = 40;
+  std::string out = "metrics dashboard:\n";
+  bool empty = true;
+
+  // Partition-labeled counter families as bars scaled to the hottest
+  // partition, so skew is visible without reading the numbers.
+  for (const auto& [name, by_partition] : snapshot.counters) {
+    uint64_t max_value = 0;
+    int labeled = 0;
+    for (const auto& [p, value] : by_partition) {
+      if (p < 0) continue;
+      ++labeled;
+      max_value = std::max(max_value, value);
+    }
+    if (labeled == 0) continue;
+    empty = false;
+    out += "  " + name + " (total " +
+           std::to_string(snapshot.CounterTotal(name)) + "):\n";
+    for (const auto& [p, value] : by_partition) {
+      if (p < 0) continue;
+      int width = max_value == 0
+                      ? 0
+                      : static_cast<int>(value * static_cast<uint64_t>(
+                                                     kBarWidth) /
+                                         max_value);
+      char prefix[64];
+      std::snprintf(prefix, sizeof(prefix), "    p%-3d %12llu ", p,
+                    static_cast<unsigned long long>(value));
+      out += prefix;
+      out += std::string(value > 0 ? std::max(width, 1) : 0, '#');
+      out += "\n";
+    }
+  }
+
+  // Histograms as one-line distribution summaries.
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (hist.count() == 0) continue;
+    empty = false;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %s: count=%llu mean=%.1f min=%lld max=%lld\n",
+                  name.c_str(), static_cast<unsigned long long>(hist.count()),
+                  hist.Mean(), static_cast<long long>(hist.min()),
+                  static_cast<long long>(hist.max()));
+    out += line;
+  }
+
+  // Families that only ever counted at the job level (partition -1).
+  std::string rollup;
+  for (const auto& [name, by_partition] : snapshot.counters) {
+    bool job_only = by_partition.size() == 1 && by_partition.count(-1) > 0;
+    if (!job_only) continue;
+    rollup += "    " + name + " = " + std::to_string(by_partition.at(-1)) +
+              "\n";
+  }
+  if (!rollup.empty()) {
+    empty = false;
+    out += "  job counters:\n" + rollup;
+  }
+  if (empty) out += "  (no metrics recorded)\n";
+  return out;
+}
+
 std::set<int64_t> VerticesOfPartitions(int64_t num_vertices,
                                        int num_partitions,
                                        const std::vector<int>& partitions) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "runtime/metrics.h"
 
 namespace flinkless::viz {
 
@@ -73,6 +74,13 @@ struct RanksFrame {
 /// Renders one PageRank frame: one bar per vertex, width proportional to
 /// rank (the paper's vertex size), lost vertices marked with '!'.
 std::string RenderRanks(const RanksFrame& frame, int bar_width = 50);
+
+/// End-of-run metrics v2 dashboard: one bar block per partition-labeled
+/// counter family (records per partition, shuffle fan-out, compensation
+/// records — the skew picture at a glance), a one-line distribution summary
+/// per histogram, and the job-level counter rollup. Families the run never
+/// recorded are omitted.
+std::string RenderMetricsDashboard(const runtime::MetricsSnapshot& snapshot);
 
 /// Lists the vertices per partition under the engine's hash partitioning —
 /// printed once at demo start so attendees know what clicking "fail
