@@ -3,10 +3,18 @@
 // With failures injected, compares optimistic recovery (compensation),
 // rollback recovery (checkpoint intervals 1/2/5), confined rollback
 // (restore only the lost partitions, keep the survivors' progress — a
-// CoRAL-style extension) and restart-from-scratch (what lineage-based
-// recovery degenerates to for iterative jobs with wide dependencies). Reported per strategy: supersteps actually executed,
-// simulated time and its checkpoint/recovery share, and correctness of the
-// final result against ground truth.
+// CoRAL-style extension), confined-log recovery (replay the failed
+// superstep's logged outbound messages into the lost partitions —
+// DESIGN.md §14) and restart-from-scratch (what lineage-based recovery
+// degenerates to for iterative jobs with wide dependencies). Reported per
+// strategy: supersteps actually executed, simulated time and its
+// checkpoint/recovery share, and correctness of the final result against
+// ground truth.
+//
+// The four-way subset (optimistic / rollback(k=2) / confined(k=2) /
+// confined-log(k=2)) additionally lands in BENCH_confined.json with
+// per-failure recovery health: confined-log should recompute the fewest
+// messages — the logged ones are replayed, not re-shuffled.
 //
 // Shape to observe: every strategy converges to the correct result;
 // optimistic executes the fewest extra supersteps and pays no checkpoint
@@ -44,14 +52,17 @@ struct RunReport {
   uint64_t messages = 0;
 };
 
+// `message_log` asks the workload to run with the outbound message log on
+// (required by the confined-log strategy; off for every other run so they
+// pay no logging overhead).
 using Runner = std::function<Status(iteration::JobEnv,
                                     iteration::FaultTolerancePolicy*,
-                                    RunReport*)>;
+                                    bool message_log, RunReport*)>;
 
 void Scenario(const std::string& name, const Runner& run,
               core::CompensationFunction* compensation,
               const std::vector<runtime::FailureEvent>& failure_events,
-              bench::JsonReport* json,
+              bench::JsonReport* json, bench::JsonReport* confined_json,
               core::WorksetRefresher refresher = {}) {
   TablePrinter table({"strategy", "iterations", "supersteps_executed",
                       "failures_recovered", "sim_total_ms", "sim_ft_ms",
@@ -65,16 +76,19 @@ void Scenario(const std::string& name, const Runner& run,
   {
     core::OptimisticRecoveryPolicy policy(compensation);
     RunReport ignored;
-    Status status = run(baseline.Env(), &policy, &ignored);
+    Status status = run(baseline.Env(), &policy, /*message_log=*/false,
+                        &ignored);
     FLINKLESS_CHECK(status.ok(), "baseline: " + status.ToString());
   }
+  const uint64_t baseline_messages = baseline.metrics().TotalMessages();
 
   auto run_with = [&](const std::string& label,
-                      iteration::FaultTolerancePolicy* policy) {
+                      iteration::FaultTolerancePolicy* policy,
+                      bool message_log = false) {
     bench::JobHarness harness(name + "-" + label);
     harness.SetFailures(runtime::FailureSchedule(failure_events));
     RunReport report;
-    Status status = run(harness.Env(), policy, &report);
+    Status status = run(harness.Env(), policy, message_log, &report);
     FLINKLESS_CHECK(status.ok(), label + ": " + status.ToString());
     report.sim_total_ms = harness.clock().TotalMs();
     report.sim_ft_ms =
@@ -96,7 +110,46 @@ void Scenario(const std::string& name, const Runner& run,
     std::vector<runtime::RecoveryHealth> health =
         runtime::ComputeRecoveryHealth(harness.metrics(),
                                        &baseline.metrics());
+    // The four-way comparison (one representative per strategy family)
+    // also lands in BENCH_confined.json.
+    const bool four_way = label == "optimistic" || label == "rollback(k=2)" ||
+                          label == "confined(k=2)" ||
+                          label == "confined-log(k=2)";
+    if (four_way) {
+      // Run-level recomputation traffic: total messages shuffled over the
+      // whole failed run minus the failure-free baseline. This is the
+      // headline number for confined-log — replayed messages are read from
+      // the log, not re-shuffled, so its extra traffic stays near zero
+      // while rollback re-shuffles every re-executed superstep.
+      confined_json->AddEntry()
+          .Set("kind", "run_summary")
+          .Set("workload", name)
+          .Set("strategy", label)
+          .Set("supersteps_executed", report.supersteps)
+          .Set("failures_recovered", report.failures_recovered)
+          .Set("messages_total", static_cast<int64_t>(report.messages))
+          .Set("messages_baseline", static_cast<int64_t>(baseline_messages))
+          .Set("messages_recomputed",
+               static_cast<int64_t>(report.messages) -
+                   static_cast<int64_t>(baseline_messages))
+          .Set("sim_total_ms", report.sim_total_ms)
+          .Set("sim_ft_ms", report.sim_ft_ms)
+          .Set("correct", report.correct);
+    }
     for (const auto& h : health) {
+      if (four_way) {
+        confined_json->AddEntry()
+            .Set("kind", "recovery_health")
+            .Set("workload", name)
+            .Set("strategy", label)
+            .Set("failure_iteration", h.failure_iteration)
+            .Set("supersteps_to_reconverge", h.supersteps_to_reconverge)
+            .Set("reconverged", h.reconverged)
+            .Set("sim_lost_ms", static_cast<double>(h.sim_lost_ns) / 1e6)
+            .Set("messages_recomputed", h.messages_recomputed)
+            .Set("convergence_gap", h.convergence_gap)
+            .Set("baseline_adjusted", h.baseline_adjusted);
+      }
       json->AddEntry()
           .Set("kind", "recovery_health")
           .Set("workload", name)
@@ -131,6 +184,8 @@ void Scenario(const std::string& name, const Runner& run,
   }
   core::ConfinedRollbackPolicy confined(2, refresher);
   run_with("confined(k=2)", &confined);
+  core::ConfinedLogReplayPolicy confined_log(2, refresher);
+  run_with("confined-log(k=2)", &confined_log, /*message_log=*/true);
   core::RestartPolicy restart;
   run_with("restart", &restart);
 
@@ -154,6 +209,9 @@ int main() {
   // Per-failure recovery health (net of a failure-free baseline) for every
   // strategy and workload, for trend dashboards.
   bench::JsonReport json("C2-observability");
+  // Four-way recovery health (optimistic / rollback / confined /
+  // confined-log), one file per the confined-recovery experiment.
+  bench::JsonReport confined_json("C2-confined");
 
   // PageRank with one mid-run failure and one late failure.
   Rng rng(3);
@@ -163,10 +221,11 @@ int main() {
   Scenario(
       "pagerank-rmat-1024v",
       [&](iteration::JobEnv env, iteration::FaultTolerancePolicy* policy,
-          RunReport* report) {
+          bool message_log, RunReport* report) {
         algos::PageRankOptions options;
         options.num_partitions = 4;
         options.max_iterations = 60;
+        options.message_log = message_log;
         auto result = algos::RunPageRank(pr_graph, options, env, policy);
         FLINKLESS_RETURN_NOT_OK(result.status());
         report->iterations = result->iterations;
@@ -179,7 +238,7 @@ int main() {
         report->correct = err < 1e-6;
         return Status::OK();
       },
-      &fix_ranks, {{8, {1}}, {15, {0, 2}}}, &json);
+      &fix_ranks, {{8, {1}}, {15, {0, 2}}}, &json, &confined_json);
 
   // Connected Components with an early failure (costly for restart-style
   // strategies on a long diffusion).
@@ -190,9 +249,10 @@ int main() {
   Scenario(
       "connected-components-pa-2000v",
       [&](iteration::JobEnv env, iteration::FaultTolerancePolicy* policy,
-          RunReport* report) {
+          bool message_log, RunReport* report) {
         algos::ConnectedComponentsOptions options;
         options.num_partitions = 4;
+        options.message_log = message_log;
         auto result =
             algos::RunConnectedComponents(cc_graph, options, env, policy);
         FLINKLESS_RETURN_NOT_OK(result.status());
@@ -202,7 +262,7 @@ int main() {
         report->correct = result->labels == cc_truth;
         return Status::OK();
       },
-      &fix_components, {{3, {2}}}, &json,
+      &fix_components, {{3, {2}}}, &json, &confined_json,
       algos::MakeNeighborhoodRefresher(&cc_graph));
 
   // SSSP with two failures.
@@ -212,9 +272,10 @@ int main() {
   Scenario(
       "sssp-grid-1600v",
       [&](iteration::JobEnv env, iteration::FaultTolerancePolicy* policy,
-          RunReport* report) {
+          bool message_log, RunReport* report) {
         algos::SsspOptions options;
         options.num_partitions = 4;
+        options.message_log = message_log;
         auto result = algos::RunSssp(sssp_graph, options, env, policy);
         FLINKLESS_RETURN_NOT_OK(result.status());
         report->iterations = result->iterations;
@@ -223,7 +284,7 @@ int main() {
         report->correct = result->distances == sssp_truth;
         return Status::OK();
       },
-      &fix_distances, {{10, {1}}, {25, {3}}}, &json,
+      &fix_distances, {{10, {1}}, {25, {3}}}, &json, &confined_json,
       algos::MakeNeighborhoodRefresher(
           &sssp_graph, [](const dataflow::Record& r) {
             return r[1].AsInt64() < algos::kSsspInfinity;
@@ -277,5 +338,9 @@ int main() {
   const std::string json_path = "BENCH_observability.json";
   FLINKLESS_CHECK(json.WriteFile(json_path), "cannot write " + json_path);
   std::cout << "json: wrote " << json_path << "\n";
+  const std::string confined_path = "BENCH_confined.json";
+  FLINKLESS_CHECK(confined_json.WriteFile(confined_path),
+                  "cannot write " + confined_path);
+  std::cout << "json: wrote " << confined_path << "\n";
   return 0;
 }

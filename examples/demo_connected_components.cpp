@@ -14,7 +14,11 @@
 //
 // Flags: --graph=demo|twitter|chain|grid, --fail=iter:parts[;iter:parts],
 //        --partitions=N, --threads=N, --delay-ms=N, --interactive,
-//        --no-color, --strategy=optimistic|rollback|restart,
+//        --no-color,
+//        --strategy=optimistic|rollback|confined|confined-log|restart|none,
+//        --msglog=true|false (outbound message log; confined-log recovery
+//        replays it instead of recomputing — implied by
+//        --strategy=confined-log),
 //        --cache=true|false,
 //        --batch=true|false (columnar vs record-at-a-time execution),
 //        --mem-budget=BYTES (spill cached artifacts beyond this),
@@ -30,6 +34,7 @@
 
 #include "algos/connected_components.h"
 #include "algos/datasets.h"
+#include "algos/refreshers.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -99,7 +104,8 @@ int main(int argc, char** argv) {
   std::string* fail_spec = flags.String(
       "fail", "3:0", "failure schedule iter:parts[;iter:parts], '' = none");
   std::string* strategy = flags.String(
-      "strategy", "optimistic", "optimistic|rollback|restart|none");
+      "strategy", "optimistic",
+      "optimistic|rollback|confined|confined-log|restart|none");
   int64_t* partitions = flags.Int64("partitions", 4, "degree of parallelism");
   int64_t* threads = flags.Int64(
       "threads", 1, "executor worker threads (1 = serial, 0 = all cores)");
@@ -113,6 +119,10 @@ int main(int argc, char** argv) {
       "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
   bool* cache = flags.Bool(
       "cache", true, "reuse loop-invariant shuffles/indexes across supersteps");
+  bool* msglog = flags.Bool(
+      "msglog", false,
+      "log outbound shuffle messages per superstep (confined-log recovery "
+      "replays them; implied by --strategy=confined-log)");
   bool* batch = flags.Bool(
       "batch", true,
       "columnar batch execution on the shuffle/join/reduce hot path "
@@ -206,6 +216,7 @@ int main(int argc, char** argv) {
   // itself (above) and writes the export files at the end.
   options.cache_loop_invariant = *cache;
   options.columnar_batch = *batch;
+  options.message_log = *msglog || *strategy == "confined-log";
   if (*mem_budget > 0) {
     options.memory_budget_bytes = static_cast<uint64_t>(*mem_budget);
   }
@@ -220,6 +231,14 @@ int main(int argc, char** argv) {
     }
     if (*strategy == "rollback") {
       return std::make_unique<core::CheckpointRollbackPolicy>(2);
+    }
+    if (*strategy == "confined") {
+      return std::make_unique<core::ConfinedRollbackPolicy>(
+          2, algos::MakeNeighborhoodRefresher(&g));
+    }
+    if (*strategy == "confined-log") {
+      return std::make_unique<core::ConfinedLogReplayPolicy>(
+          2, algos::MakeNeighborhoodRefresher(&g));
     }
     if (*strategy == "restart") return std::make_unique<core::RestartPolicy>();
     if (*strategy == "none") {

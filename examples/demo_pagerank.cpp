@@ -16,7 +16,10 @@
 //
 // Flags: --graph=demo|twitter|cycle, --fail=iter:parts[;...],
 //        --partitions=N, --threads=N, --max-iterations=N, --delay-ms=N,
-//        --interactive, --strategy=optimistic|rollback|restart,
+//        --interactive,
+//        --strategy=optimistic|rollback|confined|confined-log|restart|none,
+//        --msglog=true|false (outbound message log; implied by
+//        --strategy=confined-log),
 //        --compensation=redistribute|uniform|full, --cache=true|false,
 //        --batch=true|false (columnar vs record-at-a-time execution),
 //        --mem-budget=BYTES (spill cached artifacts beyond this),
@@ -103,7 +106,8 @@ int main(int argc, char** argv) {
   std::string* fail_spec = flags.String(
       "fail", "5:1", "failure schedule iter:parts[;iter:parts], '' = none");
   std::string* strategy = flags.String(
-      "strategy", "optimistic", "optimistic|rollback|restart|none");
+      "strategy", "optimistic",
+      "optimistic|rollback|confined|confined-log|restart|none");
   std::string* compensation_name = flags.String(
       "compensation", "redistribute", "redistribute|uniform|full");
   int64_t* partitions = flags.Int64("partitions", 4, "degree of parallelism");
@@ -120,6 +124,10 @@ int main(int argc, char** argv) {
       "write an execution trace here (.json = Chrome/Perfetto, .ndjson)");
   bool* cache = flags.Bool(
       "cache", true, "reuse loop-invariant shuffles/indexes across supersteps");
+  bool* msglog = flags.Bool(
+      "msglog", false,
+      "log outbound shuffle messages per superstep (confined-log recovery "
+      "replays them; implied by --strategy=confined-log)");
   bool* batch = flags.Bool(
       "batch", true,
       "columnar batch execution on the shuffle/join/reduce hot path "
@@ -170,6 +178,7 @@ int main(int argc, char** argv) {
   // after the run, and writes the export files at the end.
   options.cache_loop_invariant = *cache;
   options.columnar_batch = *batch;
+  options.message_log = *msglog || *strategy == "confined-log";
   if (*mem_budget > 0) {
     options.memory_budget_bytes = static_cast<uint64_t>(*mem_budget);
   }
@@ -204,6 +213,14 @@ int main(int argc, char** argv) {
     }
     if (*strategy == "rollback") {
       return std::make_unique<core::CheckpointRollbackPolicy>(2);
+    }
+    if (*strategy == "confined") {
+      return std::make_unique<core::ConfinedRollbackPolicy>(2);
+    }
+    if (*strategy == "confined-log") {
+      // Bulk iterations: no checkpoints, the logged messages rebuild the
+      // lost partitions exactly.
+      return std::make_unique<core::ConfinedLogReplayPolicy>(2);
     }
     if (*strategy == "restart") return std::make_unique<core::RestartPolicy>();
     if (*strategy == "none") {

@@ -307,6 +307,7 @@ Result<AlsResult> RunAls(const std::vector<Rating>& ratings,
 
   iteration::BulkIterationConfig config;
   config.max_iterations = options.max_iterations;
+  config.message_log = options.message_log;
   config.state_key = {0, 1};
   const int rank = options.rank;
   const double tolerance = options.tolerance;

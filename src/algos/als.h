@@ -69,6 +69,12 @@ struct AlsOptions {
   /// (ExecOptions::use_columnar). Off = record-at-a-time, for A/B runs;
   /// results are byte-identical either way.
   bool columnar_batch = true;
+  /// Log every shuffled loop-variant channel of the current superstep to
+  /// an outbound message log and expose the confined-log replay hook
+  /// (runtime/message_log.h, DESIGN.md §14), enabling
+  /// core::ConfinedLogReplayPolicy. Results are byte-identical with the
+  /// flag on or off when no failure fires.
+  bool message_log = false;
   int max_iterations = 30;
   /// Converged when no factor entry moved more than this between
   /// supersteps.

@@ -222,6 +222,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsWithSnapshots(
   config.max_iterations = options.max_iterations;
   config.solution_key = {0};
   config.cache_loop_invariant = options.cache_loop_invariant;
+  config.message_log = options.message_log;
   const runtime::FailureSchedule* failures = env.failures;
   const int64_t num_vertices = graph.num_vertices();
   if (true_labels != nullptr || snapshot) {
@@ -337,6 +338,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
   config.max_iterations = options.max_iterations;
   config.state_key = {0};
   config.cache_loop_invariant = options.cache_loop_invariant;
+  config.message_log = options.message_log;
   // compare-to-previous convergence: stop when no label changed.
   config.convergence = [](const PartitionedDataset& prev,
                           const PartitionedDataset& next, double* metric) {

@@ -239,6 +239,7 @@ Result<KMeansResult> RunKMeans(const std::vector<Point>& points,
 
   iteration::BulkIterationConfig config;
   config.max_iterations = options.max_iterations;
+  config.message_log = options.message_log;
   config.state_key = {0};
   const double tolerance = options.tolerance;
   config.convergence = [tolerance](const PartitionedDataset& prev,

@@ -212,6 +212,7 @@ Result<PageRankResult> RunPageRankWithSnapshots(
   config.max_iterations = options.max_iterations;
   config.state_key = {0};
   config.cache_loop_invariant = options.cache_loop_invariant;
+  config.message_log = options.message_log;
   const double tolerance = options.l1_tolerance;
   // The paper's compare-to-old-rank: L1 norm of the difference between the
   // current estimate and the previous one (bottom-right plot of Figure 4).

@@ -49,6 +49,12 @@ struct PageRankOptions {
   /// build-side hash index across supersteps. Results are byte-identical
   /// either way (DESIGN.md §10).
   bool cache_loop_invariant = true;
+  /// Log every shuffled loop-variant channel of the current superstep to
+  /// an outbound message log and expose the confined-log replay hook
+  /// (runtime/message_log.h, DESIGN.md §14), enabling
+  /// core::ConfinedLogReplayPolicy. Results are byte-identical with the
+  /// flag on or off when no failure fires.
+  bool message_log = false;
   /// Byte budget for the cached artifacts (0 = unlimited): cold entries
   /// spill to the job's StableStorage and reload on access, trading
   /// simulated I/O for residency. Results are byte-identical at any

@@ -149,6 +149,7 @@ Result<SsspResult> RunSssp(const graph::Graph& graph,
 
   iteration::DeltaIterationConfig config;
   config.max_iterations = options.max_iterations;
+  config.message_log = options.message_log;
   config.solution_key = {0};
   if (true_distances != nullptr) {
     config.stats_hook = [true_distances](

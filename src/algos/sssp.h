@@ -54,6 +54,12 @@ struct SsspOptions {
   /// (ExecOptions::use_columnar). Off = record-at-a-time, for A/B runs;
   /// results are byte-identical either way.
   bool columnar_batch = true;
+  /// Log every shuffled loop-variant channel of the current superstep to
+  /// an outbound message log and expose the confined-log replay hook
+  /// (runtime/message_log.h, DESIGN.md §14), enabling
+  /// core::ConfinedLogReplayPolicy. Results are byte-identical with the
+  /// flag on or off when no failure fires.
+  bool message_log = false;
   int max_iterations = 1000;
   /// When non-empty, trace the run and write the file here on return
   /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).

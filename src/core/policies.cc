@@ -217,6 +217,106 @@ Result<RecoveryOutcome> ConfinedRollbackPolicy::OnFailure(
   return RecoveryOutcome::Continue();
 }
 
+ConfinedLogReplayPolicy::ConfinedLogReplayPolicy(int interval,
+                                                 WorksetRefresher refresher)
+    : interval_(interval), refresher_(std::move(refresher)) {
+  FLINKLESS_CHECK(interval_ >= 1, "checkpoint interval must be >= 1");
+}
+
+std::string ConfinedLogReplayPolicy::CheckpointKey(const std::string& job_id,
+                                                   int partition) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/clog/%06d", partition);
+  return job_id + buf;
+}
+
+Status ConfinedLogReplayPolicy::WriteCheckpoint(
+    const IterationContext& ctx, const IterationState& state) {
+  if (ctx.storage == nullptr) {
+    return Status::FailedPrecondition(
+        "confined-log recovery on a delta iteration requires stable "
+        "storage in the job environment");
+  }
+  // Only the latest snapshot is ever read; each write overwrites in place.
+  for (int p = 0; p < state.num_partitions(); ++p) {
+    FLINKLESS_RETURN_NOT_OK(ctx.storage->Write(
+        CheckpointKey(ctx.job_id, p), state.SerializePartition(p)));
+  }
+  have_checkpoint_ = true;
+  return Status::OK();
+}
+
+Status ConfinedLogReplayPolicy::OnJobStart(const IterationContext& ctx,
+                                           IterationState* state) {
+  have_checkpoint_ = false;
+  // Bulk iterations recover from the message log alone: the logged
+  // channels of the failed superstep determine the lost partitions' next
+  // state exactly, so there is nothing to checkpoint and the failure-free
+  // overhead is the log itself.
+  if (state->kind() != iteration::StateKind::kDelta) return Status::OK();
+  if (ctx.storage != nullptr) {
+    ctx.storage->DeleteWithPrefix(ctx.job_id + "/clog/");
+  }
+  return WriteCheckpoint(ctx, *state);
+}
+
+Status ConfinedLogReplayPolicy::AfterIteration(const IterationContext& ctx,
+                                               IterationState* state) {
+  if (state->kind() != iteration::StateKind::kDelta) return Status::OK();
+  if (ctx.iteration % interval_ != 0) return Status::OK();
+  return WriteCheckpoint(ctx, *state);
+}
+
+Result<RecoveryOutcome> ConfinedLogReplayPolicy::OnFailure(
+    const IterationContext& ctx, IterationState* state,
+    const std::vector<int>& lost) {
+  if (!ctx.replay_messages) {
+    return Status::FailedPrecondition(
+        "confined-log recovery needs the driver's outbound message log: "
+        "enable message_log in the iteration config (--msglog on the "
+        "demos)");
+  }
+  if (state->kind() == iteration::StateKind::kDelta) {
+    // The solution set accumulates across supersteps; the log only covers
+    // the failed one. Restore the lost solution partitions to the latest
+    // snapshot first, then let the replayed delta re-apply the failed
+    // superstep's updates on top.
+    if (ctx.storage == nullptr) {
+      return Status::FailedPrecondition(
+          "confined-log recovery on a delta iteration requires stable "
+          "storage in the job environment");
+    }
+    if (!have_checkpoint_) {
+      return Status::DataLoss("no checkpoint available for job '" +
+                              ctx.job_id + "'");
+    }
+    for (int p : lost) {
+      FLINKLESS_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> blob,
+          ctx.storage->Read(CheckpointKey(ctx.job_id, p)));
+      FLINKLESS_RETURN_NOT_OK(state->RestorePartition(p, blob));
+    }
+  }
+  FLINKLESS_RETURN_NOT_OK(ctx.replay_messages(lost));
+  if (state->kind() == iteration::StateKind::kDelta) {
+    // The restored partitions are still stale between the snapshot and the
+    // failed superstep (the replay healed only the failed superstep's
+    // delta). Re-seed the workset so the stale region re-propagates and
+    // converges out — exactly like confined rollback.
+    if (!refresher_) {
+      return Status::FailedPrecondition(
+          "confined-log recovery on a delta iteration needs a workset "
+          "refresher");
+    }
+    FLINKLESS_RETURN_NOT_OK(refresher_(
+        ctx, static_cast<iteration::DeltaState*>(state), lost));
+  }
+  FLOG_INFO("job '" << ctx.job_id << "': confined-log replay rebuilt "
+                    << lost.size() << " partitions at iteration "
+                    << ctx.iteration << " (survivors idle, no recompute)");
+  return RecoveryOutcome::Continue();
+}
+
 namespace {
 
 void PutU64(uint64_t v, std::vector<uint8_t>* out) {

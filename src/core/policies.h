@@ -151,6 +151,53 @@ class ConfinedRollbackPolicy final : public iteration::FaultTolerancePolicy {
   bool have_checkpoint_ = false;
 };
 
+/// Confined recovery by outbound-message-log replay (DESIGN.md §14): the
+/// drivers log every shuffled loop-variant channel of the current superstep
+/// (runtime/message_log.h) and expose IterationContext::replay_messages; on
+/// failure this policy replays those logged messages into the lost
+/// partitions and continues. The survivors never recompute anything — they
+/// only wait while the replay runs — and, unlike ConfinedRollbackPolicy,
+/// the rebuilt partitions are byte-identical to what the failed superstep
+/// produced, so recovery is *exact*, not merely convergent.
+///
+/// For bulk iterations the logged messages alone determine the next state,
+/// so the policy needs no checkpoints at all: zero failure-free overhead
+/// beyond the log itself. A delta iteration's solution set accumulates
+/// across supersteps, so the lost solution partitions are first restored
+/// from a per-partition snapshot taken every `interval` iterations (like
+/// ConfinedRollbackPolicy), then the replayed delta re-applies the failed
+/// superstep's updates; the required `refresher` re-seeds the workset so
+/// the snapshot-to-now staleness re-propagates and converges out.
+class ConfinedLogReplayPolicy final : public iteration::FaultTolerancePolicy {
+ public:
+  /// `interval` only matters for delta iterations (bulk iterations write no
+  /// checkpoints); `refresher` is required for delta iterations.
+  explicit ConfinedLogReplayPolicy(int interval = 2,
+                                   WorksetRefresher refresher = {});
+
+  std::string name() const override {
+    return "confined-log(k=" + std::to_string(interval_) + ")";
+  }
+
+  Status OnJobStart(const iteration::IterationContext& ctx,
+                    iteration::IterationState* state) override;
+  Status AfterIteration(const iteration::IterationContext& ctx,
+                        iteration::IterationState* state) override;
+  Result<iteration::RecoveryOutcome> OnFailure(
+      const iteration::IterationContext& ctx,
+      iteration::IterationState* state,
+      const std::vector<int>& lost) override;
+
+ private:
+  std::string CheckpointKey(const std::string& job_id, int partition) const;
+  Status WriteCheckpoint(const iteration::IterationContext& ctx,
+                         const iteration::IterationState& state);
+
+  int interval_;
+  WorksetRefresher refresher_;
+  bool have_checkpoint_ = false;
+};
+
 /// Entry-level incremental checkpointing for delta iterations: each
 /// checkpoint writes only the solution-set entries modified since the
 /// previous checkpoint (plus the small current workset), forming a chain

@@ -10,10 +10,22 @@
 #include "common/logging.h"
 #include "dataflow/columnar.h"
 #include "dataflow/exec_cache.h"
+#include "runtime/message_log.h"
 
 namespace flinkless::dataflow {
 
 namespace {
+
+/// Message-log channel id for plan node `id`'s shuffled input arriving on
+/// `port` ("in" for single-input shuffles, "l"/"r" for join/cogroup sides).
+/// Node ids are append-ordered per plan, so the id set is stable across
+/// supersteps of one job — which is what ties Execute's appends to
+/// Replay's reads.
+std::string MsglogChannel(int id, const char* port) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "n%04d.%s", id, port);
+  return buf;
+}
 
 // Hash-based grouping: O(1) inserts instead of the ordered std::map the
 // executor used to pay O(log k) per record for. Operators that need a
@@ -187,6 +199,7 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   records_not_reshuffled += other.records_not_reshuffled;
   batch_ops += other.batch_ops;
   row_fallback_ops += other.row_fallback_ops;
+  messages_replayed += other.messages_replayed;
   for (const auto& [name, count] : other.node_output_counts) {
     node_output_counts[name] += count;
   }
@@ -471,6 +484,31 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
     invariant = plan.InvariantNodes(cache->volatile_bindings());
   }
 
+  // Outbound message log (DESIGN.md §14): every shuffle of a loop-variant
+  // channel is appended post-gather. Variance is computed against the
+  // log's own volatile set so logging works with or without a cache, and
+  // the logged channel set is identical either way (a static build side
+  // served from the cache is invariant, hence never logged).
+  runtime::MessageLog* msglog = options_.message_log;
+  std::vector<bool> log_variant;
+  if (msglog != nullptr) {
+    std::vector<bool> log_invariant =
+        plan.InvariantNodes(msglog->volatile_bindings());
+    log_variant.resize(log_invariant.size());
+    for (size_t i = 0; i < log_invariant.size(); ++i) {
+      log_variant[i] = !log_invariant[i];
+    }
+  }
+  // Appends a just-shuffled channel of `node` (the shuffled input is plan
+  // node `input_node`, arriving on `port` ∈ {in, l, r}).
+  auto log_shuffled = [&](const PlanNode& node, NodeId input_node,
+                          const char* port,
+                          const PartitionedDataset& shuffled) -> Status {
+    if (msglog == nullptr || !log_variant[input_node]) return Status::OK();
+    return msglog->Append(MsglogChannel(node.id, port), shuffled,
+                          options_.tracer);
+  };
+
   ExecStats local_stats;
 
   // Node results are views over a borrowed source binding, a cache entry,
@@ -711,6 +749,8 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               in == &combined
                   ? Shuffle(std::move(combined), node.left_key, &local_stats)
                   : Shuffle(*in, node.left_key, &local_stats);
+          FLINKLESS_RETURN_NOT_OK(
+              log_shuffled(node, node.inputs[0], "in", shuffled));
           if (batch) ObserveBatchRows(shuffled);
           PartitionedDataset out(n);
           reset_status();
@@ -763,6 +803,8 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           const PartitionedDataset& in = input_of(node.inputs[0]);
           PartitionedDataset shuffled =
               Shuffle(in, node.left_key, &local_stats);
+          FLINKLESS_RETURN_NOT_OK(
+              log_shuffled(node, node.inputs[0], "in", shuffled));
           if (batch) ObserveBatchRows(shuffled);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
@@ -870,6 +912,8 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             }
             PartitionedDataset right = Shuffle(input_of(node.inputs[1]),
                                                node.right_key, &local_stats);
+            FLINKLESS_RETURN_NOT_OK(
+                log_shuffled(node, node.inputs[1], "r", right));
             PartitionedDataset out(n);
             ForEachPartition(op_span, &right, n, [&](int p) {
               // Probe whichever index kind this entry carries (a cache can
@@ -940,6 +984,8 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             const PartitionedDataset& right = *e->data;
             PartitionedDataset left = Shuffle(input_of(node.inputs[0]),
                                               node.left_key, &local_stats);
+            FLINKLESS_RETURN_NOT_OK(
+                log_shuffled(node, node.inputs[0], "l", left));
             if (batch) ObserveBatchRows(left);
             PartitionedDataset out(n);
             ForEachPartition(op_span, &left, n, [&](int p) {
@@ -981,6 +1027,10 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               Shuffle(input_of(node.inputs[0]), node.left_key, &local_stats);
           PartitionedDataset right =
               Shuffle(input_of(node.inputs[1]), node.right_key, &local_stats);
+          FLINKLESS_RETURN_NOT_OK(
+              log_shuffled(node, node.inputs[0], "l", left));
+          FLINKLESS_RETURN_NOT_OK(
+              log_shuffled(node, node.inputs[1], "r", right));
           if (batch) ObserveBatchRows(left);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &left, n, [&](int p) {
@@ -1069,6 +1119,8 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                 left_static ? node.right_key : node.left_key;
             PartitionedDataset vol =
                 Shuffle(input_of(vol_in), vol_key, &local_stats);
+            FLINKLESS_RETURN_NOT_OK(log_shuffled(
+                node, vol_in, left_static ? "r" : "l", vol));
             PartitionedDataset out(n);
             ForEachPartition(op_span, &vol, n, [&](int p) {
               GroupMap vgroups = GroupByKey(vol.partition(p), vol_key);
@@ -1110,6 +1162,10 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               Shuffle(input_of(node.inputs[0]), node.left_key, &local_stats);
           PartitionedDataset right =
               Shuffle(input_of(node.inputs[1]), node.right_key, &local_stats);
+          FLINKLESS_RETURN_NOT_OK(
+              log_shuffled(node, node.inputs[0], "l", left));
+          FLINKLESS_RETURN_NOT_OK(
+              log_shuffled(node, node.inputs[1], "r", right));
           PartitionedDataset out(n);
           ForEachPartition(op_span, &left, n, [&](int p) {
             GroupMap lgroups = GroupByKey(left.partition(p), node.left_key);
@@ -1198,6 +1254,8 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           batch ? ++local_stats.batch_ops : ++local_stats.row_fallback_ops;
           PartitionedDataset shuffled = Shuffle(input_of(node.inputs[0]),
                                                 node.left_key, &local_stats);
+          FLINKLESS_RETURN_NOT_OK(
+              log_shuffled(node, node.inputs[0], "in", shuffled));
           if (batch) ObserveBatchRows(shuffled);
           PartitionedDataset out(n);
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
@@ -1284,6 +1342,578 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
              local_stats.row_fallback_ops);
     m->Count(runtime::metric::kCacheRecordsNotReshuffled, -1,
              local_stats.records_not_reshuffled);
+  }
+  if (stats != nullptr) stats->MergeFrom(local_stats);
+  return outputs;
+}
+
+// ------------------------------------------------ confined-log replay --
+//
+// Rebuilds the plan outputs for the lost partitions from the logged
+// post-shuffle channels (DESIGN.md §14). Two passes:
+//
+//  1. Backward demand analysis. Each node is demanded at kNone, kLost
+//     (only the lost partitions of its output are needed) or kAll.
+//     Narrow operators pass their demand to their input unchanged — they
+//     are partition-local. A shuffle operator *stops* demand on a variant
+//     input (its post-shuffle content is in the log) and raises kAll on an
+//     invariant input (the side must be recomputed and re-shuffled in
+//     full, since any source partition can feed a lost target). Cross
+//     demands its left side at the node's demand and its right side —
+//     broadcast everywhere during Execute — at kAll.
+//
+//  2. Serial forward pass over the demanded nodes, computing only the
+//     demanded partitions with the record-at-a-time operator bodies
+//     (byte-identical to the batch path by the §12 contract, and
+//     trivially deterministic: no threads, no budget interaction).
+//
+// Everything is charged to Charge::kRecovery: logged messages shipped
+// into lost partitions at network rate, recomputed records on the
+// critical path at cpu rate. Survivors contribute no charges — they idle
+// until the replay completes, exactly the confined-recovery story.
+Result<std::map<std::string, PartitionedDataset>> Executor::Replay(
+    const Plan& plan, const Bindings& bindings, const std::vector<int>& lost,
+    runtime::MessageLog* log, ExecStats* stats) const {
+  FLINKLESS_RETURN_NOT_OK(plan.Validate());
+  if (log == nullptr) {
+    return Status::InvalidArgument("Replay needs a message log");
+  }
+  const int n = options_.num_partitions;
+  std::vector<bool> is_lost(n, false);
+  for (int p : lost) {
+    if (p >= 0 && p < n) is_lost[p] = true;
+  }
+
+  runtime::TraceSpan span(options_.tracer, runtime::SpanKind::kMessageLogReplay,
+                          "replay");
+
+  // ---- pass 1: backward demand ----
+  enum Demand { kNone = 0, kLost = 1, kAll = 2 };
+  std::vector<bool> invariant = plan.InvariantNodes(log->volatile_bindings());
+  const int num_nodes = static_cast<int>(plan.num_nodes());
+  std::vector<Demand> demand(num_nodes, kNone);
+  auto raise = [&](NodeId id, Demand d) {
+    if (d > demand[id]) demand[id] = d;
+  };
+  for (const auto& [name, node_id] : plan.outputs()) raise(node_id, kLost);
+  // Node ids are topologically ordered (operators only reference earlier
+  // nodes), so one backward sweep settles every demand.
+  for (int id = num_nodes - 1; id >= 0; --id) {
+    if (demand[id] == kNone) continue;
+    const PlanNode& node = plan.node(id);
+    auto demand_shuffled = [&](NodeId input) {
+      if (invariant[input]) raise(input, kAll);
+      // Variant input: its post-shuffle bytes are a logged channel.
+    };
+    switch (node.kind) {
+      case OpKind::kSource:
+        break;
+      case OpKind::kMap:
+      case OpKind::kFlatMap:
+      case OpKind::kFilter:
+      case OpKind::kProject:
+        raise(node.inputs[0], demand[id]);
+        break;
+      case OpKind::kUnion:
+        raise(node.inputs[0], demand[id]);
+        raise(node.inputs[1], demand[id]);
+        break;
+      case OpKind::kReduceByKey:
+      case OpKind::kGroupReduceByKey:
+      case OpKind::kDistinct:
+        demand_shuffled(node.inputs[0]);
+        break;
+      case OpKind::kJoin:
+      case OpKind::kCoGroup:
+        demand_shuffled(node.inputs[0]);
+        demand_shuffled(node.inputs[1]);
+        break;
+      case OpKind::kCross:
+        raise(node.inputs[0], demand[id]);
+        raise(node.inputs[1], kAll);
+        break;
+    }
+  }
+  // A demanded volatile source would need the failed superstep's *input*
+  // state, which the driver has already advanced past. Every plan in
+  // src/algos routes volatile data through a shuffle before any output,
+  // so this only rejects plans confined-log recovery cannot serve.
+  for (int id = 0; id < num_nodes; ++id) {
+    const PlanNode& node = plan.node(id);
+    if (node.kind == OpKind::kSource && demand[id] != kNone &&
+        !invariant[id]) {
+      return Status::FailedPrecondition(
+          "confined-log replay: plan output depends on volatile source '" +
+          node.source_name +
+          "' outside any logged shuffle; the plan is not replayable");
+    }
+  }
+
+  // ---- pass 2: serial forward execution of demanded partitions ----
+  ExecStats local_stats;
+  std::vector<uint64_t> replayed_per_part(n, 0);
+  const bool charging =
+      options_.clock != nullptr && options_.costs != nullptr;
+  auto charge_recovery = [&](int64_t ns) {
+    if (charging && ns > 0) {
+      options_.clock->Add(runtime::Charge::kRecovery, ns);
+    }
+  };
+  // Recomputation runs on the demanded partitions' workers in parallel in
+  // the simulated cluster: charge the slowest one.
+  auto charge_compute_critical = [&](const std::vector<uint64_t>& per_part) {
+    uint64_t critical = 0;
+    for (uint64_t records : per_part) critical = std::max(critical, records);
+    if (charging) {
+      charge_recovery(options_.costs->cpu_per_record_ns *
+                      static_cast<int64_t>(critical));
+    }
+  };
+  auto parts_of = [&](Demand d) {
+    std::vector<int> parts;
+    for (int p = 0; p < n; ++p) {
+      if (d == kAll || (d == kLost && is_lost[p])) parts.push_back(p);
+    }
+    return parts;
+  };
+
+  struct RSlot {
+    PartitionedDataset owned;
+    const PartitionedDataset* view = nullptr;
+  };
+  std::vector<RSlot> slots(plan.num_nodes());
+  auto input_of = [&](NodeId id) -> const PartitionedDataset& {
+    FLINKLESS_CHECK(slots[id].view != nullptr,
+                    "replay read an input that was never demanded");
+    return *slots[id].view;
+  };
+  auto set_owned = [&](NodeId id, PartitionedDataset ds) {
+    slots[id].owned = std::move(ds);
+    slots[id].view = &slots[id].owned;
+  };
+
+  // The shuffled input of a shuffle operator: the logged channel for a
+  // variant input (counted as replayed messages; shipping into lost
+  // partitions is charged at network rate), or a serial re-shuffle of the
+  // recomputed invariant input (the static side re-shipped to the fresh
+  // workers — also a recovery charge for records landing in lost
+  // partitions). The serial scatter visits sources in order, so partition
+  // contents are byte-identical to ShuffleImpl's gather. Returned by
+  // value: logged channels live in budget-managed segments, and fetching a
+  // later channel may spill an earlier one, so the demanded partitions are
+  // copied out while the segment is resident.
+  auto shuffled_input = [&](const PlanNode& node, NodeId input,
+                            const char* port, const KeyColumns& key)
+      -> Result<PartitionedDataset> {
+    const std::vector<int> parts = parts_of(demand[node.id]);
+    if (!invariant[input]) {
+      FLINKLESS_ASSIGN_OR_RETURN(
+          const PartitionedDataset* channel,
+          log->Channel(MsglogChannel(node.id, port), options_.tracer));
+      if (channel->num_partitions() != n) {
+        return Status::DataLoss("logged channel '" +
+                                MsglogChannel(node.id, port) +
+                                "' has the wrong partition count");
+      }
+      PartitionedDataset out(n);
+      uint64_t shipped = 0;
+      for (int p : parts) {
+        uint64_t records = channel->partition(p).size();
+        local_stats.messages_replayed += records;
+        replayed_per_part[p] += records;
+        if (is_lost[p]) shipped += records;
+        out.partition(p) = channel->partition(p);
+      }
+      if (charging) {
+        charge_recovery(options_.costs->network_per_record_ns *
+                        static_cast<int64_t>(shipped));
+      }
+      return out;
+    }
+    const PartitionedDataset& in = input_of(input);
+    PartitionedDataset out(n);
+    uint64_t shipped = 0;
+    for (int p = 0; p < in.num_partitions(); ++p) {
+      for (const Record& r : in.partition(p)) {
+        int target = PartitionedDataset::PartitionOf(r, key, n);
+        if (is_lost[target]) ++shipped;
+        out.partition(target).push_back(r);
+      }
+    }
+    if (charging) {
+      charge_recovery(options_.costs->network_per_record_ns *
+                      static_cast<int64_t>(shipped));
+    }
+    return out;
+  };
+
+  for (int id = 0; id < num_nodes; ++id) {
+    if (demand[id] == kNone) continue;
+    const PlanNode& node = plan.node(id);
+    const std::vector<int> parts = parts_of(demand[id]);
+
+    switch (node.kind) {
+      case OpKind::kSource: {
+        auto it = bindings.find(node.source_name);
+        if (it == bindings.end() || it->second == nullptr) {
+          return Status::NotFound("replay: no binding for source '" +
+                                  node.source_name + "'");
+        }
+        if (it->second->num_partitions() != n) {
+          return Status::InvalidArgument(
+              "replay binding '" + node.source_name + "' has " +
+              std::to_string(it->second->num_partitions()) +
+              " partitions, executor expects " + std::to_string(n));
+        }
+        slots[id].view = it->second;
+        break;
+      }
+
+      case OpKind::kMap: {
+        const PartitionedDataset& in = input_of(node.inputs[0]);
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          out.partition(p).reserve(in.partition(p).size());
+          for (const Record& r : in.partition(p)) {
+            out.partition(p).push_back(node.map_fn(r));
+          }
+          work[p] = in.partition(p).size();
+          local_stats.records_processed += in.partition(p).size();
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kFlatMap: {
+        const PartitionedDataset& in = input_of(node.inputs[0]);
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          for (const Record& r : in.partition(p)) {
+            node.flat_map_fn(r, &out.partition(p));
+          }
+          work[p] = in.partition(p).size();
+          local_stats.records_processed += in.partition(p).size();
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kFilter: {
+        const PartitionedDataset& in = input_of(node.inputs[0]);
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          for (const Record& r : in.partition(p)) {
+            if (node.filter_fn(r)) out.partition(p).push_back(r);
+          }
+          work[p] = in.partition(p).size();
+          local_stats.records_processed += in.partition(p).size();
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kProject: {
+        const PartitionedDataset& in = input_of(node.inputs[0]);
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          for (const Record& r : in.partition(p)) {
+            Record projected;
+            projected.reserve(node.project_columns.size());
+            for (int col : node.project_columns) {
+              if (col < 0 || static_cast<size_t>(col) >= r.size()) {
+                return Status::OutOfRange(
+                    "Project '" + node.name + "': column " +
+                    std::to_string(col) + " out of range for record " +
+                    RecordToString(r));
+              }
+              projected.push_back(r[col]);
+            }
+            out.partition(p).push_back(std::move(projected));
+          }
+          work[p] = in.partition(p).size();
+          local_stats.records_processed += in.partition(p).size();
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kUnion: {
+        const PartitionedDataset& a = input_of(node.inputs[0]);
+        const PartitionedDataset& b = input_of(node.inputs[1]);
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          out.partition(p).reserve(a.partition(p).size() +
+                                   b.partition(p).size());
+          out.partition(p).insert(out.partition(p).end(),
+                                  a.partition(p).begin(),
+                                  a.partition(p).end());
+          out.partition(p).insert(out.partition(p).end(),
+                                  b.partition(p).begin(),
+                                  b.partition(p).end());
+          work[p] = a.partition(p).size() + b.partition(p).size();
+          local_stats.records_processed += work[p];
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kReduceByKey: {
+        PartitionedDataset shuffled;
+        if (invariant[node.inputs[0]] && node.pre_combine) {
+          // Recompute path must mirror Execute exactly: local
+          // pre-aggregation, then the shuffle. (Never taken by a logged
+          // channel — those are post-combine bytes already.)
+          const PartitionedDataset& in = input_of(node.inputs[0]);
+          PartitionedDataset combined(in.num_partitions());
+          for (int p = 0; p < in.num_partitions(); ++p) {
+            std::unordered_map<Record, Record, RecordHash> acc;
+            acc.reserve(in.partition(p).size());
+            for (const Record& r : in.partition(p)) {
+              Record k = ExtractKey(r, node.left_key);
+              auto [it, inserted] = acc.try_emplace(std::move(k), r);
+              if (!inserted) it->second = node.combine_fn(it->second, r);
+            }
+            std::vector<const Record*> keys;
+            keys.reserve(acc.size());
+            for (const auto& [k, v] : acc) keys.push_back(&k);
+            std::sort(keys.begin(), keys.end(),
+                      [](const Record* a, const Record* b) {
+                        return RecordLess(*a, *b);
+                      });
+            combined.partition(p).reserve(keys.size());
+            for (const Record* k : keys) {
+              combined.partition(p).push_back(std::move(acc.at(*k)));
+            }
+            local_stats.records_processed += in.partition(p).size();
+          }
+          PartitionedDataset scattered(n);
+          uint64_t shipped = 0;
+          for (int p = 0; p < combined.num_partitions(); ++p) {
+            for (Record& r : combined.partition(p)) {
+              int target =
+                  PartitionedDataset::PartitionOf(r, node.left_key, n);
+              if (is_lost[target]) ++shipped;
+              scattered.partition(target).push_back(std::move(r));
+            }
+          }
+          if (charging) {
+            charge_recovery(options_.costs->network_per_record_ns *
+                            static_cast<int64_t>(shipped));
+          }
+          shuffled = std::move(scattered);
+        } else {
+          FLINKLESS_ASSIGN_OR_RETURN(
+              shuffled,
+              shuffled_input(node, node.inputs[0], "in", node.left_key));
+        }
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          std::unordered_map<Record, Record, RecordHash> acc;
+          acc.reserve(shuffled.partition(p).size());
+          for (const Record& r : shuffled.partition(p)) {
+            Record k = ExtractKey(r, node.left_key);
+            auto [it, inserted] = acc.try_emplace(std::move(k), r);
+            if (!inserted) {
+              Record folded = node.combine_fn(it->second, r);
+              if (!KeysEqual(folded, node.left_key, r, node.left_key)) {
+                return Status::Internal("ReduceByKey '" + node.name +
+                                        "': combiner changed the key (got " +
+                                        RecordToString(folded) + ")");
+              }
+              it->second = std::move(folded);
+            }
+          }
+          std::vector<const Record*> keys;
+          keys.reserve(acc.size());
+          for (const auto& [k, v] : acc) keys.push_back(&k);
+          std::sort(keys.begin(), keys.end(),
+                    [](const Record* a, const Record* b) {
+                      return RecordLess(*a, *b);
+                    });
+          out.partition(p).reserve(keys.size());
+          for (const Record* k : keys) {
+            out.partition(p).push_back(std::move(acc.at(*k)));
+          }
+          work[p] = shuffled.partition(p).size();
+          local_stats.records_processed += shuffled.partition(p).size();
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kGroupReduceByKey: {
+        FLINKLESS_ASSIGN_OR_RETURN(
+            PartitionedDataset shuffled,
+            shuffled_input(node, node.inputs[0], "in", node.left_key));
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          GroupMap groups = GroupByKey(shuffled.partition(p), node.left_key);
+          std::vector<const Record*> keys = SortedKeys(groups);
+          out.partition(p).reserve(keys.size());
+          for (const Record* key : keys) {
+            out.partition(p).push_back(
+                node.group_reduce_fn(*key, groups.at(*key)));
+          }
+          work[p] = shuffled.partition(p).size();
+          local_stats.records_processed += shuffled.partition(p).size();
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kJoin: {
+        FLINKLESS_ASSIGN_OR_RETURN(
+            PartitionedDataset left,
+            shuffled_input(node, node.inputs[0], "l", node.left_key));
+        FLINKLESS_ASSIGN_OR_RETURN(
+            PartitionedDataset right,
+            shuffled_input(node, node.inputs[1], "r", node.right_key));
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          GroupMap build = GroupByKey(left.partition(p), node.left_key);
+          for (const Record& r : right.partition(p)) {
+            auto it = build.find(ExtractKey(r, node.right_key));
+            if (it == build.end()) continue;
+            for (const Record& l : it->second) {
+              out.partition(p).push_back(node.join_fn(l, r));
+            }
+          }
+          work[p] = left.partition(p).size() + right.partition(p).size();
+          local_stats.records_processed += work[p];
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kCoGroup: {
+        FLINKLESS_ASSIGN_OR_RETURN(
+            PartitionedDataset left,
+            shuffled_input(node, node.inputs[0], "l", node.left_key));
+        FLINKLESS_ASSIGN_OR_RETURN(
+            PartitionedDataset right,
+            shuffled_input(node, node.inputs[1], "r", node.right_key));
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          GroupMap lgroups = GroupByKey(left.partition(p), node.left_key);
+          GroupMap rgroups = GroupByKey(right.partition(p), node.right_key);
+          std::vector<const Record*> keys;
+          keys.reserve(lgroups.size() + rgroups.size());
+          for (const auto& [k, g] : lgroups) keys.push_back(&k);
+          for (const auto& [k, g] : rgroups) {
+            if (lgroups.find(k) == lgroups.end()) keys.push_back(&k);
+          }
+          std::sort(keys.begin(), keys.end(),
+                    [](const Record* a, const Record* b) {
+                      return RecordLess(*a, *b);
+                    });
+          for (const Record* key : keys) {
+            auto lit = lgroups.find(*key);
+            auto rit = rgroups.find(*key);
+            node.cogroup_fn(
+                *key, lit != lgroups.end() ? lit->second : kEmptyGroup,
+                rit != rgroups.end() ? rit->second : kEmptyGroup,
+                &out.partition(p));
+          }
+          work[p] = left.partition(p).size() + right.partition(p).size();
+          local_stats.records_processed += work[p];
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kCross: {
+        const PartitionedDataset& left = input_of(node.inputs[0]);
+        const PartitionedDataset& right = input_of(node.inputs[1]);
+        std::vector<Record> right_all = right.Collect();
+        // Execute broadcast the right side everywhere; recovery only
+        // re-ships it to the partitions being rebuilt.
+        uint64_t lost_targets = 0;
+        for (int p : parts) {
+          if (is_lost[p]) ++lost_targets;
+        }
+        if (charging) {
+          charge_recovery(options_.costs->network_per_record_ns *
+                          static_cast<int64_t>(right_all.size() *
+                                               lost_targets));
+        }
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          out.partition(p).reserve(left.partition(p).size() *
+                                   right_all.size());
+          for (const Record& l : left.partition(p)) {
+            for (const Record& r : right_all) {
+              out.partition(p).push_back(node.join_fn(l, r));
+            }
+          }
+          work[p] = left.partition(p).size() * right_all.size();
+          local_stats.records_processed +=
+              left.partition(p).size() + right_all.size();
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+
+      case OpKind::kDistinct: {
+        FLINKLESS_ASSIGN_OR_RETURN(
+            PartitionedDataset shuffled,
+            shuffled_input(node, node.inputs[0], "in", node.left_key));
+        PartitionedDataset out(n);
+        std::vector<uint64_t> work(n, 0);
+        for (int p : parts) {
+          std::unordered_set<Record, RecordHash> seen;
+          seen.reserve(shuffled.partition(p).size());
+          for (const Record& r : shuffled.partition(p)) {
+            if (seen.insert(r).second) out.partition(p).push_back(r);
+          }
+          work[p] = shuffled.partition(p).size();
+          local_stats.records_processed += shuffled.partition(p).size();
+        }
+        charge_compute_critical(work);
+        set_owned(id, std::move(out));
+        break;
+      }
+    }
+  }
+
+  std::map<std::string, PartitionedDataset> outputs;
+  for (const auto& [name, node_id] : plan.outputs()) {
+    outputs.emplace(name, *slots[node_id].view);
+  }
+
+  if (options_.metrics != nullptr) {
+    for (int p = 0; p < n; ++p) {
+      if (replayed_per_part[p] > 0) {
+        options_.metrics->Count(runtime::metric::kMsglogMessagesReplayed, p,
+                                replayed_per_part[p]);
+      }
+    }
+  }
+  if (span.active()) {
+    span.AddArg("partitions_lost", static_cast<int64_t>(lost.size()));
+    span.AddArg("messages_replayed",
+                static_cast<int64_t>(local_stats.messages_replayed));
+    span.AddArg("records_recomputed",
+                static_cast<int64_t>(local_stats.records_processed));
   }
   if (stats != nullptr) stats->MergeFrom(local_stats);
   return outputs;

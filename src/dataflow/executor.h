@@ -26,6 +26,10 @@
 #include "runtime/thread_pool.h"
 #include "runtime/tracing.h"
 
+namespace flinkless::runtime {
+class MessageLog;
+}  // namespace flinkless::runtime
+
 namespace flinkless::dataflow {
 
 class ExecCache;
@@ -59,6 +63,11 @@ struct ExecStats {
   /// either ExecOptions::use_columnar is off, or the operator's shape has
   /// no batch implementation (cogroup's two-sided group sweep).
   uint64_t row_fallback_ops = 0;
+
+  /// Records read back from the outbound message log during a confined
+  /// replay (Executor::Replay) — the messages that did NOT have to be
+  /// recomputed by re-running survivors. Zero outside recovery.
+  uint64_t messages_replayed = 0;
 
   /// Output record count per operator display name (accumulated when names
   /// repeat).
@@ -135,6 +144,15 @@ struct ExecOptions {
   /// ExecStats, or SimClock charges, and the recorded values are
   /// identical at any thread count (DESIGN.md §13).
   runtime::MetricsSink* metrics = nullptr;
+
+  /// Optional outbound message log (runtime/message_log.h, DESIGN.md §14),
+  /// owned by the iteration driver. When set, Execute appends every
+  /// shuffled loop-*variant* channel (the log's volatile_bindings decide
+  /// variance) to the log after the shuffle's gather phase, enabling
+  /// confined-log recovery via Replay. Null = logging off. Appending never
+  /// changes outputs, ExecStats, or SimClock charges — with an unlimited
+  /// budget a logged run is bit-identical to an unlogged one.
+  runtime::MessageLog* message_log = nullptr;
 };
 
 /// Stateless plan interpreter. One Executor can run many plans; options are
@@ -164,6 +182,24 @@ class Executor {
   /// them; use when the input dataset is dead after the call.
   PartitionedDataset Shuffle(PartitionedDataset&& input, const KeyColumns& key,
                              ExecStats* stats) const;
+
+  /// Confined-log recovery (DESIGN.md §14): recomputes the plan's outputs
+  /// for the `lost` partitions from the failed superstep's logged channels
+  /// (`log`, filled by the Execute that ran with ExecOptions::message_log
+  /// set to it) plus the loop-invariant bindings — without re-running the
+  /// survivors. Volatile bindings need not be in `bindings`; a plan whose
+  /// outputs depend on a volatile source *not* through a logged shuffle is
+  /// rejected with FailedPrecondition (no such plan exists in src/algos).
+  /// Runs serially on the orchestration thread; every charge lands on
+  /// Charge::kRecovery (replayed messages shipped to the fresh workers,
+  /// recomputation critical path over the demanded partitions), so healthy
+  /// partitions only wait. Returned datasets have num_partitions()
+  /// partitions with only the demanded ones populated, byte-identical to
+  /// the corresponding partitions of the failed Execute at any thread
+  /// count. `stats` may be nullptr.
+  Result<std::map<std::string, PartitionedDataset>> Replay(
+      const Plan& plan, const Bindings& bindings, const std::vector<int>& lost,
+      runtime::MessageLog* log, ExecStats* stats) const;
 
   int num_partitions() const { return options_.num_partitions; }
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "dataflow/exec_cache.h"
+#include "runtime/message_log.h"
 
 namespace flinkless::iteration {
 
@@ -79,7 +80,24 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
   if (exec_opts.cache == &cache && env_.storage != nullptr) {
     cache.AttachMemoryManager(&memory, env_.storage, env_.job_id);
   }
+  // Outbound message log for confined-log recovery (DESIGN.md §14). Only
+  // the state binding varies between supersteps. Declared after `memory`:
+  // the log unregisters its segments on destruction.
+  std::unique_ptr<runtime::MessageLog> msglog;
+  if (config_.message_log) {
+    msglog = std::make_unique<runtime::MessageLog>(
+        std::vector<std::string>{config_.state_binding});
+    msglog->set_metrics(metrics);
+    if (env_.storage != nullptr) {
+      msglog->AttachMemoryManager(&memory, env_.storage, env_.job_id);
+    }
+    exec_opts.message_log = msglog.get();
+  }
   dataflow::Executor executor(exec_opts);
+
+  // Assigned after the state exists (below); make_ctx reads it at call
+  // time, so OnJobStart sees an empty hook only if logging is off.
+  std::function<Status(const std::vector<int>&)> replay_messages;
 
   auto make_ctx = [&](int iteration) {
     IterationContext ctx;
@@ -92,11 +110,37 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     ctx.pool = executor.pool();
     ctx.tracer = tracer;
     ctx.job_id = env_.job_id;
+    ctx.replay_messages = replay_messages;
     return ctx;
   };
 
   const PartitionedDataset initial_copy = initial;
   BulkState state(std::move(initial));
+
+  // Confined-log replay hook: rebuild the lost partitions' next state from
+  // the failed superstep's logged channels and install them. The failed
+  // superstep's *input* state is gone (the driver already advanced), but
+  // Replay never needs it — demand stops at the logged variant channels.
+  uint64_t messages_replayed_acc = 0;
+  if (msglog != nullptr) {
+    replay_messages = [&](const std::vector<int>& lost) -> Status {
+      dataflow::ExecStats rstats;
+      FLINKLESS_ASSIGN_OR_RETURN(
+          auto replayed,
+          executor.Replay(*step_plan_, static_bindings_, lost, msglog.get(),
+                          &rstats));
+      auto it = replayed.find(config_.next_state_output);
+      if (it == replayed.end()) {
+        return Status::NotFound("step plan has no output '" +
+                                config_.next_state_output + "'");
+      }
+      for (int p : lost) {
+        state.data().partition(p) = std::move(it->second.partition(p));
+      }
+      messages_replayed_acc += rstats.messages_replayed;
+      return Status::OK();
+    };
+  }
 
   auto checkpoint_bytes_before = [&]() -> uint64_t {
     return env_.storage != nullptr ? env_.storage->bytes_written() : 0;
@@ -115,10 +159,21 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     }
   }
   uint64_t initial_checkpoint_bytes = checkpoint_bytes_before() - cp_before;
-  if (initial_checkpoint_bytes > 0 && env_.metrics != nullptr) {
-    env_.metrics->IncrCounter("initial_checkpoint_bytes",
-                              initial_checkpoint_bytes);
+  if (initial_checkpoint_bytes > 0) {
+    if (env_.metrics != nullptr) {
+      env_.metrics->IncrCounter("initial_checkpoint_bytes",
+                                initial_checkpoint_bytes);
+    }
+    if (metrics != nullptr) {
+      metrics->Count(runtime::metric::kInitialCheckpointBytes, -1,
+                     initial_checkpoint_bytes);
+    }
   }
+
+  // Running count of failure-schedule ids dropped for being out of range
+  // (see the sanitization below) — exported as a gauge so a typo'd --fail
+  // spec is visible in the metrics report, not just the log.
+  uint64_t dropped_failure_ids = 0;
 
   BulkIterationResult result;
   const int max_supersteps =
@@ -149,6 +204,12 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     runtime::TraceSpan iter_span(tracer, runtime::SpanKind::kIteration,
                                  "superstep");
     if (iter_span.active()) iter_span.AddArg("iteration", iteration);
+
+    // Rotate the message log: confined-log recovery only ever replays the
+    // superstep that failed, so earlier channels (and their spilled blobs)
+    // are dropped before this superstep appends its own.
+    if (msglog != nullptr) msglog->BeginSuperstep(iteration);
+    const uint64_t replayed_before = messages_replayed_acc;
 
     dataflow::Bindings bindings = static_bindings_;
     bindings[config_.state_binding] = &state.data();
@@ -196,9 +257,28 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     std::vector<int> lost =
         env_.failures != nullptr ? env_.failures->Fire(iteration)
                                  : std::vector<int>{};
+    // Sanitize the schedule: same-iteration events may repeat a partition
+    // (dedupe — killing a worker twice is one failure), and hand-written
+    // --fail specs may name partitions the job does not have (drop, but
+    // loudly: a typo'd spec that silently fails nothing would make a
+    // recovery experiment vacuously green).
+    std::sort(lost.begin(), lost.end());
+    lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+    const size_t in_range_before = lost.size();
     lost.erase(std::remove_if(lost.begin(), lost.end(),
                               [&](int p) { return p < 0 || p >= n; }),
                lost.end());
+    if (const size_t dropped = in_range_before - lost.size(); dropped > 0) {
+      dropped_failure_ids += dropped;
+      FLOG_WARN("job '" << env_.job_id << "': failure schedule names "
+                        << dropped << " partition id(s) outside [0, " << n
+                        << ") at iteration " << iteration
+                        << "; dropping them");
+      if (metrics != nullptr) {
+        metrics->SetGauge(runtime::metric::kGaugeRecoveryDroppedIds, -1,
+                          static_cast<double>(dropped_failure_ids));
+      }
+    }
 
     uint64_t cp_bytes_before = checkpoint_bytes_before();
     int executed_iteration = iteration;
@@ -288,6 +368,10 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     }
 
     istats.bytes_checkpointed = checkpoint_bytes_before() - cp_bytes_before;
+    if (messages_replayed_acc > replayed_before) {
+      istats.gauges["messages_replayed"] =
+          static_cast<double>(messages_replayed_acc - replayed_before);
+    }
     if (config_.stats_hook) {
       config_.stats_hook(executed_iteration, state.data(), &istats);
     }

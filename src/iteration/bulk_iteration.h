@@ -63,6 +63,15 @@ struct BulkIterationConfig {
   /// only repeated work on the static bindings is skipped. See
   /// exec_cache.h / DESIGN.md §10.
   bool cache_loop_invariant = true;
+
+  /// Log every shuffled loop-variant channel of the current superstep to an
+  /// outbound message log (runtime/message_log.h, DESIGN.md §14) and expose
+  /// IterationContext::replay_messages, enabling confined-log recovery
+  /// (core::ConfinedLogReplayPolicy). The log rotates at each superstep
+  /// boundary — only the most recent superstep's channels are retained —
+  /// and shares the driver's memory budget, spilling to stable storage
+  /// under pressure. Outputs are byte-identical with the flag on or off.
+  bool message_log = false;
 };
 
 /// Result of a bulk-iterative run.

@@ -4,7 +4,9 @@
 #ifndef FLINKLESS_ITERATION_CONTEXT_H_
 #define FLINKLESS_ITERATION_CONTEXT_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "runtime/cluster.h"
 #include "runtime/cost_model.h"
@@ -57,6 +59,15 @@ struct IterationContext {
   /// args to the driver's open checkpoint/compensation span via instants.
   runtime::Tracer* tracer = nullptr;
   std::string job_id;
+
+  /// Confined-log replay hook (DESIGN.md §14). Installed by the iteration
+  /// drivers only when their config enables the outbound message log;
+  /// replays the failed superstep's logged channels into the lost
+  /// partitions (Executor::Replay) and re-applies the resulting updates to
+  /// the iteration state. Policies that depend on it (e.g.
+  /// ConfinedLogReplayPolicy) must fail with FailedPrecondition when it is
+  /// empty. Empty = message logging off.
+  std::function<Status(const std::vector<int>& lost)> replay_messages;
 };
 
 }  // namespace flinkless::iteration

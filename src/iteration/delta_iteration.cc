@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "dataflow/exec_cache.h"
+#include "runtime/message_log.h"
 
 namespace flinkless::iteration {
 
@@ -82,7 +83,24 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
   if (exec_opts.cache == &cache && env_.storage != nullptr) {
     cache.AttachMemoryManager(&memory, env_.storage, env_.job_id);
   }
+  // Outbound message log for confined-log recovery (DESIGN.md §14). Both
+  // the workset and the solution binding vary between supersteps. Declared
+  // after `memory`: the log unregisters its segments on destruction.
+  std::unique_ptr<runtime::MessageLog> msglog;
+  if (config_.message_log) {
+    msglog = std::make_unique<runtime::MessageLog>(std::vector<std::string>{
+        config_.workset_binding, config_.solution_binding});
+    msglog->set_metrics(metrics);
+    if (env_.storage != nullptr) {
+      msglog->AttachMemoryManager(&memory, env_.storage, env_.job_id);
+    }
+    exec_opts.message_log = msglog.get();
+  }
   dataflow::Executor executor(exec_opts);
+
+  // Assigned after the state exists (below); make_ctx reads it at call
+  // time, so OnJobStart sees an empty hook only if logging is off.
+  std::function<Status(const std::vector<int>&)> replay_messages;
 
   auto make_ctx = [&](int iteration) {
     IterationContext ctx;
@@ -95,6 +113,7 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     ctx.pool = executor.pool();
     ctx.tracer = tracer;
     ctx.job_id = env_.job_id;
+    ctx.replay_messages = replay_messages;
     return ctx;
   };
 
@@ -105,6 +124,47 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
       SolutionSet::FromRecords(std::move(initial_solution),
                                config_.solution_key, n),
       std::move(initial_workset));
+
+  // Confined-log replay hook: recompute the failed superstep's delta and
+  // next workset for the lost partitions from the logged channels, then
+  // re-apply them. Survivors already applied the full pre-failure delta
+  // (ApplyDelta ran before the failure fired), so replayed delta records
+  // are upserted only into lost partitions. Assumes the delta output is
+  // co-partitioned by solution_key (see DeltaIterationConfig::message_log).
+  uint64_t messages_replayed_acc = 0;
+  if (msglog != nullptr) {
+    replay_messages = [&](const std::vector<int>& lost) -> Status {
+      std::vector<bool> is_lost(n, false);
+      for (int p : lost) is_lost[p] = true;
+      dataflow::ExecStats rstats;
+      FLINKLESS_ASSIGN_OR_RETURN(
+          auto replayed,
+          executor.Replay(*step_plan_, static_bindings_, lost, msglog.get(),
+                          &rstats));
+      auto delta_it = replayed.find(config_.delta_output);
+      if (delta_it == replayed.end()) {
+        return Status::NotFound("step plan has no output '" +
+                                config_.delta_output + "'");
+      }
+      auto workset_it = replayed.find(config_.next_workset_output);
+      if (workset_it == replayed.end()) {
+        return Status::NotFound("step plan has no output '" +
+                                config_.next_workset_output + "'");
+      }
+      for (int p : lost) {
+        for (Record& record : delta_it->second.partition(p)) {
+          const int target = PartitionedDataset::PartitionOf(
+              record, config_.solution_key, n);
+          if (!is_lost[target]) continue;  // survivor: already applied
+          state.solution().UpsertIntoPartition(target, std::move(record));
+        }
+        state.workset().partition(p) =
+            std::move(workset_it->second.partition(p));
+      }
+      messages_replayed_acc += rstats.messages_replayed;
+      return Status::OK();
+    };
+  }
 
   auto storage_bytes = [&]() -> uint64_t {
     return env_.storage != nullptr ? env_.storage->bytes_written() : 0;
@@ -118,10 +178,22 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     uint64_t bytes = storage_bytes() - start_bytes_before;
     if (bytes > 0) {
       start_span.AddArg("bytes", static_cast<int64_t>(bytes));
+      // Account the initial checkpoint like the bulk driver does — this
+      // was silently missing here, so delta runs under-reported their
+      // checkpoint overhead by one full snapshot.
+      env_.metrics->IncrCounter("initial_checkpoint_bytes", bytes);
+      if (metrics != nullptr) {
+        metrics->Count(runtime::metric::kInitialCheckpointBytes, -1, bytes);
+      }
     } else {
       start_span.Cancel();  // the policy wrote nothing at job start
     }
   }
+
+  // Running count of failure-schedule ids dropped for being out of range
+  // (see the sanitization below) — exported as a gauge so a typo'd --fail
+  // spec is visible in the metrics report, not just the log.
+  uint64_t dropped_failure_ids = 0;
 
   DeltaIterationResult result;
   const int max_supersteps =
@@ -159,6 +231,12 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
       iter_span.AddArg("workset",
                        static_cast<int64_t>(state.workset().NumRecords()));
     }
+
+    // Rotate the message log: confined-log recovery only ever replays the
+    // superstep that failed, so earlier channels (and their spilled blobs)
+    // are dropped before this superstep appends its own.
+    if (msglog != nullptr) msglog->BeginSuperstep(iteration);
+    const uint64_t replayed_before = messages_replayed_acc;
 
     PartitionedDataset solution_ds =
         state.solution().ToDataset(executor.pool());
@@ -217,9 +295,28 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     std::vector<int> lost =
         env_.failures != nullptr ? env_.failures->Fire(iteration)
                                  : std::vector<int>{};
+    // Sanitize the schedule: same-iteration events may repeat a partition
+    // (dedupe — killing a worker twice is one failure), and hand-written
+    // --fail specs may name partitions the job does not have (drop, but
+    // loudly: a typo'd spec that silently fails nothing would make a
+    // recovery experiment vacuously green).
+    std::sort(lost.begin(), lost.end());
+    lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+    const size_t in_range_before = lost.size();
     lost.erase(std::remove_if(lost.begin(), lost.end(),
                               [&](int p) { return p < 0 || p >= n; }),
                lost.end());
+    if (const size_t dropped = in_range_before - lost.size(); dropped > 0) {
+      dropped_failure_ids += dropped;
+      FLOG_WARN("job '" << env_.job_id << "': failure schedule names "
+                        << dropped << " partition id(s) outside [0, " << n
+                        << ") at iteration " << iteration
+                        << "; dropping them");
+      if (metrics != nullptr) {
+        metrics->SetGauge(runtime::metric::kGaugeRecoveryDroppedIds, -1,
+                          static_cast<double>(dropped_failure_ids));
+      }
+    }
 
     uint64_t cp_before = storage_bytes();
     int executed_iteration = iteration;
@@ -312,6 +409,10 @@ Result<DeltaIterationResult> DeltaIterationDriver::Run(
     }
 
     istats.bytes_checkpointed = storage_bytes() - cp_before;
+    if (messages_replayed_acc > replayed_before) {
+      istats.gauges["messages_replayed"] =
+          static_cast<double>(messages_replayed_acc - replayed_before);
+    }
     // Refresh the workset gauge: recovery may have repopulated it.
     istats.gauges["workset_size"] =
         static_cast<double>(state.workset().NumRecords());

@@ -53,6 +53,17 @@ struct DeltaIterationConfig {
   /// volatile; everything derived only from the static bindings is built
   /// once. Outputs are byte-identical either way (DESIGN.md §10).
   bool cache_loop_invariant = true;
+
+  /// Log every shuffled loop-variant channel of the current superstep to an
+  /// outbound message log (runtime/message_log.h, DESIGN.md §14) and expose
+  /// IterationContext::replay_messages, enabling confined-log recovery
+  /// (core::ConfinedLogReplayPolicy). The log rotates at each superstep
+  /// boundary and shares the driver's memory budget, spilling to stable
+  /// storage under pressure. Outputs are byte-identical with the flag on or
+  /// off. The replay hook assumes the delta and next-workset outputs are
+  /// co-partitioned by solution_key (true for every plan in src/algos —
+  /// their final shuffle keys on the vertex id).
+  bool message_log = false;
 };
 
 /// Result of a delta-iterative run.

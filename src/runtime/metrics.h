@@ -166,6 +166,14 @@ inline constexpr char kPoolParallelSections[] = "pool.parallel_sections";
 // Recovery (per-partition counters).
 inline constexpr char kCompensationRecords[] = "compensation.records";
 inline constexpr char kRecoveryPartitionsLost[] = "recovery.partitions_lost";
+// Checkpointing (job-level counter): bytes written by OnJobStart's initial
+// checkpoint, kept separate from per-iteration checkpoint I/O.
+inline constexpr char kInitialCheckpointBytes[] = "checkpoint.initial_bytes";
+// Outbound message log (DESIGN.md §14). Bytes are job-level (serialized
+// channel blocks); messages are per receiving partition.
+inline constexpr char kMsglogBytes[] = "msglog.bytes";
+inline constexpr char kMsglogMessages[] = "msglog.messages";
+inline constexpr char kMsglogMessagesReplayed[] = "msglog.messages_replayed";
 // Histograms (job-level distributions).
 inline constexpr char kHistBatchRows[] = "exec.batch_rows";
 inline constexpr char kHistProbeChain[] = "join.probe_chain";
@@ -174,6 +182,9 @@ inline constexpr char kHistShuffleFanout[] = "shuffle.fanout_records";
 inline constexpr char kHistCompensationRecords[] = "compensation.records_hist";
 // Gauges (orchestration-set, per-partition).
 inline constexpr char kGaugeStateRecords[] = "state.records";
+// Running count of failure-schedule partition ids the drivers dropped as
+// out of range (job-level; nonzero means a misconfigured schedule).
+inline constexpr char kGaugeRecoveryDroppedIds[] = "recovery.dropped_ids";
 }  // namespace metric
 
 /// Deterministic fixed-bucket histogram. Bucket 0 counts values <= 0;

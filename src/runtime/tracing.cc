@@ -92,6 +92,10 @@ const char* SpanKindName(SpanKind kind) {
       return "cache.spill";
     case SpanKind::kCacheUnspill:
       return "cache.unspill";
+    case SpanKind::kMessageLogAppend:
+      return "msglog.append";
+    case SpanKind::kMessageLogReplay:
+      return "msglog.replay";
   }
   return "?";
 }

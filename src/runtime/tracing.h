@@ -52,6 +52,9 @@ enum class SpanKind : int {
   kCompensation,       // recovery action after a failure (OnFailure)
   kCacheSpill,         // budget eviction: cached artifact written to storage
   kCacheUnspill,       // spilled artifact read back and rebuilt on access
+  kMessageLogAppend,   // outbound message log: one shuffled channel recorded
+  kMessageLogReplay,   // confined recovery: logged messages replayed into
+                       // the lost partitions
 };
 
 /// Stable category name of a span kind ("operator", "shuffle.scatter", ...).

@@ -1,0 +1,290 @@
+// Tests for the outbound message log (runtime/message_log.h) and the
+// confined replay built on it (Executor::Replay, DESIGN.md §14): channel
+// round-trips, superstep rotation, budgeted spill/unspill, and — the
+// contract recovery rests on — replayed partitions byte-identical to the
+// partitions a full Execute produces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataflow/executor.h"
+#include "runtime/memory_manager.h"
+#include "runtime/message_log.h"
+#include "runtime/stable_storage.h"
+
+namespace flinkless::runtime {
+namespace {
+
+using dataflow::Bindings;
+using dataflow::ExecOptions;
+using dataflow::ExecStats;
+using dataflow::Executor;
+using dataflow::MakeRecord;
+using dataflow::PartitionedDataset;
+using dataflow::Plan;
+using dataflow::Record;
+
+PartitionedDataset MakeMessages(int parts, int records_per_part,
+                                int64_t salt) {
+  PartitionedDataset out(parts);
+  for (int p = 0; p < parts; ++p) {
+    for (int64_t i = 0; i < records_per_part; ++i) {
+      out.partition(p).push_back(MakeRecord(salt + p, i));
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------- log mechanics --
+
+TEST(MessageLogTest, AppendAndChannelRoundTrip) {
+  MessageLog log({"state"});
+  PartitionedDataset messages = MakeMessages(4, 3, 100);
+  ASSERT_TRUE(log.Append("n0001.in", messages, nullptr).ok());
+
+  EXPECT_TRUE(log.Has("n0001.in"));
+  EXPECT_FALSE(log.Has("n0002.in"));
+  EXPECT_EQ(log.num_channels(), 1u);
+  EXPECT_EQ(log.appended_records(), 12u);
+  EXPECT_GT(log.appended_bytes(), 0u);
+
+  auto channel = log.Channel("n0001.in", nullptr);
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+  ASSERT_EQ((*channel)->num_partitions(), 4);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ((*channel)->partition(p), messages.partition(p)) << p;
+  }
+
+  EXPECT_FALSE(log.Channel("missing", nullptr).ok());
+}
+
+TEST(MessageLogTest, BeginSuperstepDropsPreviousChannels) {
+  MessageLog log({"state"});
+  ASSERT_TRUE(log.Append("n0001.in", MakeMessages(2, 2, 0), nullptr).ok());
+  ASSERT_TRUE(log.Append("n0002.l", MakeMessages(2, 2, 7), nullptr).ok());
+  EXPECT_EQ(log.num_channels(), 2u);
+
+  log.BeginSuperstep(1);
+  EXPECT_EQ(log.superstep(), 1);
+  EXPECT_EQ(log.num_channels(), 0u);
+  EXPECT_FALSE(log.Has("n0001.in"));
+  // Rotation never resets the monotonic totals.
+  EXPECT_EQ(log.appended_records(), 8u);
+}
+
+TEST(MessageLogTest, BudgetSpillsAndChannelReloads) {
+  StableStorage storage(nullptr, nullptr);
+  MemoryManager manager(/*budget_bytes=*/1);  // everything must spill
+  MessageLog log({"state"});
+  log.AttachMemoryManager(&manager, &storage, "job-x");
+
+  PartitionedDataset a = MakeMessages(2, 4, 10);
+  PartitionedDataset b = MakeMessages(2, 4, 20);
+  ASSERT_TRUE(log.Append("n0001.in", a, nullptr).ok());
+  ASSERT_TRUE(log.Append("n0002.in", b, nullptr).ok());
+  // Append registers but never evicts (it runs mid-Execute); the owner
+  // enforces the budget at the superstep boundary.
+  EXPECT_GT(log.resident_bytes(), 0u);
+  ASSERT_TRUE(manager.EnforceBudget(nullptr, nullptr).ok());
+  EXPECT_EQ(log.resident_bytes(), 0u);
+  EXPECT_EQ(storage.ListWithPrefix("spill/job-x/msglog/").size(), 2u);
+
+  // Channel() unspills on demand and hands back the original bytes.
+  auto channel = log.Channel("n0001.in", nullptr);
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+  for (int p = 0; p < 2; ++p) {
+    EXPECT_EQ((*channel)->partition(p), a.partition(p)) << p;
+  }
+  EXPECT_EQ(manager.stats().unspills, 1u);
+  EXPECT_GE(manager.stats().spills, 2u);
+
+  // Rotation deletes the spill blobs of dropped channels.
+  ASSERT_TRUE(manager.EnforceBudget(nullptr, nullptr).ok());
+  log.BeginSuperstep(1);
+  EXPECT_EQ(storage.ListWithPrefix("spill/job-x/msglog/").size(), 0u);
+  EXPECT_EQ(manager.num_segments(), 0u);
+}
+
+// ------------------------------------------------------ confined replay --
+
+/// A step plan shaped like the iteration drivers': a variant state source
+/// joined with an invariant static input, then aggregated. Both the join
+/// and the reduce sit behind shuffles, so replay serves the variant side
+/// from the log and re-shuffles only the invariant side.
+Plan BuildStepPlan() {
+  Plan plan;
+  auto state = plan.Source("state");
+  auto edges = plan.Source("edges");
+  auto joined = plan.Join(
+      state, edges, {0}, {0},
+      [](const Record& l, const Record& r) {
+        return MakeRecord(r[1].AsInt64(), l[1].AsInt64() + 1);
+      },
+      "send");
+  auto reduced = plan.ReduceByKey(
+      joined, {0},
+      [](const Record& x, const Record& y) {
+        return MakeRecord(x[0].AsInt64(),
+                          std::min(x[1].AsInt64(), y[1].AsInt64()));
+      },
+      "min", /*pre_combine=*/true);
+  plan.Output(joined, "mid");
+  plan.Output(reduced, "out");
+  return plan;
+}
+
+struct StepData {
+  PartitionedDataset state;
+  PartitionedDataset edges;
+};
+
+StepData MakeStepData(int parts) {
+  std::vector<Record> state;
+  std::vector<Record> edges;
+  for (int64_t v = 0; v < 64; ++v) {
+    state.push_back(MakeRecord(v, v % 5));
+    edges.push_back(MakeRecord(v, (v * 7 + 3) % 64));
+    edges.push_back(MakeRecord(v, (v * 11 + 1) % 64));
+  }
+  StepData data;
+  data.state = PartitionedDataset::HashPartitioned(state, {0}, parts);
+  data.edges = PartitionedDataset::HashPartitioned(edges, {0}, parts);
+  return data;
+}
+
+class ReplayTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplayTest, ReplayedPartitionsMatchExecuteByteForByte) {
+  const int parts = 4;
+  Plan plan = BuildStepPlan();
+  StepData data = MakeStepData(parts);
+  Bindings bindings{{"state", &data.state}, {"edges", &data.edges}};
+
+  ExecOptions options;
+  options.num_partitions = parts;
+  options.num_threads = GetParam();
+  MessageLog log({"state"});
+  options.message_log = &log;
+  Executor executor(options);
+
+  ExecStats exec_stats;
+  auto executed = executor.Execute(plan, bindings, &exec_stats);
+  ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+  EXPECT_GT(log.num_channels(), 0u);
+  EXPECT_EQ(exec_stats.messages_replayed, 0u);
+
+  // Replay sees only the static bindings, exactly like the drivers after a
+  // failure destroyed the volatile state.
+  Bindings statics{{"edges", &data.edges}};
+  for (const std::vector<int>& lost :
+       {std::vector<int>{2}, std::vector<int>{0, 3},
+        std::vector<int>{0, 1, 2, 3}}) {
+    ExecStats replay_stats;
+    auto replayed = executor.Replay(plan, statics, lost, &log, &replay_stats);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+    EXPECT_GT(replay_stats.messages_replayed, 0u);
+    for (const char* output : {"mid", "out"}) {
+      const PartitionedDataset& full = executed->at(output);
+      const PartitionedDataset& confined = replayed->at(output);
+      ASSERT_EQ(confined.num_partitions(), parts);
+      for (int p : lost) {
+        EXPECT_EQ(confined.partition(p), full.partition(p))
+            << output << " partition " << p << " with "
+            << static_cast<int>(lost.size()) << " lost";
+      }
+    }
+  }
+}
+
+TEST_P(ReplayTest, LoggingIsByteInvisibleToExecute) {
+  const int parts = 4;
+  Plan plan = BuildStepPlan();
+  StepData data = MakeStepData(parts);
+  Bindings bindings{{"state", &data.state}, {"edges", &data.edges}};
+
+  ExecOptions plain_options;
+  plain_options.num_partitions = parts;
+  plain_options.num_threads = GetParam();
+  Executor plain(plain_options);
+  ExecStats plain_stats;
+  auto unlogged = plain.Execute(plan, bindings, &plain_stats);
+  ASSERT_TRUE(unlogged.ok());
+
+  ExecOptions logged_options = plain_options;
+  MessageLog log({"state"});
+  logged_options.message_log = &log;
+  Executor with_log(logged_options);
+  ExecStats logged_stats;
+  auto logged = with_log.Execute(plan, bindings, &logged_stats);
+  ASSERT_TRUE(logged.ok());
+
+  for (const char* output : {"mid", "out"}) {
+    const PartitionedDataset& a = unlogged->at(output);
+    const PartitionedDataset& b = logged->at(output);
+    for (int p = 0; p < parts; ++p) {
+      EXPECT_EQ(a.partition(p), b.partition(p)) << output << " " << p;
+    }
+  }
+  EXPECT_EQ(plain_stats.messages_shuffled, logged_stats.messages_shuffled);
+  EXPECT_EQ(plain_stats.records_processed, logged_stats.records_processed);
+}
+
+TEST_P(ReplayTest, ReplayReadsSpilledChannels) {
+  // Same byte-identity with the log under a 1-byte budget: every channel
+  // spills at the superstep boundary and Replay reloads on demand.
+  const int parts = 4;
+  Plan plan = BuildStepPlan();
+  StepData data = MakeStepData(parts);
+  Bindings bindings{{"state", &data.state}, {"edges", &data.edges}};
+
+  StableStorage storage(nullptr, nullptr);
+  MemoryManager manager(/*budget_bytes=*/1);
+  MessageLog log({"state"});
+  log.AttachMemoryManager(&manager, &storage, "replay-job");
+
+  ExecOptions options;
+  options.num_partitions = parts;
+  options.num_threads = GetParam();
+  options.message_log = &log;
+  Executor executor(options);
+  auto executed = executor.Execute(plan, bindings, nullptr);
+  ASSERT_TRUE(executed.ok());
+  ASSERT_TRUE(manager.EnforceBudget(nullptr, nullptr).ok());
+  EXPECT_EQ(log.resident_bytes(), 0u);
+
+  Bindings statics{{"edges", &data.edges}};
+  auto replayed = executor.Replay(plan, statics, {1, 2}, &log, nullptr);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_GT(manager.stats().unspills, 0u);
+  for (const char* output : {"mid", "out"}) {
+    for (int p : {1, 2}) {
+      EXPECT_EQ(replayed->at(output).partition(p),
+                executed->at(output).partition(p))
+          << output << " " << p;
+    }
+  }
+}
+
+TEST(ReplayTest, MissingLogChannelIsNotFound) {
+  const int parts = 4;
+  Plan plan = BuildStepPlan();
+  StepData data = MakeStepData(parts);
+  ExecOptions options;
+  options.num_partitions = parts;
+  Executor executor(options);
+  // Log was never filled by an Execute: replay must fail loudly, not
+  // fabricate empty partitions.
+  MessageLog empty_log({"state"});
+  Bindings statics{{"edges", &data.edges}};
+  auto replayed = executor.Replay(plan, statics, {1}, &empty_log, nullptr);
+  EXPECT_FALSE(replayed.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ReplayTest, ::testing::Values(1, 2, 8));
+
+}  // namespace
+}  // namespace flinkless::runtime

@@ -16,6 +16,7 @@
 #include "algos/connected_components.h"
 #include "algos/datasets.h"
 #include "algos/pagerank.h"
+#include "algos/refreshers.h"
 #include "core/policies.h"
 #include "dataflow/executor.h"
 #include "graph/generators.h"
@@ -507,6 +508,202 @@ TEST_P(AlgoDeterminismTest, RecoveredResultIsCorrect) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, AlgoDeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+
+// ------------------------------- confined-log recovery determinism --
+
+/// Same two algorithms recovered by ConfinedLogReplayPolicy (DESIGN.md
+/// §14) instead of compensation. `message_log` may only be off for
+/// failure-free runs — the policy refuses to recover without the log.
+AlgoRun RunBothAlgosConfinedLog(int num_threads, bool with_failures,
+                                bool message_log = true,
+                                uint64_t memory_budget_bytes = 0) {
+  AlgoRun out;
+  Rng rng(2025);
+  graph::Graph directed = graph::Rmat(9, 6, &rng);  // 512 vertices
+
+  // ---- PageRank (bulk: replay alone restores the exact state) ----
+  {
+    runtime::SimClock clock;
+    runtime::CostModel costs;
+    runtime::MetricsRegistry metrics;
+    runtime::StableStorage storage(&clock, &costs);
+    runtime::FailureSchedule failures(
+        with_failures
+            ? std::vector<runtime::FailureEvent>{{3, {1}}, {7, {0, 2}}}
+            : std::vector<runtime::FailureEvent>{});
+    iteration::JobEnv env;
+    env.clock = &clock;
+    env.costs = &costs;
+    env.metrics = &metrics;
+    env.failures = &failures;
+    env.storage = &storage;
+    env.job_id = "clog-pr";
+
+    algos::PageRankOptions options;
+    options.num_partitions = 4;
+    options.num_threads = num_threads;
+    options.max_iterations = 12;
+    options.message_log = message_log;
+    options.memory_budget_bytes = memory_budget_bytes;
+    core::ConfinedLogReplayPolicy policy(2);
+    auto result = algos::RunPageRank(directed, options, env, &policy, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return out;
+    out.pr_ranks = result->ranks;
+    out.pr_iterations = result->iterations;
+    out.pr_sim_ns = clock.TotalNs();
+    for (const auto& it : metrics.iterations()) {
+      out.pr_messages += it.messages_shuffled;
+      out.pr_spills += it.spills;
+      out.pr_unspills += it.unspills;
+    }
+    // Bulk confined-log writes no checkpoints; the only storage traffic is
+    // budget-driven spill, and every blob dies with its owner.
+    EXPECT_EQ(storage.ListWithPrefix("clog-pr/").size(), 0u);
+    EXPECT_EQ(storage.ListWithPrefix("spill/").size(), 0u);
+  }
+
+  // ---- Connected Components (delta: snapshot + replay + refresher) ----
+  {
+    graph::Graph undirected(directed.num_vertices(), /*directed=*/false);
+    for (const graph::Edge& e : directed.edges()) {
+      Status s = undirected.AddEdge(e.src, e.dst);
+      EXPECT_TRUE(s.ok());
+    }
+    runtime::SimClock clock;
+    runtime::CostModel costs;
+    runtime::MetricsRegistry metrics;
+    runtime::StableStorage storage(&clock, &costs);
+    runtime::FailureSchedule failures(
+        with_failures ? std::vector<runtime::FailureEvent>{{2, {3}}}
+                      : std::vector<runtime::FailureEvent>{});
+    iteration::JobEnv env;
+    env.clock = &clock;
+    env.costs = &costs;
+    env.metrics = &metrics;
+    env.failures = &failures;
+    env.storage = &storage;
+    env.job_id = "clog-cc";
+
+    algos::ConnectedComponentsOptions options;
+    options.num_partitions = 4;
+    options.num_threads = num_threads;
+    options.message_log = message_log;
+    options.memory_budget_bytes = memory_budget_bytes;
+    core::ConfinedLogReplayPolicy policy(
+        2, algos::MakeNeighborhoodRefresher(&undirected));
+    auto result =
+        algos::RunConnectedComponents(undirected, options, env, &policy,
+                                      nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return out;
+    out.cc_labels = result->labels;
+    out.cc_supersteps = result->supersteps_executed;
+    out.cc_sim_ns = clock.TotalNs();
+    for (const auto& it : metrics.iterations()) {
+      out.cc_messages += it.messages_shuffled;
+      out.cc_spills += it.spills;
+      out.cc_unspills += it.unspills;
+    }
+    EXPECT_EQ(storage.ListWithPrefix("spill/").size(), 0u);
+  }
+  return out;
+}
+
+class ConfinedLogDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfinedLogDeterminismTest, FailureFreeLoggedRunEqualsUnlogged) {
+  // The acceptance contract of the message log: with no failure fired, a
+  // logged run is bit-equal to an unlogged one — results, superstep
+  // counts, message counts, AND simulated charges (logging is free in
+  // simulated time; only wall clock pays for the copies).
+  AlgoRun logged = RunBothAlgosConfinedLog(GetParam(), /*with_failures=*/false,
+                                           /*message_log=*/true);
+  AlgoRun unlogged = RunBothAlgosConfinedLog(GetParam(),
+                                             /*with_failures=*/false,
+                                             /*message_log=*/false);
+  EXPECT_EQ(logged.cc_labels, unlogged.cc_labels);
+  EXPECT_EQ(logged.pr_ranks, unlogged.pr_ranks);
+  EXPECT_EQ(logged.cc_supersteps, unlogged.cc_supersteps);
+  EXPECT_EQ(logged.pr_iterations, unlogged.pr_iterations);
+  EXPECT_EQ(logged.cc_messages, unlogged.cc_messages);
+  EXPECT_EQ(logged.pr_messages, unlogged.pr_messages);
+  EXPECT_EQ(logged.cc_sim_ns, unlogged.cc_sim_ns);
+  EXPECT_EQ(logged.pr_sim_ns, unlogged.pr_sim_ns);
+}
+
+TEST_P(ConfinedLogDeterminismTest, FailureFreeRunsMatchSerial) {
+  AlgoRun serial = RunBothAlgosConfinedLog(1, /*with_failures=*/false);
+  AlgoRun parallel = RunBothAlgosConfinedLog(GetParam(),
+                                             /*with_failures=*/false);
+  EXPECT_EQ(serial.cc_labels, parallel.cc_labels);
+  EXPECT_EQ(serial.pr_ranks, parallel.pr_ranks);
+  EXPECT_EQ(serial.cc_supersteps, parallel.cc_supersteps);
+  EXPECT_EQ(serial.pr_iterations, parallel.pr_iterations);
+  EXPECT_EQ(serial.cc_messages, parallel.cc_messages);
+  EXPECT_EQ(serial.pr_messages, parallel.pr_messages);
+  EXPECT_EQ(serial.cc_sim_ns, parallel.cc_sim_ns);
+  EXPECT_EQ(serial.pr_sim_ns, parallel.pr_sim_ns);
+}
+
+TEST_P(ConfinedLogDeterminismTest, RecoveryRunsMatchSerial) {
+  // Replay is serial by construction, but the surrounding supersteps are
+  // not: the whole failed run — including the recovery charges — must be a
+  // pure function of the data at any thread count.
+  AlgoRun serial = RunBothAlgosConfinedLog(1, /*with_failures=*/true);
+  AlgoRun parallel = RunBothAlgosConfinedLog(GetParam(),
+                                             /*with_failures=*/true);
+  EXPECT_EQ(serial.cc_labels, parallel.cc_labels);
+  EXPECT_EQ(serial.pr_ranks, parallel.pr_ranks);
+  EXPECT_EQ(serial.cc_supersteps, parallel.cc_supersteps);
+  EXPECT_EQ(serial.pr_iterations, parallel.pr_iterations);
+  EXPECT_EQ(serial.cc_messages, parallel.cc_messages);
+  EXPECT_EQ(serial.pr_messages, parallel.pr_messages);
+  EXPECT_EQ(serial.cc_sim_ns, parallel.cc_sim_ns);
+  EXPECT_EQ(serial.pr_sim_ns, parallel.pr_sim_ns);
+}
+
+TEST_P(ConfinedLogDeterminismTest, BulkRecoveryIsExact) {
+  // For a bulk iteration, replaying the failed superstep's logged messages
+  // rebuilds the exact pre-failure state: the failed run converges on the
+  // same iteration with the same ranks and the same shuffle traffic as a
+  // failure-free run — nothing is recomputed, only replayed.
+  AlgoRun failed = RunBothAlgosConfinedLog(GetParam(), /*with_failures=*/true);
+  AlgoRun clean = RunBothAlgosConfinedLog(GetParam(), /*with_failures=*/false);
+  EXPECT_EQ(failed.pr_ranks, clean.pr_ranks);
+  EXPECT_EQ(failed.pr_iterations, clean.pr_iterations);
+  EXPECT_EQ(failed.pr_messages, clean.pr_messages);
+  // Delta CC still converges to the same labels; supersteps may differ
+  // because the refresher re-propagates the restored region.
+  EXPECT_EQ(failed.cc_labels, clean.cc_labels);
+}
+
+TEST_P(ConfinedLogDeterminismTest, TinyBudgetReplayStaysByteIdentical) {
+  // A 1-byte budget forces every log channel (and cache entry) out to
+  // storage, so recovery replays from *spilled* channels — results must
+  // not move.
+  AlgoRun unlimited = RunBothAlgosConfinedLog(GetParam(),
+                                              /*with_failures=*/true,
+                                              /*message_log=*/true,
+                                              /*memory_budget_bytes=*/0);
+  AlgoRun tiny = RunBothAlgosConfinedLog(GetParam(), /*with_failures=*/true,
+                                         /*message_log=*/true,
+                                         /*memory_budget_bytes=*/1);
+  EXPECT_EQ(unlimited.cc_labels, tiny.cc_labels);
+  EXPECT_EQ(unlimited.pr_ranks, tiny.pr_ranks);
+  EXPECT_EQ(unlimited.cc_supersteps, tiny.cc_supersteps);
+  EXPECT_EQ(unlimited.pr_iterations, tiny.pr_iterations);
+  EXPECT_EQ(unlimited.cc_messages, tiny.cc_messages);
+  EXPECT_EQ(unlimited.pr_messages, tiny.pr_messages);
+  EXPECT_EQ(unlimited.pr_spills, 0u);
+  EXPECT_GT(tiny.pr_spills, 0u);
+  EXPECT_GT(tiny.pr_unspills, 0u);
+  EXPECT_GT(tiny.cc_spills, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ConfinedLogDeterminismTest,
                          ::testing::Values(1, 2, 8));
 
 // ------------------------- delta-iteration solution-set determinism --

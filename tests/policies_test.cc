@@ -338,6 +338,82 @@ TEST(ConfinedRollbackTest, RequiresStorage) {
   EXPECT_FALSE(policy.OnJobStart(MakeContext(0, 2, nullptr), &state).ok());
 }
 
+TEST(ConfinedRollbackTest, RepeatedFailuresOfSamePartitionRestoreEachTime) {
+  runtime::StableStorage storage(nullptr, nullptr);
+  core::ConfinedRollbackPolicy policy(/*interval=*/1);
+  BulkState state = MakeState(16, 4, 7);
+  ASSERT_TRUE(policy.OnJobStart(MakeContext(0, 4, &storage), &state).ok());
+  for (int p = 0; p < 4; ++p) {
+    for (auto& record : state.data().partition(p)) record[1] = int64_t{9};
+  }
+  ASSERT_TRUE(
+      policy.AfterIteration(MakeContext(1, 4, &storage), &state).ok());
+
+  // Partition 2 dies, recovers, and dies again before any new checkpoint:
+  // the second recovery must serve the same snapshot, not leftovers of the
+  // first restore pass.
+  for (int p = 0; p < 4; ++p) {
+    for (auto& record : state.data().partition(p)) record[1] = int64_t{11};
+  }
+  state.ClearPartition(2);
+  auto first = policy.OnFailure(MakeContext(2, 4, &storage), &state, {2});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->action, RecoveryAction::kContinue);
+
+  state.ClearPartition(2);
+  auto second = policy.OnFailure(MakeContext(3, 4, &storage), &state, {2});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->action, RecoveryAction::kContinue);
+  for (const Record& r : state.data().CollectSorted()) {
+    int64_t expected =
+        PartitionedDataset::PartitionOf(r, {0}, 4) == 2 ? 9 : 11;
+    EXPECT_EQ(r[1].AsInt64(), expected) << RecordToString(r);
+  }
+  EXPECT_EQ(state.data().NumRecords(), 16u);
+}
+
+TEST(ConfinedRollbackTest, FailureOnCheckpointIntervalIteration) {
+  // A failure landing on an iteration that is itself a checkpoint multiple
+  // restores from the PREVIOUS snapshot (AfterIteration for this iteration
+  // has not run yet); the checkpoint written right after then captures the
+  // recovered mixed state, so later failures restore post-recovery values.
+  runtime::StableStorage storage(nullptr, nullptr);
+  core::ConfinedRollbackPolicy policy(/*interval=*/2);
+  BulkState state = MakeState(16, 4, 7);
+  ASSERT_TRUE(policy.OnJobStart(MakeContext(0, 4, &storage), &state).ok());
+  for (int p = 0; p < 4; ++p) {
+    for (auto& record : state.data().partition(p)) record[1] = int64_t{9};
+  }
+  ASSERT_TRUE(
+      policy.AfterIteration(MakeContext(2, 4, &storage), &state).ok());
+
+  for (int p = 0; p < 4; ++p) {
+    for (auto& record : state.data().partition(p)) record[1] = int64_t{11};
+  }
+  state.ClearPartition(1);
+  auto outcome = policy.OnFailure(MakeContext(4, 4, &storage), &state, {1});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->action, RecoveryAction::kContinue);
+  for (const Record& r : state.data().CollectSorted()) {
+    int64_t expected =
+        PartitionedDataset::PartitionOf(r, {0}, 4) == 1 ? 9 : 11;
+    EXPECT_EQ(r[1].AsInt64(), expected) << RecordToString(r);
+  }
+
+  ASSERT_TRUE(
+      policy.AfterIteration(MakeContext(4, 4, &storage), &state).ok());
+  state.ClearPartition(3);
+  auto later = policy.OnFailure(MakeContext(5, 4, &storage), &state, {3});
+  ASSERT_TRUE(later.ok());
+  for (const Record& r : state.data().CollectSorted()) {
+    // Partition 3's loss lands on the post-recovery snapshot: value 11.
+    int64_t expected =
+        PartitionedDataset::PartitionOf(r, {0}, 4) == 1 ? 9 : 11;
+    EXPECT_EQ(r[1].AsInt64(), expected) << RecordToString(r);
+  }
+  EXPECT_EQ(state.data().NumRecords(), 16u);
+}
+
 // ------------------------------------------------ entry-level delta ckpt --
 
 iteration::DeltaState MakeDeltaState(int64_t n, int parts) {
@@ -752,6 +828,102 @@ TEST(PolicyContrastTest, RollbackPaysCheckpointIoOptimisticDoesNot) {
   // Identical compute/network paths.
   EXPECT_EQ(rollback_clock.Of(runtime::Charge::kCompute),
             optimistic_clock.Of(runtime::Charge::kCompute));
+}
+
+
+// ---------------------------------------------------------- confined-log --
+
+TEST(ConfinedLogReplayTest, FailureWithoutDriverLogIsRejected) {
+  core::ConfinedLogReplayPolicy policy(2);
+  BulkState state = MakeState(8, 2, 1);
+  // No ctx.replay_messages hook: the driver ran without message_log.
+  auto outcome = policy.OnFailure(MakeContext(3, 2, nullptr), &state, {0});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(policy.name(), "confined-log(k=2)");
+}
+
+TEST(ConfinedLogReplayTest, BulkReplaysWithoutCheckpoints) {
+  runtime::StableStorage storage(nullptr, nullptr);
+  core::ConfinedLogReplayPolicy policy(2);
+  BulkState state = MakeState(8, 2, 1);
+  ASSERT_TRUE(policy.OnJobStart(MakeContext(0, 2, &storage), &state).ok());
+  ASSERT_TRUE(
+      policy.AfterIteration(MakeContext(2, 2, &storage), &state).ok());
+  EXPECT_EQ(storage.bytes_written(), 0u);  // bulk: zero checkpoint I/O
+
+  std::vector<int> replayed;
+  IterationContext ctx = MakeContext(3, 2, &storage);
+  ctx.replay_messages = [&](const std::vector<int>& lost) {
+    replayed = lost;
+    return Status::OK();
+  };
+  auto outcome = policy.OnFailure(ctx, &state, {1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->action, RecoveryAction::kContinue);
+  EXPECT_EQ(replayed, (std::vector<int>{1}));
+}
+
+TEST(ConfinedLogReplayTest, DeltaSnapshotsAndRestoresBeforeReplaying) {
+  runtime::StableStorage storage(nullptr, nullptr);
+  int refreshes = 0;
+  bool restored_before_replay = false;
+  iteration::DeltaState state = MakeDeltaState(16, 4);
+  core::ConfinedLogReplayPolicy policy(
+      /*interval=*/1,
+      [&](const iteration::IterationContext&, iteration::DeltaState*,
+          const std::vector<int>&) {
+        ++refreshes;
+        return Status::OK();
+      });
+  ASSERT_TRUE(policy.OnJobStart(MakeContext(0, 4, &storage), &state).ok());
+  EXPECT_EQ(storage.ListWithPrefix("test-job/clog/").size(), 4u);
+
+  for (int64_t v = 0; v < 16; ++v) {
+    state.solution().Upsert(MakeRecord(v, v + 100));
+  }
+  ASSERT_TRUE(
+      policy.AfterIteration(MakeContext(1, 4, &storage), &state).ok());
+
+  // Newer, uncheckpointed progress on every entry; then partition 0 dies.
+  for (int64_t v = 0; v < 16; ++v) {
+    state.solution().Upsert(MakeRecord(v, v + 200));
+  }
+  state.ClearPartition(0);
+  IterationContext ctx = MakeContext(2, 4, &storage);
+  ctx.replay_messages = [&](const std::vector<int>& lost) {
+    // The snapshot restore must have happened already: replay upserts the
+    // failed superstep's delta ON TOP of the restored entries.
+    restored_before_replay = !state.solution().PartitionRecords(0).empty();
+    EXPECT_EQ(lost, (std::vector<int>{0}));
+    return Status::OK();
+  };
+  auto outcome = policy.OnFailure(ctx, &state, {0});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->action, RecoveryAction::kContinue);
+  EXPECT_TRUE(restored_before_replay);
+  EXPECT_EQ(refreshes, 1);
+  // Lost partition is back at the iteration-1 snapshot (value v+100);
+  // survivors keep the newer v+200 entries.
+  for (int p = 0; p < 4; ++p) {
+    for (const Record& r : state.solution().PartitionRecords(p)) {
+      int64_t expected = r[0].AsInt64() + (p == 0 ? 100 : 200);
+      EXPECT_EQ(r[1].AsInt64(), expected) << RecordToString(r);
+    }
+  }
+}
+
+TEST(ConfinedLogReplayTest, DeltaWithoutRefresherIsRejected) {
+  runtime::StableStorage storage(nullptr, nullptr);
+  core::ConfinedLogReplayPolicy policy(1);  // no refresher
+  iteration::DeltaState state = MakeDeltaState(8, 2);
+  ASSERT_TRUE(policy.OnJobStart(MakeContext(0, 2, &storage), &state).ok());
+  state.ClearPartition(0);
+  IterationContext ctx = MakeContext(1, 2, &storage);
+  ctx.replay_messages = [](const std::vector<int>&) { return Status::OK(); };
+  auto outcome = policy.OnFailure(ctx, &state, {0});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace
