@@ -21,6 +21,7 @@
 //        --strategy=confined-log),
 //        --cache=true|false,
 //        --batch=true|false (columnar vs record-at-a-time execution),
+//        --simd=auto|off|sse4.2|avx2|max (columnar kernel tier),
 //        --mem-budget=BYTES (spill cached artifacts beyond this),
 //        --metrics-out=PATH (metrics v2 export: .prom = Prometheus text,
 //        else NDJSON), --profile (critical-path profile; implied by
@@ -127,6 +128,10 @@ int main(int argc, char** argv) {
       "batch", true,
       "columnar batch execution on the shuffle/join/reduce hot path "
       "(false = record-at-a-time; results are byte-identical)");
+  std::string* simd = flags.String(
+      "simd", "auto",
+      "SIMD tier for the columnar kernels: auto|off|sse4.2|avx2|max "
+      "(results are byte-identical at every tier)");
   int64_t* mem_budget = flags.Int64(
       "mem-budget", 0,
       "byte budget for cached artifacts; cold entries spill to stable "
@@ -216,6 +221,10 @@ int main(int argc, char** argv) {
   // itself (above) and writes the export files at the end.
   options.cache_loop_invariant = *cache;
   options.columnar_batch = *batch;
+  if (!dataflow::simd::ParseSimdLevel(*simd, &options.simd)) {
+    std::cerr << "unknown --simd level '" << *simd << "'\n";
+    return 1;
+  }
   options.message_log = *msglog || *strategy == "confined-log";
   if (*mem_budget > 0) {
     options.memory_budget_bytes = static_cast<uint64_t>(*mem_budget);

@@ -5,6 +5,7 @@
 
 #include "algos/datasets.h"
 #include "common/logging.h"
+#include "dataflow/columnar.h"
 #include "dataflow/executor.h"
 #include "iteration/bulk_iteration.h"
 
@@ -39,6 +40,9 @@ Plan BuildConnectedComponentsPlan() {
         return a[1].AsInt64() <= b[1].AsInt64() ? a : b;
       },
       "candidate-label");
+  // The combiner is a min over column 1 keeping the accumulator on ties;
+  // declaring it lets the executor fold flat int64 columns (DESIGN.md §15).
+  plan.DeclareReduce(candidates, dataflow::ReduceKind::kMinInt64, 1);
 
   // Compare to the current label; keep only improvements.
   auto compared = plan.Join(
@@ -48,11 +52,35 @@ Plan BuildConnectedComponentsPlan() {
                           cur[1].AsInt64());
       },
       "label-update");
-  auto improved = plan.Filter(
+  // Filter + project fused into one FlatMap so the improvement scan crosses
+  // the UDF boundary once per partition (batched below) instead of twice
+  // per record.
+  auto delta = plan.FlatMap(
       compared,
-      [](const Record& r) { return r[1].AsInt64() < r[2].AsInt64(); },
-      "label-update-filter");
-  auto delta = plan.Project(improved, {0, 1}, "updated-labels");
+      [](const Record& r, std::vector<Record>* out) {
+        if (r[1].AsInt64() < r[2].AsInt64()) {
+          out->push_back(MakeRecord(r[0].AsInt64(), r[1].AsInt64()));
+        }
+      },
+      "updated-labels");
+  // Batched twin: one pass over three flat int64 columns, appending only
+  // the improved (vertex, label) rows — same rows, same order.
+  plan.BatchImpl(delta, [](const dataflow::ColumnarBatch& in,
+                           dataflow::ColumnarBatch* out) {
+    out->Reset({dataflow::ValueType::kInt64, dataflow::ValueType::kInt64});
+    const std::vector<int64_t>& vertex = in.Int64Column(0);
+    const std::vector<int64_t>& candidate = in.Int64Column(1);
+    const std::vector<int64_t>& current = in.Int64Column(2);
+    std::vector<int64_t>& out_vertex = out->MutableInt64Column(0);
+    std::vector<int64_t>& out_label = out->MutableInt64Column(1);
+    for (size_t i = 0; i < in.num_rows(); ++i) {
+      if (candidate[i] < current[i]) {
+        out_vertex.push_back(vertex[i]);
+        out_label.push_back(candidate[i]);
+      }
+    }
+    out->FinishRows(out_vertex.size());
+  });
 
   // The improvements update the solution set and, as the next workset, are
   // forwarded to the neighbors in the next superstep — the feedback edge of
@@ -280,6 +308,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsWithSnapshots(
   exec.num_partitions = options.num_partitions;
   exec.num_threads = options.num_threads;
   exec.use_columnar = options.columnar_batch;
+  exec.simd_level = options.simd;
   exec.clock = env.clock;
   exec.costs = env.costs;
   exec.tracer = env.tracer;
@@ -328,6 +357,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
         return a[1].AsInt64() <= b[1].AsInt64() ? a : b;
       },
       "candidate-label");
+  plan.DeclareReduce(next, dataflow::ReduceKind::kMinInt64, 1);
   plan.Output(next, "next_state");
 
   PartitionedDataset edge_ds = EdgePairs(graph, options.num_partitions);
@@ -378,6 +408,7 @@ Result<ConnectedComponentsResult> RunConnectedComponentsBulk(
   exec.num_partitions = options.num_partitions;
   exec.num_threads = options.num_threads;
   exec.use_columnar = options.columnar_batch;
+  exec.simd_level = options.simd;
   exec.clock = env.clock;
   exec.costs = env.costs;
   exec.tracer = env.tracer;

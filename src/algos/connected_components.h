@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "core/compensation.h"
 #include "dataflow/plan.h"
+#include "dataflow/simd.h"
 #include "iteration/delta_iteration.h"
 #include "graph/graph.h"
 
@@ -58,6 +59,10 @@ struct ConnectedComponentsOptions {
   /// (ExecOptions::use_columnar). Off = record-at-a-time, for A/B runs;
   /// results are byte-identical either way.
   bool columnar_batch = true;
+  /// SIMD tier for the columnar kernels (ExecOptions::simd_level,
+  /// DESIGN.md §15). kAuto keeps the current process-wide dispatch; every
+  /// tier is byte-identical — a wall-clock knob only.
+  dataflow::simd::SimdLevel simd = dataflow::simd::SimdLevel::kAuto;
   int max_iterations = 200;
   /// When non-empty, trace the run and write the file here on return
   /// (Chrome trace_event JSON; a ".ndjson" extension selects NDJSON).

@@ -6,6 +6,7 @@
 
 #include "algos/datasets.h"
 #include "common/logging.h"
+#include "dataflow/columnar.h"
 #include "dataflow/executor.h"
 
 namespace flinkless::algos {
@@ -43,6 +44,16 @@ Plan BuildPageRankPlan(int64_t num_vertices, double damping) {
       ranks,
       [](const Record& r) { return MakeRecord(r[0].AsInt64(), 0.0); },
       "base-contribution");
+  // Batched twin of the map above (DESIGN.md §15): copy the vertex column,
+  // zero-fill the contribution column — row for row what the record fn
+  // produces, so the whole rank pipeline runs unboxed.
+  plan.BatchImpl(base, [](const dataflow::ColumnarBatch& in,
+                          dataflow::ColumnarBatch* out) {
+    out->Reset({dataflow::ValueType::kInt64, dataflow::ValueType::kDouble});
+    out->MutableInt64Column(0) = in.Int64Column(0);
+    out->MutableDoubleColumn(1).assign(in.num_rows(), 0.0);
+    out->FinishRows(in.num_rows());
+  });
   auto all_contributions =
       plan.Union(contributions, base, "contributions");
 
@@ -54,6 +65,10 @@ Plan BuildPageRankPlan(int64_t num_vertices, double damping) {
                           a[1].AsDouble() + b[1].AsDouble());
       },
       "recompute-ranks");
+  // The combiner is a sequential double sum over column 1; declaring it
+  // lets the executor fold flat columns instead of boxed records (same
+  // arrival-order association, so the bytes cannot change).
+  plan.DeclareReduce(sums, dataflow::ReduceKind::kSumDouble, 1);
 
   // Aggregate the rank mass sitting on dangling vertices into one scalar
   // (seeded with 0.0 so the aggregate exists even without dangling
@@ -73,6 +88,7 @@ Plan BuildPageRankPlan(int64_t num_vertices, double damping) {
         return MakeRecord(int64_t{0}, a[1].AsDouble() + b[1].AsDouble());
       },
       "dangling-mass");
+  plan.DeclareReduce(dangling_mass, dataflow::ReduceKind::kSumDouble, 1);
 
   // ...and broadcast it to all partitions: rank = teleport + d*contrib +
   // d*dangling/n. Keeps the global invariant sum(rank) == 1.
@@ -297,6 +313,7 @@ Result<PageRankResult> RunPageRankWithSnapshots(
   exec.num_partitions = options.num_partitions;
   exec.num_threads = options.num_threads;
   exec.use_columnar = options.columnar_batch;
+  exec.simd_level = options.simd;
   exec.clock = env.clock;
   exec.costs = env.costs;
   exec.tracer = env.tracer;

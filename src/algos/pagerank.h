@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "core/compensation.h"
 #include "dataflow/plan.h"
+#include "dataflow/simd.h"
 #include "iteration/bulk_iteration.h"
 #include "graph/graph.h"
 
@@ -27,6 +28,10 @@ struct PageRankOptions {
   /// (ExecOptions::use_columnar). Off = record-at-a-time, for A/B runs;
   /// results are byte-identical either way.
   bool columnar_batch = true;
+  /// SIMD tier for the columnar kernels (ExecOptions::simd_level,
+  /// DESIGN.md §15). kAuto keeps the current process-wide dispatch; every
+  /// tier is byte-identical — a wall-clock knob only.
+  dataflow::simd::SimdLevel simd = dataflow::simd::SimdLevel::kAuto;
   int max_iterations = 100;
   /// Damping factor d: next = (1-d)/n + d * (contributions + dangling/n).
   double damping = 0.85;

@@ -1,11 +1,13 @@
 #include "dataflow/columnar.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <limits>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "dataflow/simd.h"
 
 namespace flinkless::dataflow {
 
@@ -20,6 +22,21 @@ bool InferBatchSchema(const std::vector<Record>& records,
     for (size_t c = 0; c < schema->size(); ++c) {
       if (records[i][c].type() != (*schema)[c]) return false;
     }
+  }
+  return true;
+}
+
+bool ExtractKey64(const std::vector<Record>& records, const KeyColumns& key,
+                  std::vector<int64_t>* out) {
+  if (key.size() != 1 || key[0] < 0) return false;
+  const int col = key[0];
+  out->clear();
+  out->reserve(records.size());
+  for (const Record& r : records) {
+    if (static_cast<size_t>(col) >= r.size() || !r[col].is_int64()) {
+      return false;
+    }
+    out->push_back(r[col].AsInt64());
   }
   return true;
 }
@@ -115,6 +132,52 @@ void ColumnarBatch::AppendRow(const Record& record) {
     }
   }
   ++num_rows_;
+}
+
+void ColumnarBatch::Reset(BatchSchema schema) {
+  schema_ = std::move(schema);
+  columns_.assign(schema_.size(), Column{});
+  num_rows_ = 0;
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (schema_[c] == ValueType::kString) columns_[c].offsets.push_back(0);
+  }
+}
+
+std::vector<int64_t>& ColumnarBatch::MutableInt64Column(size_t col) {
+  FLINKLESS_CHECK(col < schema_.size() && schema_[col] == ValueType::kInt64,
+                  "MutableInt64Column(" << col << ") on a non-int64 column");
+  return columns_[col].i64;
+}
+
+std::vector<double>& ColumnarBatch::MutableDoubleColumn(size_t col) {
+  FLINKLESS_CHECK(col < schema_.size() && schema_[col] == ValueType::kDouble,
+                  "MutableDoubleColumn(" << col << ") on a non-double column");
+  return columns_[col].f64;
+}
+
+void ColumnarBatch::FinishRows(size_t rows) {
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    const Column& col = columns_[c];
+    switch (schema_[c]) {
+      case ValueType::kInt64:
+        FLINKLESS_CHECK(col.i64.size() == rows,
+                        "batch UDF filled int64 column " << c << " with "
+                            << col.i64.size() << " rows, expected " << rows);
+        break;
+      case ValueType::kDouble:
+        FLINKLESS_CHECK(col.f64.size() == rows,
+                        "batch UDF filled double column " << c << " with "
+                            << col.f64.size() << " rows, expected " << rows);
+        break;
+      case ValueType::kString:
+        FLINKLESS_CHECK(
+            col.offsets.size() == rows + 1 &&
+                col.offsets.back() == col.arena.size(),
+            "batch UDF left string column " << c << " inconsistent");
+        break;
+    }
+  }
+  num_rows_ = rows;
 }
 
 Record ColumnarBatch::RowAsRecord(size_t row) const {
@@ -257,11 +320,34 @@ void GetFixedColumn(const std::vector<uint8_t>& bytes, size_t* offset,
   }
 }
 
+// Bulk little-endian copies of a u32 array (per-value fallback on BE).
+void PutU32Array(const std::vector<uint32_t>& values,
+                 std::vector<uint8_t>* out) {
+  if constexpr (std::endian::native == std::endian::little) {
+    const auto* p = reinterpret_cast<const uint8_t*>(values.data());
+    out->insert(out->end(), p, p + values.size() * 4);
+  } else {
+    for (uint32_t v : values) PutU32(v, out);
+  }
+}
+
+void GetU32Array(const std::vector<uint8_t>& bytes, size_t* offset,
+                 std::vector<uint32_t>* values) {
+  // Caller has bounds-checked `values->size() * 4` bytes remain.
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(values->data(), bytes.data() + *offset, values->size() * 4);
+    *offset += values->size() * 4;
+  } else {
+    for (uint32_t& v : *values) GetU32(bytes, offset, &v);
+  }
+}
+
 }  // namespace
 
 void ColumnarBatch::SerializeTo(std::vector<uint8_t>* out) const {
   out->reserve(out->size() + SerializedBytes());
   PutU64(num_rows_, out);
+  std::vector<uint32_t> lens;  // delta scratch, shared across string columns
   for (size_t c = 0; c < schema_.size(); ++c) {
     const Column& col = columns_[c];
     switch (schema_[c]) {
@@ -272,8 +358,11 @@ void ColumnarBatch::SerializeTo(std::vector<uint8_t>* out) const {
         PutFixedColumn(col.f64, out);
         break;
       case ValueType::kString:
-        for (size_t row = 0; row < num_rows_; ++row) {
-          PutU32(col.offsets[row + 1] - col.offsets[row], out);
+        if (num_rows_ > 0) {
+          lens.resize(num_rows_);
+          simd::ActiveKernels().delta_u32(col.offsets.data(), num_rows_,
+                                          lens.data());
+          PutU32Array(lens, out);
         }
         out->insert(out->end(), col.arena.begin(), col.arena.end());
         break;
@@ -314,20 +403,24 @@ Result<ColumnarBatch> ColumnarBatch::Deserialize(
         break;
       }
       case ValueType::kString: {
-        col.offsets.reserve(rows + 1);
-        uint64_t total = 0;
-        for (uint64_t row = 0; row < rows; ++row) {
-          uint32_t len = 0;
-          if (!GetU32(bytes, offset, &len)) {
-            return Status::DataLoss(
-                "columnar batch: truncated string lengths");
-          }
-          total += len;
-          if (total > std::numeric_limits<uint32_t>::max()) {
-            return Status::DataLoss("columnar batch: string arena overflow");
-          }
-          col.offsets.push_back(static_cast<uint32_t>(total));
+        // One bounds check for the whole length array, then kernel-driven
+        // sum (overflow test on the true u64 total — every prefix of
+        // non-negative lengths is bounded by it) and prefix-sum into the
+        // offsets layout.
+        if (rows > (bytes.size() - *offset) / 4) {
+          return Status::DataLoss("columnar batch: truncated string lengths");
         }
+        std::vector<uint32_t> lens(static_cast<size_t>(rows));
+        if (rows > 0) GetU32Array(bytes, offset, &lens);
+        const simd::Kernels& kernels = simd::ActiveKernels();
+        const uint64_t total = kernels.sum_u32(lens.data(), lens.size());
+        if (total > std::numeric_limits<uint32_t>::max()) {
+          return Status::DataLoss("columnar batch: string arena overflow");
+        }
+        col.offsets.resize(static_cast<size_t>(rows) + 1);
+        col.offsets[0] = 0;
+        kernels.prefix_sum_u32(lens.data(), lens.size(),
+                               col.offsets.data() + 1);
         if (*offset + total > bytes.size()) {
           return Status::DataLoss("columnar batch: truncated string arena");
         }
@@ -389,6 +482,12 @@ bool operator==(const ColumnarBatch& a, const ColumnarBatch& b) {
 
 void FlatKeyIndex::Build(const std::vector<Record>& rows,
                          const KeyColumns& key) {
+  BuildWithHashes(rows, key, {});
+}
+
+void FlatKeyIndex::BuildWithHashes(const std::vector<Record>& rows,
+                                   const KeyColumns& key,
+                                   std::vector<uint64_t> hashes) {
   FLINKLESS_CHECK(rows.size() < static_cast<size_t>(
                                     std::numeric_limits<int32_t>::max()),
                   "partition too large for 32-bit row ids");
@@ -415,11 +514,12 @@ void FlatKeyIndex::Build(const std::vector<Record>& rows,
       key64_[i] = rows[i][col].AsInt64();
     }
   }
-  if (use_key64_) {
-    for (size_t i = 0; i < n; ++i) {
-      hash_[i] = HashCombine(0x2545f4914f6cdd1dULL,
-                             Mix64(static_cast<uint64_t>(key64_[i])));
-    }
+  if (hashes.size() == n) {
+    // Adopted hashes (spilled-entry rebuild): skip the hash pass entirely.
+    hash_ = std::move(hashes);
+  } else if (use_key64_) {
+    // Kernel stripe — bit-identical to the scalar HashCombine/Mix64 chain.
+    simd::ActiveKernels().hash_key64(key64_.data(), n, hash_.data());
   } else {
     for (size_t i = 0; i < n; ++i) hash_[i] = HashKey(rows[i], key);
   }
@@ -473,6 +573,57 @@ int32_t FlatKeyIndex::FindFirst(const Record& probe,
       if (match) return head;
     }
     b = (b + 1) & mask_;
+  }
+}
+
+void FlatKeyIndex::FindFirstStripe(const int64_t* keys,
+                                   const uint64_t* hashes, size_t n,
+                                   int32_t* out) const {
+  FLINKLESS_CHECK(use_key64_, "FindFirstStripe on a non-key64 index");
+  if (buckets_.empty()) {
+    std::fill(out, out + n, -1);
+    return;
+  }
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  const uint64_t w = static_cast<uint64_t>(kernels.probe_width);
+  const uint64_t cap = buckets_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = hashes[i];
+    const int64_t probe = keys[i];
+    uint64_t b = h & mask_;
+    int32_t found = -1;
+    for (;;) {
+      if (b + w <= cap) {
+        // Scan a whole window: the kernel locates the first empty bucket,
+        // and only occupied slots before it need the hash/key compare.
+        const int empty = kernels.first_empty(&buckets_[b]);
+        bool done = false;
+        for (int j = 0; j < empty; ++j) {
+          const int32_t head = buckets_[b + j];
+          if (hash_[head] == h && key64_[head] == probe) {
+            found = head;
+            done = true;
+            break;
+          }
+        }
+        if (done || empty < kernels.probe_width) break;
+        b = (b + w) & mask_;
+      } else {
+        // The window would run past the table end; finish this probe with
+        // the per-bucket wrap loop (identical to FindFirst).
+        for (;;) {
+          const int32_t head = buckets_[b];
+          if (head < 0) break;
+          if (hash_[head] == h && key64_[head] == probe) {
+            found = head;
+            break;
+          }
+          b = (b + 1) & mask_;
+        }
+        break;
+      }
+    }
+    out[i] = found;
   }
 }
 

@@ -47,6 +47,13 @@ using BatchSchema = std::vector<ValueType>;
 /// which yields an empty schema). On false, *schema is unspecified.
 bool InferBatchSchema(const std::vector<Record>& records, BatchSchema* schema);
 
+/// Extracts a single-int64-column key projection into a flat array: true
+/// when `key` is one column and every record holds an int64 there (the
+/// layout every SIMD hash/probe stripe runs on). On false, *out is
+/// unspecified. An empty record vector extracts trivially (empty *out).
+bool ExtractKey64(const std::vector<Record>& records, const KeyColumns& key,
+                  std::vector<int64_t>* out);
+
 /// One partition's records as contiguous typed columns. Fixed-width columns
 /// are flat int64_t/double arrays; string columns are a byte arena plus a
 /// (rows + 1)-entry offset array.
@@ -70,6 +77,15 @@ class ColumnarBatch {
 
   /// Appends one row; the record must match the schema (checked).
   void AppendRow(const Record& record);
+
+  // Mutable column access for batched UDFs (BatchMapFn). The contract:
+  // Reset to the output layout, fill every column to the same length
+  // (Mutable*Column gives the raw vectors), then FinishRows with the row
+  // count — it validates that every column is consistent.
+  void Reset(BatchSchema schema);
+  std::vector<int64_t>& MutableInt64Column(size_t col);
+  std::vector<double>& MutableDoubleColumn(size_t col);
+  void FinishRows(size_t rows);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return schema_.size(); }
@@ -132,12 +148,31 @@ class FlatKeyIndex {
   /// Indexes `rows` on `key`. Rebuilding over an old index reuses storage.
   void Build(const std::vector<Record>& rows, const KeyColumns& key);
 
+  /// Build, but adopting previously computed row hashes (the cached-hash
+  /// retention path for spilled cache entries — DESIGN.md §15). `hashes`
+  /// must be this index's own row_hashes() from an earlier Build over the
+  /// same rows/key; a size mismatch falls back to a plain Build.
+  void BuildWithHashes(const std::vector<Record>& rows, const KeyColumns& key,
+                       std::vector<uint64_t> hashes);
+
   /// First row (in arrival order) whose key equals `probe`'s projection
   /// onto `probe_key`, or -1. `probe_hash` must be
   /// HashKey(probe, probe_key) — callers hoist it so cached hashes are
   /// compared before any value comparison.
   int32_t FindFirst(const Record& probe, const KeyColumns& probe_key,
                     uint64_t probe_hash) const;
+
+  /// Batched FindFirst over a stripe of single-int64 probe keys with their
+  /// hashes (hashes[i] must equal the single-key row hash of keys[i]).
+  /// Requires key64_probe_ready(); out[i] matches FindFirst exactly. The
+  /// probe loop scans `probe_width` buckets per step and early-exits on the
+  /// first empty slot in the window (SIMD movemask).
+  void FindFirstStripe(const int64_t* keys, const uint64_t* hashes, size_t n,
+                       int32_t* out) const;
+
+  /// True when the index was built on a single all-int64 key column, i.e.
+  /// FindFirstStripe may be used.
+  bool key64_probe_ready() const { return use_key64_; }
 
   /// Next row of the same group in arrival order, or -1 at the end.
   int32_t Next(int32_t row) const { return next_[row]; }

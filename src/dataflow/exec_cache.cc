@@ -12,8 +12,12 @@ namespace flinkless::dataflow {
 /// pointer, so they are dropped with it and rebuilt (deterministically,
 /// from entry.index_key) when the bytes come back.
 struct ExecCache::Segment : public runtime::SpillableSegment {
-  Segment(std::string key, runtime::StableStorage* storage, int partitions)
-      : key_(std::move(key)), storage_(storage), partitions_(partitions) {}
+  Segment(std::string key, runtime::StableStorage* storage, int partitions,
+          uint64_t* hash_reuse_counter)
+      : key_(std::move(key)),
+        storage_(storage),
+        partitions_(partitions),
+        hash_reuse_counter_(hash_reuse_counter) {}
 
   const std::string& spill_key() const override { return key_; }
   uint64_t resident_bytes() const override {
@@ -40,6 +44,18 @@ struct ExecCache::Segment : public runtime::SpillableSegment {
     had_join_index_ = !entry.join_index.empty();
     had_flat_index_ = !entry.flat_index.empty();
     had_groups_ = !entry.groups.empty();
+    // Retain the flat index's cached row hashes in memory across the spill
+    // (8 bytes/row — tiny next to the dataset) so the rebuild on unspill
+    // adopts them instead of rehashing every key. Deliberately NOT written
+    // to StableStorage: the spill blob stays the serialized dataset alone,
+    // so SimClock I/O charges and live-bytes accounting are unchanged.
+    spilled_hashes_.clear();
+    if (had_flat_index_) {
+      spilled_hashes_.reserve(entry.flat_index.size());
+      for (const FlatKeyIndex& index : entry.flat_index) {
+        spilled_hashes_.push_back(index.row_hashes());
+      }
+    }
     FLINKLESS_RETURN_NOT_OK(
         storage_->Write(key_, SerializePartitionedDataset(*entry.data)));
     // Consumers still holding the shared_ptr keep their dataset; the cache
@@ -76,9 +92,20 @@ struct ExecCache::Segment : public runtime::SpillableSegment {
     }
     if (had_flat_index_) {
       entry.flat_index.assign(n, FlatKeyIndex());
+      const bool have_hashes = spilled_hashes_.size() == static_cast<size_t>(n);
+      uint64_t adopted = 0;
       for (int p = 0; p < n; ++p) {
-        entry.flat_index[p].Build(data->partition(p), entry.index_key);
+        const std::vector<Record>& part = data->partition(p);
+        if (have_hashes && spilled_hashes_[p].size() == part.size()) {
+          entry.flat_index[p].BuildWithHashes(part, entry.index_key,
+                                              std::move(spilled_hashes_[p]));
+          ++adopted;
+        } else {
+          entry.flat_index[p].Build(part, entry.index_key);
+        }
       }
+      if (hash_reuse_counter_ != nullptr) *hash_reuse_counter_ += adopted;
+      spilled_hashes_.clear();
     }
     if (had_groups_) {
       entry.groups.assign(n, CachedGroups());
@@ -106,11 +133,16 @@ struct ExecCache::Segment : public runtime::SpillableSegment {
   std::string key_;
   runtime::StableStorage* storage_;
   int partitions_;
+  /// Owner's hash-reuse counter (ExecCache::hash_reuses()); may be null.
+  uint64_t* hash_reuse_counter_;
   uint64_t serialized_bytes_ = 0;
   bool spilled_ = false;
   bool had_join_index_ = false;
   bool had_flat_index_ = false;
   bool had_groups_ = false;
+  /// Per-partition row hashes of the dropped flat index, kept while
+  /// spilled (see Spill).
+  std::vector<std::vector<uint64_t>> spilled_hashes_;
 };
 
 ExecCache::ExecCache(std::vector<std::string> volatile_bindings)
@@ -163,7 +195,7 @@ ExecCache::Entry& ExecCache::Emplace(int node_id, Role role) {
   std::snprintf(suffix, sizeof(suffix), "n%04d.r%d", node_id,
                 static_cast<int>(role));
   auto seg = std::make_unique<Segment>(spill_prefix_ + suffix, storage_,
-                                       num_partitions_);
+                                       num_partitions_, &hash_reuses_);
   it = entries_.emplace(key, std::move(seg)).first;
   ++builds_;
   if (metrics_ != nullptr) {
@@ -207,6 +239,7 @@ uint64_t ExecCache::Clear() {
   uint64_t released = 0;
   for (auto& [key, seg] : entries_) released += Release(seg.get());
   entries_.clear();
+  schemas_.clear();
   return released;
 }
 

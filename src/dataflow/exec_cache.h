@@ -185,10 +185,35 @@ class ExecCache {
     if (metrics_ != nullptr) metrics_->Count(runtime::metric::kCacheHits, -1);
   }
 
+  /// Per-plan-node InferBatchSchema cache (DESIGN.md §15). The schema of a
+  /// node's input is stable within a job once it has carried data —
+  /// attaching a batch impl declares as much — so the dataset-wide
+  /// inference pass runs once per node, not once per superstep. Only
+  /// schemas inferred from non-empty datasets are stored (a drained CC
+  /// workset must not pin the empty schema). Cleared with everything else
+  /// on Clear/Invalidate/repartition.
+  const BatchSchema* FindSchema(int node_id) {
+    auto it = schemas_.find(node_id);
+    if (it == schemas_.end()) return nullptr;
+    ++schema_hits_;
+    if (metrics_ != nullptr) {
+      metrics_->Count(runtime::metric::kSchemaCacheHits, -1);
+    }
+    return &it->second;
+  }
+  void StoreSchema(int node_id, BatchSchema schema) {
+    schemas_[node_id] = std::move(schema);
+  }
+
   size_t size() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t builds() const { return builds_; }
   uint64_t invalidations() const { return invalidations_; }
+  uint64_t schema_hits() const { return schema_hits_; }
+  /// FlatKeyIndex rebuilds on unspill that adopted retained row hashes
+  /// instead of rehashing every key (the satellite fix to the
+  /// rebuild-after-spill path).
+  uint64_t hash_reuses() const { return hash_reuses_; }
 
  private:
   /// The SpillableSegment wrapping one Entry; defined in exec_cache.cc.
@@ -207,9 +232,13 @@ class ExecCache {
   std::string spill_prefix_;
   /// (node id, role) -> segment. std::map: deterministic iteration order.
   std::map<std::pair<int, int>, std::unique_ptr<Segment>> entries_;
+  /// Per-node cached batch schemas (FindSchema/StoreSchema).
+  std::map<int, BatchSchema> schemas_;
   uint64_t hits_ = 0;
   uint64_t builds_ = 0;
   uint64_t invalidations_ = 0;
+  uint64_t schema_hits_ = 0;
+  uint64_t hash_reuses_ = 0;
 };
 
 }  // namespace flinkless::dataflow

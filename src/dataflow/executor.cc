@@ -132,12 +132,33 @@ Status FlatReducePartition(const std::vector<Record>& in,
   std::vector<Record> acc;
   acc.reserve(in.size());
   FlatSlotMap slots(in.size());
-  for (const Record& r : in) {
-    const uint64_t h = HashKey(r, key);
+  // Single-int64-key fast path: hash the whole key column in one kernel
+  // stripe and compare slots on the flat array (each slot remembers its
+  // first-arrival key — equal to the accumulator's key under the
+  // combiner-keeps-the-key contract the validate phase enforces).
+  std::vector<int64_t> key64;
+  std::vector<uint64_t> hashes;
+  std::vector<int64_t> slot_key;
+  const bool fast = ExtractKey64(in, key, &key64);
+  if (fast) {
+    hashes.resize(in.size());
+    simd::ActiveKernels().hash_key64(key64.data(), in.size(), hashes.data());
+    slot_key.reserve(in.size());
+  }
+  for (size_t i = 0; i < in.size(); ++i) {
+    const Record& r = in[i];
+    const uint64_t h = fast ? hashes[i] : HashKey(r, key);
     bool inserted = false;
-    const int32_t slot = slots.FindOrInsert(
-        h, [&](int32_t s) { return KeysEqual(acc[s], key, r, key); },
-        &inserted);
+    int32_t slot;
+    if (fast) {
+      slot = slots.FindOrInsert(
+          h, [&](int32_t s) { return slot_key[s] == key64[i]; }, &inserted);
+      if (inserted) slot_key.push_back(key64[i]);
+    } else {
+      slot = slots.FindOrInsert(
+          h, [&](int32_t s) { return KeysEqual(acc[s], key, r, key); },
+          &inserted);
+    }
     if (inserted) {
       acc.push_back(r);
       continue;
@@ -158,6 +179,184 @@ Status FlatReducePartition(const std::vector<Record>& in,
   out->reserve(out->size() + order.size());
   for (int32_t s : order) out->push_back(std::move(acc[s]));
   return Status::OK();
+}
+
+/// Typed columnar reduce of one partition (DESIGN.md §15): when the
+/// combiner is declared (Plan::DeclareReduce) and the partition has the
+/// declared shape — records (int64 key, value), key == {0}, value column 1
+/// of the declared type — the fold runs over scalar accumulators on flat
+/// columns, never materializing intermediate Records. Returns false on any
+/// shape mismatch; the caller falls back to FlatReducePartition. Fold and
+/// emission order match the generic path exactly: arrival-order folding
+/// per key (kSumDouble strictly sequential — FP association is
+/// load-bearing), emission sorted by key (KeyLess on an int64 key is
+/// numeric order). Never consults the SIMD level for the path choice, so
+/// outputs cannot depend on it.
+bool FlatReduceTypedPartition(const std::vector<Record>& in,
+                              const KeyColumns& key, ReduceKind kind,
+                              int value_col, std::vector<Record>* out) {
+  if (key.size() != 1 || key[0] != 0 || value_col != 1) return false;
+  const bool want_double = kind == ReduceKind::kSumDouble;
+  for (const Record& r : in) {
+    if (r.size() != 2 || !r[0].is_int64()) return false;
+    if (want_double ? !r[1].is_double() : !r[1].is_int64()) return false;
+  }
+  if (in.empty()) return true;
+
+  std::vector<int64_t> keys(in.size());
+  for (size_t i = 0; i < in.size(); ++i) keys[i] = in[i][0].AsInt64();
+  const simd::Kernels& kernels = simd::ActiveKernels();
+
+  if (kernels.all_equal_i64(keys.data(), keys.size(), keys[0])) {
+    // Single-group partition (the shape post-shuffle global aggregates
+    // like PageRank's dangling mass always have): one kernel fold.
+    if (want_double) {
+      double sum = in[0][1].AsDouble();
+      for (size_t i = 1; i < in.size(); ++i) sum += in[i][1].AsDouble();
+      out->push_back(MakeRecord(keys[0], sum));
+      return true;
+    }
+    std::vector<int64_t> vals(in.size());
+    for (size_t i = 0; i < in.size(); ++i) vals[i] = in[i][1].AsInt64();
+    int64_t folded = 0;
+    switch (kind) {
+      case ReduceKind::kSumInt64:
+        folded = kernels.sum_i64(vals.data(), vals.size());
+        break;
+      case ReduceKind::kMinInt64:
+        folded = kernels.min_i64(vals.data(), vals.size());
+        break;
+      case ReduceKind::kMaxInt64:
+        folded = kernels.max_i64(vals.data(), vals.size());
+        break;
+      case ReduceKind::kSumDouble:
+      case ReduceKind::kNone:
+        return false;  // unreachable (want_double handled above)
+    }
+    out->push_back(MakeRecord(keys[0], folded));
+    return true;
+  }
+
+  std::vector<uint64_t> hashes(keys.size());
+  kernels.hash_key64(keys.data(), keys.size(), hashes.data());
+  FlatSlotMap slots(in.size());
+  std::vector<int64_t> slot_key;
+  slot_key.reserve(in.size());
+  std::vector<int64_t> acc_i;
+  std::vector<double> acc_d;
+  for (size_t i = 0; i < in.size(); ++i) {
+    bool inserted = false;
+    const int32_t slot = slots.FindOrInsert(
+        hashes[i], [&](int32_t s) { return slot_key[s] == keys[i]; },
+        &inserted);
+    if (want_double) {
+      const double v = in[i][1].AsDouble();
+      if (inserted) {
+        slot_key.push_back(keys[i]);
+        acc_d.push_back(v);
+      } else {
+        acc_d[slot] += v;  // arrival order, same association as combine()
+      }
+      continue;
+    }
+    const int64_t v = in[i][1].AsInt64();
+    if (inserted) {
+      slot_key.push_back(keys[i]);
+      acc_i.push_back(v);
+      continue;
+    }
+    switch (kind) {
+      case ReduceKind::kSumInt64:
+        acc_i[slot] = static_cast<int64_t>(static_cast<uint64_t>(acc_i[slot]) +
+                                           static_cast<uint64_t>(v));
+        break;
+      case ReduceKind::kMinInt64:
+        if (v < acc_i[slot]) acc_i[slot] = v;  // ties keep the accumulator
+        break;
+      case ReduceKind::kMaxInt64:
+        if (v > acc_i[slot]) acc_i[slot] = v;
+        break;
+      case ReduceKind::kSumDouble:
+      case ReduceKind::kNone:
+        break;  // unreachable
+    }
+  }
+  std::vector<int32_t> order(slot_key.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return slot_key[a] < slot_key[b];
+  });
+  out->reserve(out->size() + order.size());
+  for (int32_t s : order) {
+    if (want_double) {
+      out->push_back(MakeRecord(slot_key[s], acc_d[s]));
+    } else {
+      out->push_back(MakeRecord(slot_key[s], acc_i[s]));
+    }
+  }
+  return true;
+}
+
+/// Batched join probe (DESIGN.md §15): when the build index runs in key64
+/// mode and the probe side's key extracts to a flat int64 column, hash the
+/// probe keys in one kernel stripe and resolve all group heads with
+/// FindFirstStripe before emitting. Emission order (probe order, chains in
+/// arrival order) is identical to the per-record FindFirst loop. Returns
+/// false when the shapes don't allow it; the caller runs the record probe.
+bool StripedJoinProbe(const FlatKeyIndex& index,
+                      const std::vector<Record>& build,
+                      const std::vector<Record>& probes,
+                      const KeyColumns& probe_key, const JoinFn& join_fn,
+                      std::vector<Record>* out) {
+  if (!index.key64_probe_ready()) return false;
+  std::vector<int64_t> keys;
+  if (!ExtractKey64(probes, probe_key, &keys)) return false;
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  std::vector<uint64_t> hashes(keys.size());
+  kernels.hash_key64(keys.data(), keys.size(), hashes.data());
+  std::vector<int32_t> first(keys.size());
+  index.FindFirstStripe(keys.data(), hashes.data(), keys.size(),
+                        first.data());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    for (int32_t row = first[i]; row >= 0; row = index.Next(row)) {
+      out->push_back(join_fn(build[row], probes[i]));
+    }
+  }
+  return true;
+}
+
+/// Resolves the batch schema of `in` for plan node `node_id`: served from
+/// the ExecCache's per-node schema cache when possible (the schema of a
+/// node's input is stable within a job — attaching a batch impl declares as
+/// much), else one dataset-wide inference pass. The result is stored back
+/// only when inferred from actual rows — a drained workset (all partitions
+/// empty) must not pin the empty schema for later supersteps. False means
+/// heterogeneous rows; the caller takes the record path.
+bool ResolveBatchSchema(ExecCache* cache, int node_id,
+                        const PartitionedDataset& in, BatchSchema* schema) {
+  if (cache != nullptr) {
+    const BatchSchema* cached = cache->FindSchema(node_id);
+    if (cached != nullptr) {
+      *schema = *cached;
+      return true;
+    }
+  }
+  bool from_rows = false;
+  schema->clear();
+  for (int p = 0; p < in.num_partitions(); ++p) {
+    const std::vector<Record>& part = in.partition(p);
+    if (part.empty()) continue;
+    BatchSchema part_schema;
+    if (!InferBatchSchema(part, &part_schema)) return false;
+    if (!from_rows) {
+      *schema = std::move(part_schema);
+      from_rows = true;
+    } else if (part_schema != *schema) {
+      return false;
+    }
+  }
+  if (from_rows && cache != nullptr) cache->StoreSchema(node_id, *schema);
+  return true;
 }
 
 uint64_t MaxPartitionSize(const PartitionedDataset& ds) {
@@ -208,6 +407,10 @@ void ExecStats::MergeFrom(const ExecStats& other) {
 Executor::Executor(ExecOptions options) : options_(options) {
   FLINKLESS_CHECK(options_.num_partitions > 0,
                   "executor needs at least one partition");
+  // Process-wide by design: index builds and serde also run outside any
+  // executor (cache unspill, message-log blocks), and every tier is
+  // bit-identical, so the level is a pure wall-clock knob (DESIGN.md §15).
+  simd::ApplySimdLevel(options_.simd_level);
   per_partition_args_ =
       options_.trace_detail == TraceDetail::kPerPartition ||
       (options_.trace_detail == TraceDetail::kAuto &&
@@ -366,12 +569,30 @@ PartitionedDataset Executor::ShuffleImpl(Input&& input, const KeyColumns& key,
               auto& src = input.partition(p);
               std::vector<int32_t> target(src.size());
               std::vector<size_t> counts(n, 0);
-              for (size_t r = 0; r < src.size(); ++r) {
-                const int t =
-                    PartitionedDataset::PartitionOf(src[r], key, n);
-                target[r] = t;
-                ++counts[t];
-                if (t != p) ++moved[p];
+              // Single-int64-key shuffles (every hot channel) resolve
+              // their targets from one kernel hash stripe. PartitionOf is
+              // HashKey % n and the kernel computes exactly that hash for
+              // this shape, so the targets are identical.
+              std::vector<int64_t> key64;
+              if (ExtractKey64(src, key, &key64)) {
+                std::vector<uint64_t> hashes(src.size());
+                simd::ActiveKernels().hash_key64(key64.data(), src.size(),
+                                                 hashes.data());
+                for (size_t r = 0; r < src.size(); ++r) {
+                  const int t = static_cast<int>(hashes[r] %
+                                                 static_cast<uint64_t>(n));
+                  target[r] = t;
+                  ++counts[t];
+                  if (t != p) ++moved[p];
+                }
+              } else {
+                for (size_t r = 0; r < src.size(); ++r) {
+                  const int t =
+                      PartitionedDataset::PartitionOf(src[r], key, n);
+                  target[r] = t;
+                  ++counts[t];
+                  if (t != p) ++moved[p];
+                }
               }
               for (int t = 0; t < n; ++t) boxes[t].reserve(counts[t]);
               if constexpr (kMove) {
@@ -636,12 +857,45 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         case OpKind::kMap: {
           const PartitionedDataset& in = input_of(node.inputs[0]);
           PartitionedDataset out(n);
+          // Batched UDF boundary (DESIGN.md §15): when the node carries a
+          // batch impl and the input is schema-homogeneous, each partition
+          // crosses the boundary once as a ColumnarBatch instead of once
+          // per record. The record fn stays the semantic reference — the
+          // batch impl must match it row for row.
+          BatchSchema schema;
+          const bool has_batch = node.batch_map_fn != nullptr;
+          const bool batched =
+              has_batch && options_.use_columnar &&
+              ResolveBatchSchema(cache, node.id, in, &schema);
+          if (has_batch) {
+            batched ? ++local_stats.batch_ops : ++local_stats.row_fallback_ops;
+          }
+          if (batched) ObserveBatchRows(in);
+          reset_status();
           ForEachPartition(op_span, &in, n, [&](int p) {
-            out.partition(p).reserve(in.partition(p).size());
-            for (const Record& r : in.partition(p)) {
+            const std::vector<Record>& rows = in.partition(p);
+            if (batched) {
+              if (rows.empty()) return;
+              ColumnarBatch batch =
+                  ColumnarBatch::FromRecordsUnchecked(rows, schema);
+              ColumnarBatch result;
+              node.batch_map_fn(batch, &result);
+              if (result.num_rows() != rows.size()) {
+                part_status[p] = Status::Internal(
+                    "Map '" + node.name + "': batch impl produced " +
+                    std::to_string(result.num_rows()) + " rows from " +
+                    std::to_string(rows.size()));
+                return;
+              }
+              out.partition(p) = result.ToRecords();
+              return;
+            }
+            out.partition(p).reserve(rows.size());
+            for (const Record& r : rows) {
               out.partition(p).push_back(node.map_fn(r));
             }
           });
+          FLINKLESS_RETURN_NOT_OK(first_error());
           local_stats.records_processed += in.NumRecords();
           ChargeCompute(in);
           push_owned(std::move(out));
@@ -651,8 +905,27 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
         case OpKind::kFlatMap: {
           const PartitionedDataset& in = input_of(node.inputs[0]);
           PartitionedDataset out(n);
+          BatchSchema schema;
+          const bool has_batch = node.batch_map_fn != nullptr;
+          const bool batched =
+              has_batch && options_.use_columnar &&
+              ResolveBatchSchema(cache, node.id, in, &schema);
+          if (has_batch) {
+            batched ? ++local_stats.batch_ops : ++local_stats.row_fallback_ops;
+          }
+          if (batched) ObserveBatchRows(in);
           ForEachPartition(op_span, &in, n, [&](int p) {
-            for (const Record& r : in.partition(p)) {
+            const std::vector<Record>& rows = in.partition(p);
+            if (batched) {
+              if (rows.empty()) return;
+              ColumnarBatch batch =
+                  ColumnarBatch::FromRecordsUnchecked(rows, schema);
+              ColumnarBatch result;
+              node.batch_map_fn(batch, &result);
+              out.partition(p) = result.ToRecords();
+              return;
+            }
+            for (const Record& r : rows) {
               node.flat_map_fn(r, &out.partition(p));
             }
           });
@@ -716,6 +989,12 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
             reset_status();
             ForEachPartition(op_span, in, in->num_partitions(), [&](int p) {
               if (batch) {
+                if (node.reduce_kind != ReduceKind::kNone &&
+                    FlatReduceTypedPartition(
+                        in->partition(p), node.left_key, node.reduce_kind,
+                        node.reduce_value_col, &combined.partition(p))) {
+                  return;
+                }
                 part_status[p] = FlatReducePartition(
                     in->partition(p), node.left_key, node.combine_fn,
                     /*validate=*/false, node.name, &combined.partition(p));
@@ -756,6 +1035,12 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
           reset_status();
           ForEachPartition(op_span, &shuffled, n, [&](int p) {
             if (batch) {
+              if (node.reduce_kind != ReduceKind::kNone &&
+                  FlatReduceTypedPartition(
+                      shuffled.partition(p), node.left_key, node.reduce_kind,
+                      node.reduce_value_col, &out.partition(p))) {
+                return;
+              }
               part_status[p] = FlatReducePartition(
                   shuffled.partition(p), node.left_key, node.combine_fn,
                   /*validate=*/true, node.name, &out.partition(p));
@@ -921,6 +1206,11 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               if (!e->flat_index.empty()) {
                 const FlatKeyIndex& index = e->flat_index[p];
                 const std::vector<Record>& build = e->data->partition(p);
+                if (StripedJoinProbe(index, build, right.partition(p),
+                                     node.right_key, node.join_fn,
+                                     &out.partition(p))) {
+                  return;
+                }
                 for (const Record& r : right.partition(p)) {
                   int32_t row = index.FindFirst(
                       r, node.right_key, HashKey(r, node.right_key));
@@ -994,6 +1284,11 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
                 FlatKeyIndex index;
                 index.Build(rows, node.left_key);
                 ObserveProbeChains(index);
+                if (StripedJoinProbe(index, rows, right.partition(p),
+                                     node.right_key, node.join_fn,
+                                     &out.partition(p))) {
+                  return;
+                }
                 for (const Record& r : right.partition(p)) {
                   int32_t row = index.FindFirst(
                       r, node.right_key, HashKey(r, node.right_key));
@@ -1039,6 +1334,11 @@ Result<std::map<std::string, PartitionedDataset>> Executor::Execute(
               FlatKeyIndex index;
               index.Build(rows, node.left_key);
               ObserveProbeChains(index);
+              if (StripedJoinProbe(index, rows, right.partition(p),
+                                   node.right_key, node.join_fn,
+                                   &out.partition(p))) {
+                return;
+              }
               for (const Record& r : right.partition(p)) {
                 int32_t row = index.FindFirst(
                     r, node.right_key, HashKey(r, node.right_key));

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "dataflow/dataset.h"
 #include "dataflow/plan.h"
+#include "dataflow/simd.h"
 #include "runtime/cost_model.h"
 #include "runtime/metrics.h"
 #include "runtime/sim_clock.h"
@@ -132,6 +133,14 @@ struct ExecOptions {
   /// only wall-clock (and the batch_ops/row_fallback_ops counters) differ.
   /// Off = the legacy record-at-a-time path, kept for A/B comparison.
   bool use_columnar = true;
+
+  /// SIMD tier request for the columnar kernels (dataflow/simd.h,
+  /// DESIGN.md §15), applied process-wide at Executor construction. kAuto
+  /// (the default) leaves the current dispatch alone — normally the best
+  /// level the CPU supports, or whatever FLINKLESS_SIMD forced. Every tier
+  /// is bit-identical; this knob (like the env var) only trades wall-clock,
+  /// so outputs/stats/charges never depend on it.
+  simd::SimdLevel simd_level = simd::SimdLevel::kAuto;
 
   /// Per-partition trace-arg verbosity (see TraceDetail).
   TraceDetail trace_detail = TraceDetail::kAuto;

@@ -165,6 +165,30 @@ NodeId Plan::Distinct(NodeId input, KeyColumns key, const std::string& name) {
   return Add(std::move(n));
 }
 
+void Plan::BatchImpl(NodeId node, BatchMapFn fn) {
+  FLINKLESS_CHECK(node >= 0 && static_cast<size_t>(node) < nodes_.size(),
+                  "BatchImpl on unknown node " << node);
+  PlanNode& n = nodes_[node];
+  FLINKLESS_CHECK(n.kind == OpKind::kMap || n.kind == OpKind::kFlatMap,
+                  "BatchImpl on '" << n.name << "' (" << OpKindName(n.kind)
+                                   << "); only Map/FlatMap take one");
+  n.batch_map_fn = std::move(fn);
+}
+
+void Plan::DeclareReduce(NodeId node, ReduceKind kind, int value_col) {
+  FLINKLESS_CHECK(node >= 0 && static_cast<size_t>(node) < nodes_.size(),
+                  "DeclareReduce on unknown node " << node);
+  PlanNode& n = nodes_[node];
+  FLINKLESS_CHECK(n.kind == OpKind::kReduceByKey,
+                  "DeclareReduce on '" << n.name << "' ("
+                                       << OpKindName(n.kind) << ")");
+  FLINKLESS_CHECK(kind != ReduceKind::kNone && value_col >= 0,
+                  "DeclareReduce('" << n.name
+                                    << "') needs a kind and a value column");
+  n.reduce_kind = kind;
+  n.reduce_value_col = value_col;
+}
+
 void Plan::Output(NodeId node, const std::string& output_name) {
   outputs_.emplace_back(output_name, node);
 }

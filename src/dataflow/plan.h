@@ -15,12 +15,25 @@
 
 namespace flinkless::dataflow {
 
+class ColumnarBatch;
+
 /// Index of a node within its Plan. Plans are acyclic by construction:
 /// operators can only reference nodes created before them.
 using NodeId = int;
 
 /// Record -> record.
 using MapFn = std::function<Record(const Record&)>;
+
+/// Batched map/flat-map body: consumes one partition's rows as a
+/// ColumnarBatch and fills `out` (Reset + Mutable*Column + FinishRows).
+/// Attached via Plan::BatchImpl as an *optional* second implementation next
+/// to the record fn; the executor picks it whenever the partition's rows
+/// are schema-homogeneous. Contract (DESIGN.md §15): it must produce
+/// exactly the records the record fn would, in the same order — replay and
+/// heterogeneous partitions still run the record path, and byte-identity
+/// across paths is the repo invariant. For Map nodes the output must have
+/// one row per input row.
+using BatchMapFn = std::function<void(const ColumnarBatch&, ColumnarBatch*)>;
 
 /// Record -> zero or more records appended to `out`.
 using FlatMapFn = std::function<void(const Record&, std::vector<Record>*)>;
@@ -64,6 +77,21 @@ enum class OpKind {
 /// Stable name of an operator kind ("Source", "Join", ...).
 std::string OpKindName(OpKind kind);
 
+/// Declared shape of a ReduceByKey combiner (Plan::DeclareReduce). The
+/// executor uses it to run typed columnar folds: a declaration promises the
+/// combiner is equivalent to the named fold over the value column, with
+/// records shaped (int64 key, value) and key == {0}. kMinInt64/kMaxInt64
+/// must keep the *accumulator* on ties (<= / >= comparisons), matching the
+/// arrival-order record fold. kSumDouble folds sequentially in arrival
+/// order on every tier (never SIMD-reassociated).
+enum class ReduceKind {
+  kNone,
+  kSumInt64,
+  kSumDouble,
+  kMinInt64,
+  kMaxInt64,
+};
+
 /// One operator in the DAG. Only the fields relevant to its kind are set.
 struct PlanNode {
   NodeId id = -1;
@@ -87,6 +115,16 @@ struct PlanNode {
   /// pre-aggregation). Exposed so experiments can quantify its effect on
   /// message counts.
   bool pre_combine = true;
+
+  /// kMap/kFlatMap: optional batched implementation (Plan::BatchImpl). The
+  /// record fn below stays required — it is the replay path and the
+  /// fallback for schema-heterogeneous partitions.
+  BatchMapFn batch_map_fn;
+
+  /// kReduceByKey: declared combiner shape (Plan::DeclareReduce) and the
+  /// value column it folds. kNone means undeclared — generic combine only.
+  ReduceKind reduce_kind = ReduceKind::kNone;
+  int reduce_value_col = -1;
 
   MapFn map_fn;
   FlatMapFn flat_map_fn;
@@ -137,6 +175,15 @@ class Plan {
 
   /// Removes duplicate records; the output is partitioned by `key`.
   NodeId Distinct(NodeId input, KeyColumns key, const std::string& name);
+
+  /// Attaches a batched implementation to an existing Map/FlatMap node
+  /// (checked). See BatchMapFn for the equivalence contract.
+  void BatchImpl(NodeId node, BatchMapFn fn);
+
+  /// Declares the combiner of an existing ReduceByKey node as a typed fold
+  /// over `value_col` (checked; kind must not be kNone). See ReduceKind for
+  /// the equivalence contract.
+  void DeclareReduce(NodeId node, ReduceKind kind, int value_col);
 
   /// Marks `node` as a named output of the plan.
   void Output(NodeId node, const std::string& output_name);

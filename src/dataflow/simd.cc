@@ -1,0 +1,578 @@
+#include "dataflow/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/hash.h"
+
+// The vector tiers use function-level target attributes instead of global
+// -mavx2/-msse4.2 flags: the binary stays runnable on any x86-64 (the
+// scalar tier is always safe), and only the explicitly dispatched kernels
+// carry wider instructions.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FLINKLESS_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace flinkless::dataflow::simd {
+
+namespace {
+
+/// HashKey's seed for every key projection (record.cc).
+constexpr uint64_t kHashSeed = 0x2545f4914f6cdd1dULL;
+/// HashCombine(kHashSeed, v) = kHashSeed ^ (Mix64(v) + kHashAdd): the seed
+/// is constant for single-key rows, so the combine collapses to one
+/// precomputed addend.
+constexpr uint64_t kHashAdd =
+    0x9e3779b97f4a7c15ULL + (kHashSeed << 6) + (kHashSeed >> 2);
+
+// ------------------------------------------------------------- scalar ----
+// The reference tier: byte-for-byte the loops the columnar layer ran before
+// this PR. Every vector kernel below must agree with these on all inputs
+// (tests/simd_test.cc holds them to it).
+
+void HashKey64Scalar(const int64_t* keys, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = HashCombine(kHashSeed, Mix64(static_cast<uint64_t>(keys[i])));
+  }
+}
+
+void DeltaU32Scalar(const uint32_t* offsets, size_t n, uint32_t* lens) {
+  for (size_t i = 0; i < n; ++i) lens[i] = offsets[i + 1] - offsets[i];
+}
+
+uint64_t SumU32Scalar(const uint32_t* values, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += values[i];
+  return total;
+}
+
+void PrefixSumU32Scalar(const uint32_t* values, size_t n, uint32_t* out) {
+  uint32_t run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    run += values[i];
+    out[i] = run;
+  }
+}
+
+int64_t MinI64Scalar(const int64_t* values, size_t n) {
+  int64_t best = values[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (values[i] < best) best = values[i];
+  }
+  return best;
+}
+
+int64_t MaxI64Scalar(const int64_t* values, size_t n) {
+  int64_t best = values[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (values[i] > best) best = values[i];
+  }
+  return best;
+}
+
+int64_t SumI64Scalar(const int64_t* values, size_t n) {
+  // Unsigned accumulation: the documented wrapping (two's-complement) sum,
+  // without signed-overflow UB.
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += static_cast<uint64_t>(values[i]);
+  return static_cast<int64_t>(total);
+}
+
+bool AllEqualI64Scalar(const int64_t* values, size_t n, int64_t value) {
+  for (size_t i = 0; i < n; ++i) {
+    if (values[i] != value) return false;
+  }
+  return true;
+}
+
+int FirstEmptyScalar(const int32_t* slots) { return slots[0] < 0 ? 0 : 1; }
+
+constexpr Kernels kScalarTable = {
+    Level::kScalar,  "scalar",         HashKey64Scalar, DeltaU32Scalar,
+    SumU32Scalar,    PrefixSumU32Scalar, MinI64Scalar,  MaxI64Scalar,
+    SumI64Scalar,    AllEqualI64Scalar, FirstEmptyScalar,
+    /*probe_width=*/1,
+};
+
+#if FLINKLESS_SIMD_X86
+
+// ------------------------------------------------------------ SSE4.2 ----
+
+__attribute__((target("sse4.2"))) inline __m128i Mul64Sse(__m128i x,
+                                                          __m128i m) {
+  // 64x64 -> low 64 multiply from 32-bit partial products:
+  // lo(x)*lo(m) + ((hi(x)*lo(m) + lo(x)*hi(m)) << 32).
+  __m128i lo = _mm_mul_epu32(x, m);
+  __m128i cross = _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(x, 32), m),
+                                _mm_mul_epu32(x, _mm_srli_epi64(m, 32)));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+__attribute__((target("sse4.2"))) inline __m128i Mix64Sse(__m128i x) {
+  const __m128i m1 =
+      _mm_set1_epi64x(static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m128i m2 =
+      _mm_set1_epi64x(static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  x = _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+  x = Mul64Sse(x, m1);
+  x = _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+  x = Mul64Sse(x, m2);
+  return _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+}
+
+__attribute__((target("sse4.2"))) void HashKey64Sse(const int64_t* keys,
+                                                    size_t n, uint64_t* out) {
+  const __m128i seed = _mm_set1_epi64x(static_cast<long long>(kHashSeed));
+  const __m128i add = _mm_set1_epi64x(static_cast<long long>(kHashAdd));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i k =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    __m128i h = Mix64Sse(Mix64Sse(k));  // Value::Hash then HashCombine's mix
+    h = _mm_xor_si128(seed, _mm_add_epi64(h, add));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+  }
+  if (i < n) HashKey64Scalar(keys + i, n - i, out + i);
+}
+
+__attribute__((target("sse4.2"))) void DeltaU32Sse(const uint32_t* offsets,
+                                                   size_t n, uint32_t* lens) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(offsets + i));
+    __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(offsets + i + 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lens + i),
+                     _mm_sub_epi32(b, a));
+  }
+  for (; i < n; ++i) lens[i] = offsets[i + 1] - offsets[i];
+}
+
+__attribute__((target("sse4.2"))) uint64_t SumU32Sse(const uint32_t* values,
+                                                     size_t n) {
+  __m128i acc = _mm_setzero_si128();  // two u64 lanes
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+    acc = _mm_add_epi64(acc, _mm_cvtepu32_epi64(x));
+    acc = _mm_add_epi64(acc, _mm_cvtepu32_epi64(_mm_srli_si128(x, 8)));
+  }
+  uint64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  uint64_t total = lanes[0] + lanes[1];
+  for (; i < n; ++i) total += values[i];
+  return total;
+}
+
+__attribute__((target("sse4.2"))) void PrefixSumU32Sse(const uint32_t* values,
+                                                       size_t n,
+                                                       uint32_t* out) {
+  // Classic in-register scan: two shift-adds make a 4-lane inclusive scan,
+  // then the top lane carries into the next block.
+  __m128i carry = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+    x = _mm_add_epi32(x, carry);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), x);
+    carry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  uint32_t run = i > 0 ? out[i - 1] : 0;
+  for (; i < n; ++i) {
+    run += values[i];
+    out[i] = run;
+  }
+}
+
+__attribute__((target("sse4.2"))) int64_t MinI64Sse(const int64_t* values,
+                                                    size_t n) {
+  size_t i = 0;
+  int64_t best = values[0];
+  if (n >= 2) {
+    __m128i acc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values));
+    for (i = 2; i + 2 <= n; i += 2) {
+      __m128i x =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+      acc = _mm_blendv_epi8(acc, x, _mm_cmpgt_epi64(acc, x));
+    }
+    int64_t lanes[2];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    best = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+  }
+  for (; i < n; ++i) {
+    if (values[i] < best) best = values[i];
+  }
+  return best;
+}
+
+__attribute__((target("sse4.2"))) int64_t MaxI64Sse(const int64_t* values,
+                                                    size_t n) {
+  size_t i = 0;
+  int64_t best = values[0];
+  if (n >= 2) {
+    __m128i acc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values));
+    for (i = 2; i + 2 <= n; i += 2) {
+      __m128i x =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+      acc = _mm_blendv_epi8(acc, x, _mm_cmpgt_epi64(x, acc));
+    }
+    int64_t lanes[2];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    best = lanes[0] > lanes[1] ? lanes[0] : lanes[1];
+  }
+  for (; i < n; ++i) {
+    if (values[i] > best) best = values[i];
+  }
+  return best;
+}
+
+__attribute__((target("sse4.2"))) int64_t SumI64Sse(const int64_t* values,
+                                                    size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_epi64(
+        acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i)));
+  }
+  uint64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  uint64_t total = lanes[0] + lanes[1];
+  for (; i < n; ++i) total += static_cast<uint64_t>(values[i]);
+  return static_cast<int64_t>(total);
+}
+
+__attribute__((target("sse4.2"))) bool AllEqualI64Sse(const int64_t* values,
+                                                      size_t n,
+                                                      int64_t value) {
+  const __m128i ref = _mm_set1_epi64x(static_cast<long long>(value));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi64(x, ref)) != 0xffff) return false;
+  }
+  for (; i < n; ++i) {
+    if (values[i] != value) return false;
+  }
+  return true;
+}
+
+__attribute__((target("sse4.2"))) int FirstEmptySse(const int32_t* slots) {
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(slots));
+  // Sign bit per 32-bit lane: set = negative = empty bucket.
+  int mask = _mm_movemask_ps(_mm_castsi128_ps(x));
+  return mask != 0 ? __builtin_ctz(static_cast<unsigned>(mask)) : 4;
+}
+
+constexpr Kernels kSse42Table = {
+    Level::kSSE42, "sse4.2",        HashKey64Sse, DeltaU32Sse,
+    SumU32Sse,     PrefixSumU32Sse, MinI64Sse,    MaxI64Sse,
+    SumI64Sse,     AllEqualI64Sse,  FirstEmptySse,
+    /*probe_width=*/4,
+};
+
+// -------------------------------------------------------------- AVX2 ----
+
+__attribute__((target("avx2"))) inline __m256i Mul64Avx2(__m256i x,
+                                                         __m256i m) {
+  __m256i lo = _mm256_mul_epu32(x, m);
+  __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(x, 32), m),
+                       _mm256_mul_epu32(x, _mm256_srli_epi64(m, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i Mix64Avx2(__m256i x) {
+  const __m256i m1 =
+      _mm256_set1_epi64x(static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m256i m2 =
+      _mm256_set1_epi64x(static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = Mul64Avx2(x, m1);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = Mul64Avx2(x, m2);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+}
+
+__attribute__((target("avx2"))) void HashKey64Avx2(const int64_t* keys,
+                                                   size_t n, uint64_t* out) {
+  const __m256i seed = _mm256_set1_epi64x(static_cast<long long>(kHashSeed));
+  const __m256i add = _mm256_set1_epi64x(static_cast<long long>(kHashAdd));
+  size_t i = 0;
+  // Two independent vectors per iteration: the double-Mix64 chain is a long
+  // serial dependency (each emulated 64-bit multiply is three vpmuludq),
+  // so a single-vector loop stalls on latency; interleaving two chains
+  // keeps the multiply ports busy.
+  for (; i + 8 <= n; i += 8) {
+    __m256i k0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i k1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i + 4));
+    __m256i h0 = Mix64Avx2(Mix64Avx2(k0));
+    __m256i h1 = Mix64Avx2(Mix64Avx2(k1));
+    h0 = _mm256_xor_si256(seed, _mm256_add_epi64(h0, add));
+    h1 = _mm256_xor_si256(seed, _mm256_add_epi64(h1, add));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), h1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i h = Mix64Avx2(Mix64Avx2(k));
+    h = _mm256_xor_si256(seed, _mm256_add_epi64(h, add));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  if (i < n) HashKey64Scalar(keys + i, n - i, out + i);
+}
+
+__attribute__((target("avx2"))) void DeltaU32Avx2(const uint32_t* offsets,
+                                                  size_t n, uint32_t* lens) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(offsets + i));
+    __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(offsets + i + 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lens + i),
+                        _mm256_sub_epi32(b, a));
+  }
+  for (; i < n; ++i) lens[i] = offsets[i + 1] - offsets[i];
+}
+
+__attribute__((target("avx2"))) uint64_t SumU32Avx2(const uint32_t* values,
+                                                    size_t n) {
+  __m256i acc = _mm256_setzero_si256();  // four u64 lanes
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    acc = _mm256_add_epi64(acc,
+                           _mm256_cvtepu32_epi64(_mm256_castsi256_si128(x)));
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepu32_epi64(_mm256_extracti128_si256(x, 1)));
+  }
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) total += values[i];
+  return total;
+}
+
+__attribute__((target("avx2"))) int64_t MinI64Avx2(const int64_t* values,
+                                                   size_t n) {
+  size_t i = 0;
+  int64_t best = values[0];
+  if (n >= 4) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values));
+    for (i = 4; i + 4 <= n; i += 4) {
+      __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+      acc = _mm256_blendv_epi8(acc, x, _mm256_cmpgt_epi64(acc, x));
+    }
+    int64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    best = lanes[0];
+    for (int j = 1; j < 4; ++j) {
+      if (lanes[j] < best) best = lanes[j];
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] < best) best = values[i];
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) int64_t MaxI64Avx2(const int64_t* values,
+                                                   size_t n) {
+  size_t i = 0;
+  int64_t best = values[0];
+  if (n >= 4) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values));
+    for (i = 4; i + 4 <= n; i += 4) {
+      __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+      acc = _mm256_blendv_epi8(acc, x, _mm256_cmpgt_epi64(x, acc));
+    }
+    int64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    best = lanes[0];
+    for (int j = 1; j < 4; ++j) {
+      if (lanes[j] > best) best = lanes[j];
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] > best) best = values[i];
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) int64_t SumI64Avx2(const int64_t* values,
+                                                   size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, _mm256_loadu_si256(
+                                    reinterpret_cast<const __m256i*>(
+                                        values + i)));
+  }
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) total += static_cast<uint64_t>(values[i]);
+  return static_cast<int64_t>(total);
+}
+
+__attribute__((target("avx2"))) bool AllEqualI64Avx2(const int64_t* values,
+                                                     size_t n,
+                                                     int64_t value) {
+  const __m256i ref = _mm256_set1_epi64x(static_cast<long long>(value));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi64(x, ref)) != -1) return false;
+  }
+  for (; i < n; ++i) {
+    if (values[i] != value) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) int FirstEmptyAvx2(const int32_t* slots) {
+  __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slots));
+  int mask = _mm256_movemask_ps(_mm256_castsi256_ps(x));
+  return mask != 0 ? __builtin_ctz(static_cast<unsigned>(mask)) : 8;
+}
+
+constexpr Kernels kAvx2Table = {
+    Level::kAVX2, "avx2",          HashKey64Avx2, DeltaU32Avx2,
+    SumU32Avx2,   PrefixSumU32Sse, MinI64Avx2,    MaxI64Avx2,
+    SumI64Avx2,   AllEqualI64Avx2, FirstEmptyAvx2,
+    /*probe_width=*/8,
+};
+
+#endif  // FLINKLESS_SIMD_X86
+
+const Kernels& TableFor(Level level) {
+#if FLINKLESS_SIMD_X86
+  switch (level) {
+    case Level::kAVX2:
+      return kAvx2Table;
+    case Level::kSSE42:
+      return kSse42Table;
+    case Level::kScalar:
+      return kScalarTable;
+  }
+#endif
+  (void)level;
+  return kScalarTable;
+}
+
+Level DetectImpl() {
+#if FLINKLESS_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAVX2;
+  if (__builtin_cpu_supports("sse4.2")) return Level::kSSE42;
+#endif
+  return Level::kScalar;
+}
+
+/// Process-wide dispatch state. The env override is read once; the active
+/// table pointer is atomic so benches/tests may flip levels while worker
+/// threads are parked between parallel sections.
+struct DispatchState {
+  Level detected;
+  bool env_active = false;
+  Level env_cap = Level::kScalar;
+  std::atomic<const Kernels*> active;
+
+  DispatchState() : detected(DetectImpl()) {
+    if (const char* env = std::getenv("FLINKLESS_SIMD")) {
+      SimdLevel req = SimdLevel::kAuto;
+      if (ParseSimdLevel(env, &req) && req != SimdLevel::kAuto) {
+        env_active = true;
+        env_cap = req == SimdLevel::kMax
+                      ? detected
+                      : static_cast<Level>(static_cast<int>(req));
+      }
+    }
+    active.store(&TableFor(Resolve(detected)), std::memory_order_relaxed);
+  }
+
+  Level Resolve(Level requested) const {
+    Level level = requested < detected ? requested : detected;
+    if (env_active && env_cap < level) level = env_cap;
+    return level;
+  }
+};
+
+DispatchState& State() {
+  static DispatchState state;
+  return state;
+}
+
+}  // namespace
+
+Level Detect() { return State().detected; }
+
+bool Supported(Level level) { return level <= State().detected; }
+
+Level SetLevel(Level requested) {
+  DispatchState& s = State();
+  const Level resolved = s.Resolve(requested);
+  s.active.store(&TableFor(resolved), std::memory_order_relaxed);
+  return resolved;
+}
+
+Level ActiveLevel() {
+  return State().active.load(std::memory_order_relaxed)->level;
+}
+
+const Kernels& ActiveKernels() {
+  return *State().active.load(std::memory_order_relaxed);
+}
+
+const Kernels& KernelsFor(Level level) { return TableFor(level); }
+
+const char* LevelName(Level level) { return TableFor(level).name; }
+
+bool ParseSimdLevel(std::string_view text, SimdLevel* out) {
+  if (text == "auto") {
+    *out = SimdLevel::kAuto;
+  } else if (text == "off" || text == "scalar") {
+    *out = SimdLevel::kOff;
+  } else if (text == "sse4" || text == "sse4.2") {
+    *out = SimdLevel::kSse42;
+  } else if (text == "avx2") {
+    *out = SimdLevel::kAvx2;
+  } else if (text == "max") {
+    *out = SimdLevel::kMax;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Level ApplySimdLevel(SimdLevel request) {
+  switch (request) {
+    case SimdLevel::kAuto:
+      return ActiveLevel();
+    case SimdLevel::kMax:
+      return SetLevel(Detect());
+    default:
+      return SetLevel(static_cast<Level>(static_cast<int>(request)));
+  }
+}
+
+bool EnvOverrideActive() { return State().env_active; }
+
+}  // namespace flinkless::dataflow::simd

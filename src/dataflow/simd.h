@@ -1,0 +1,133 @@
+// SIMD kernel layer for the columnar hot loops (DESIGN.md §15).
+//
+// PR 6 turned the shuffle/join/reduce hot path into branch-light loops over
+// contiguous int64/uint32 arrays; this header gives those loops explicit
+// vector implementations behind runtime CPU dispatch. Three tiers — AVX2,
+// SSE4.2, portable scalar — share one Kernels function-pointer table, and
+// every tier is bit-identical by construction:
+//
+//  * all kernels are pure integer math (the hash chain, offset deltas,
+//    prefix sums, int64 min/max and wrapping sums), so lane width cannot
+//    change a result — only wall-clock;
+//  * double columns are never folded by a SIMD kernel. Floating-point sums
+//    keep their sequential arrival-order association on every tier (no
+//    fast-math reassociation), which is what preserves the repo's
+//    byte-identity invariant across simd_level × thread count × failures.
+//
+// Dispatch is process-wide (one atomic table pointer): index builds and
+// serde run outside any Executor (spill unspill, message-log blocks), so a
+// per-executor table would leave those sites ambiguous. Since every tier
+// produces identical bytes, the level is a pure wall-clock knob and a
+// process-wide setting cannot break determinism. Selection order:
+//
+//   FLINKLESS_SIMD env (off|scalar|sse4|sse4.2|avx2|max — CI forces the
+//   scalar tail paths with it)  >  ApplySimdLevel/SetLevel requests
+//   (ExecOptions::simd_level, --simd)  >  CPU detection (the ceiling for
+//   everything).
+
+#ifndef FLINKLESS_DATAFLOW_SIMD_H_
+#define FLINKLESS_DATAFLOW_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace flinkless::dataflow::simd {
+
+/// A resolved kernel tier. Ordered: higher levels strictly extend the
+/// instruction set of lower ones.
+enum class Level : int {
+  kScalar = 0,
+  kSSE42 = 1,
+  kAVX2 = 2,
+};
+
+/// A *requested* tier, the vocabulary of ExecOptions::simd_level, the
+/// demos' --simd flag, and the FLINKLESS_SIMD env var. kAuto leaves the
+/// process-wide dispatch untouched; kMax asks for the best supported level.
+enum class SimdLevel : int {
+  kAuto = -1,
+  kOff = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+  kMax = 3,
+};
+
+/// One tier's kernel table. All pointers are always non-null; `level` and
+/// `name` identify the tier for logs/benches.
+struct Kernels {
+  Level level;
+  const char* name;
+
+  /// out[i] = HashCombine(0x2545f4914f6cdd1d, Mix64(uint64(keys[i]))) —
+  /// bit-identical to HashKey on a single-int64-key record, the row-hash
+  /// chain FlatKeyIndex/shuffle partitioning cache.
+  void (*hash_key64)(const int64_t* keys, size_t n, uint64_t* out);
+
+  /// lens[i] = offsets[i + 1] - offsets[i] for i in [0, n) — string-column
+  /// serde: (rows + 1) offsets to per-row lengths.
+  void (*delta_u32)(const uint32_t* offsets, size_t n, uint32_t* lens);
+
+  /// Widened sum of n uint32 values (overflow-free up to 2^32 values).
+  uint64_t (*sum_u32)(const uint32_t* values, size_t n);
+
+  /// Inclusive prefix sum: out[i] = values[0] + ... + values[i], wrapping
+  /// uint32 (callers bound the true total first via sum_u32).
+  void (*prefix_sum_u32)(const uint32_t* values, size_t n, uint32_t* out);
+
+  /// Fold of n >= 1 int64 values. Sum wraps (two's complement), so it is
+  /// associative and lane order cannot change the result.
+  int64_t (*min_i64)(const int64_t* values, size_t n);
+  int64_t (*max_i64)(const int64_t* values, size_t n);
+  int64_t (*sum_i64)(const int64_t* values, size_t n);
+
+  /// True when values[0..n) == value (vacuously true for n == 0).
+  bool (*all_equal_i64)(const int64_t* values, size_t n, int64_t value);
+
+  /// Open-addressing probe window: index of the first negative entry in
+  /// slots[0..probe_width), or probe_width when none. The caller guarantees
+  /// probe_width readable entries (FlatKeyIndex tables are >= 16 buckets).
+  int (*first_empty)(const int32_t* slots);
+
+  /// Width of first_empty's window (8 for AVX2, 4 for SSE4.2, 1 scalar).
+  int probe_width;
+};
+
+/// Best level this CPU supports (the ceiling for every request).
+Level Detect();
+
+/// Is `level` runnable on this CPU?
+bool Supported(Level level);
+
+/// Sets the process-wide active tier to min(requested, env override,
+/// Detect()) and returns the level now active. Thread-safe; callers invoke
+/// it from orchestration code (Executor construction, demo startup).
+Level SetLevel(Level requested);
+
+/// The tier kernel calls currently dispatch to.
+Level ActiveLevel();
+const Kernels& ActiveKernels();
+
+/// The table of a specific tier, bypassing the global — bench/test A/B.
+/// The caller must ensure Supported(level) before executing its kernels.
+const Kernels& KernelsFor(Level level);
+
+/// Stable display name ("scalar", "sse4.2", "avx2").
+const char* LevelName(Level level);
+
+/// Parses the request vocabulary: auto | off | scalar | sse4 | sse4.2 |
+/// avx2 | max. False on anything else (*out untouched).
+bool ParseSimdLevel(std::string_view text, SimdLevel* out);
+
+/// Applies a request to the process-wide dispatch: kAuto is a no-op (the
+/// env override / detected default stays), everything else maps onto
+/// SetLevel. Returns the level now active.
+Level ApplySimdLevel(SimdLevel request);
+
+/// True when FLINKLESS_SIMD is set to a valid level (it then caps every
+/// SetLevel/ApplySimdLevel request).
+bool EnvOverrideActive();
+
+}  // namespace flinkless::dataflow::simd
+
+#endif  // FLINKLESS_DATAFLOW_SIMD_H_

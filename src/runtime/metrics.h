@@ -155,6 +155,9 @@ inline constexpr char kCacheBuilds[] = "cache.builds";
 inline constexpr char kCacheInvalidations[] = "cache.invalidations";
 inline constexpr char kCacheRecordsNotReshuffled[] =
     "cache.records_not_reshuffled";
+// Columnar execution (job-level counter): dataset-wide InferBatchSchema
+// passes avoided by the per-node schema cache (DESIGN.md §15).
+inline constexpr char kSchemaCacheHits[] = "columnar.schema_cache_hits";
 // Memory manager (job-level counters).
 inline constexpr char kMemorySpills[] = "memory.spills";
 inline constexpr char kMemoryUnspills[] = "memory.unspills";

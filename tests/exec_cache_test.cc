@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "dataflow/columnar.h"
 #include "dataflow/exec_cache.h"
 #include "dataflow/executor.h"
 #include "dataflow/plan.h"
@@ -529,6 +530,58 @@ TEST(ExecCacheSpillTest, SpillRoundTripIsByteIdenticalAndRebuildsIndex) {
   // The blob only exists while the entry is spilled.
   EXPECT_EQ(storage.live_bytes(), 0u);
   EXPECT_EQ(manager.stats().unspills, 1u);
+}
+
+TEST(ExecCacheSpillTest, FlatIndexUnspillReusesRetainedHashes) {
+  runtime::StableStorage storage(nullptr, nullptr);
+  runtime::MemoryManager manager(/*budget_bytes=*/1);
+  ExecCache cache({"volatile"});
+  cache.AttachMemoryManager(&manager, &storage, "test-job");
+  cache.EnsurePartitionCount(kParts);
+
+  auto ds = std::make_shared<PartitionedDataset>(Pairs(500, 32, /*salt=*/3));
+  ExecCache::Entry& entry = cache.Emplace(5, ExecCache::Role::kBuild);
+  entry.data = ds;
+  entry.index_key = {0};
+  entry.flat_index.resize(kParts);
+  std::vector<std::vector<uint64_t>> hashes(kParts);
+  for (int p = 0; p < kParts; ++p) {
+    entry.flat_index[p].Build(ds->partition(p), {0});
+    hashes[p] = entry.flat_index[p].row_hashes();
+  }
+  ASSERT_TRUE(
+      cache.OnEntryFilled(5, ExecCache::Role::kBuild, nullptr).ok());
+  ASSERT_TRUE(manager.EnforceBudget(nullptr, nullptr).ok());
+  EXPECT_TRUE(cache.Find(5, ExecCache::Role::kBuild)->flat_index.empty());
+  EXPECT_EQ(cache.hash_reuses(), 0u);
+  // The retained hashes live beside the entry, never in storage: the blob
+  // is the serialized dataset alone, so I/O accounting is unchanged.
+  const uint64_t spilled_bytes = storage.live_bytes();
+  EXPECT_EQ(spilled_bytes, SerializedDatasetBytes(*ds));
+
+  bool reloaded = false;
+  auto e_or =
+      cache.FindResident(5, ExecCache::Role::kBuild, nullptr, &reloaded);
+  ASSERT_TRUE(e_or.ok()) << e_or.status().ToString();
+  ExecCache::Entry* e = *e_or;
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(reloaded);
+  ASSERT_EQ(e->flat_index.size(), static_cast<size_t>(kParts));
+  // Every partition's rebuild adopted its retained hashes...
+  EXPECT_EQ(cache.hash_reuses(), static_cast<uint64_t>(kParts));
+  for (int p = 0; p < kParts; ++p) {
+    SCOPED_TRACE("partition " + std::to_string(p));
+    EXPECT_EQ(e->flat_index[p].row_hashes(), hashes[p]);
+    // ...and the adopted index matches a from-scratch build exactly.
+    dataflow::FlatKeyIndex fresh;
+    fresh.Build(e->data->partition(p), {0});
+    ASSERT_EQ(e->flat_index[p].heads(), fresh.heads());
+    for (int32_t head : fresh.heads()) {
+      for (int32_t r = head; r >= 0; r = fresh.Next(r)) {
+        EXPECT_EQ(e->flat_index[p].Next(r), fresh.Next(r));
+      }
+    }
+  }
 }
 
 TEST(ExecCacheSpillTest, CachedGroupsSurviveTheRoundTrip) {

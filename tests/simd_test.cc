@@ -1,0 +1,733 @@
+// SIMD kernel layer (DESIGN.md §15): every tier of the Kernels table is
+// bit-identical to the portable scalar reference on random and adversarial
+// inputs (tails shorter than a vector, INT64_MIN/MAX, wrapping sums, empty
+// windows); the striped index probe and cached-hash rebuild match their
+// record-path equivalents; serde bytes do not depend on the active tier;
+// and the executor-level contract — outputs, stats, and simulated time are
+// byte-identical across simd_level × thread count × injected failures, with
+// the batched UDF boundary keeping row_fallback_ops at zero on the two
+// ported workloads.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "dataflow/columnar.h"
+#include "dataflow/dataset.h"
+#include "dataflow/executor.h"
+#include "dataflow/simd.h"
+#include "graph/generators.h"
+#include "iteration/context.h"
+#include "runtime/failure.h"
+#include "runtime/metrics.h"
+#include "runtime/sim_clock.h"
+#include "runtime/stable_storage.h"
+
+namespace flinkless {
+namespace {
+
+namespace simd = dataflow::simd;
+
+using dataflow::ColumnarBatch;
+using dataflow::ExecOptions;
+using dataflow::ExecStats;
+using dataflow::Executor;
+using dataflow::FlatKeyIndex;
+using dataflow::MakeRecord;
+using dataflow::PartitionedDataset;
+using dataflow::Plan;
+using dataflow::Record;
+using dataflow::ReduceKind;
+using dataflow::ValueType;
+
+/// Every tier runnable on this CPU (always includes kScalar).
+std::vector<simd::Level> SupportedLevels() {
+  std::vector<simd::Level> levels;
+  for (simd::Level level :
+       {simd::Level::kScalar, simd::Level::kSSE42, simd::Level::kAVX2}) {
+    if (simd::Supported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+/// Sizes that cover empty input, sub-vector tails for 4- and 8-lane
+/// kernels, exact vector multiples, and a straddling remainder.
+const std::vector<size_t> kSizes = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100};
+
+std::vector<int64_t> AdversarialKeys(size_t n) {
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  const std::vector<int64_t> pool = {0, 1, -1, kMin, kMax, kMin + 1, kMax - 1,
+                                     int64_t{1} << 62, -(int64_t{1} << 62)};
+  Rng rng(2024 + n);
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = (i % 3 == 0) ? pool[rng.NextBounded(pool.size())]
+                           : static_cast<int64_t>(rng.Next());
+  }
+  return keys;
+}
+
+// ------------------------------------------------------ kernel properties --
+
+TEST(SimdKernelsTest, HashKey64MatchesRecordHashKeyOnEveryTier) {
+  for (simd::Level level : SupportedLevels()) {
+    const simd::Kernels& k = simd::KernelsFor(level);
+    for (size_t n : kSizes) {
+      std::vector<int64_t> keys = AdversarialKeys(n);
+      std::vector<uint64_t> out(n + 1, 0xCDCDCDCDCDCDCDCDull);
+      k.hash_key64(keys.data(), n, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], dataflow::HashKey(MakeRecord(keys[i]), {0}))
+            << simd::LevelName(level) << " n=" << n << " i=" << i;
+      }
+      // The kernel must not write past n.
+      EXPECT_EQ(out[n], 0xCDCDCDCDCDCDCDCDull) << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DeltaSumPrefixSumMatchScalarOnEveryTier) {
+  const simd::Kernels& scalar = simd::KernelsFor(simd::Level::kScalar);
+  for (simd::Level level : SupportedLevels()) {
+    const simd::Kernels& k = simd::KernelsFor(level);
+    for (size_t n : kSizes) {
+      Rng rng(7 + n);
+      // Offsets and lengths that wrap uint32 when summed naively.
+      std::vector<uint32_t> values(n);
+      for (auto& v : values) {
+        v = (rng.NextBounded(4) == 0) ? 0xFFFF0000u
+                                      : static_cast<uint32_t>(rng.Next());
+      }
+      std::vector<uint32_t> offsets(n + 1);
+      offsets[0] = static_cast<uint32_t>(rng.Next());
+      for (size_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + values[i];
+
+      std::vector<uint32_t> lens(n), ref_lens(n);
+      k.delta_u32(offsets.data(), n, lens.data());
+      scalar.delta_u32(offsets.data(), n, ref_lens.data());
+      EXPECT_EQ(lens, ref_lens) << simd::LevelName(level) << " n=" << n;
+
+      EXPECT_EQ(k.sum_u32(values.data(), n), scalar.sum_u32(values.data(), n))
+          << simd::LevelName(level) << " n=" << n;
+
+      std::vector<uint32_t> prefix(n), ref_prefix(n);
+      k.prefix_sum_u32(values.data(), n, prefix.data());
+      scalar.prefix_sum_u32(values.data(), n, ref_prefix.data());
+      EXPECT_EQ(prefix, ref_prefix) << simd::LevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Int64FoldsMatchScalarOnEveryTier) {
+  const simd::Kernels& scalar = simd::KernelsFor(simd::Level::kScalar);
+  for (simd::Level level : SupportedLevels()) {
+    const simd::Kernels& k = simd::KernelsFor(level);
+    for (size_t n : kSizes) {
+      if (n == 0) continue;  // folds require n >= 1
+      std::vector<int64_t> values = AdversarialKeys(n);
+      EXPECT_EQ(k.min_i64(values.data(), n), scalar.min_i64(values.data(), n))
+          << simd::LevelName(level) << " n=" << n;
+      EXPECT_EQ(k.max_i64(values.data(), n), scalar.max_i64(values.data(), n))
+          << simd::LevelName(level) << " n=" << n;
+      // Sum wraps two's-complement; INT64_MIN/MAX entries exercise the wrap.
+      EXPECT_EQ(k.sum_i64(values.data(), n), scalar.sum_i64(values.data(), n))
+          << simd::LevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, AllEqualDetectsMismatchAtEveryPosition) {
+  for (simd::Level level : SupportedLevels()) {
+    const simd::Kernels& k = simd::KernelsFor(level);
+    EXPECT_TRUE(k.all_equal_i64(nullptr, 0, 42));  // vacuous
+    for (size_t n : kSizes) {
+      if (n == 0) continue;
+      std::vector<int64_t> values(n, -7);
+      EXPECT_TRUE(k.all_equal_i64(values.data(), n, -7))
+          << simd::LevelName(level) << " n=" << n;
+      EXPECT_FALSE(k.all_equal_i64(values.data(), n, -8))
+          << simd::LevelName(level) << " n=" << n;
+      for (size_t bad = 0; bad < n; ++bad) {
+        values[bad] = std::numeric_limits<int64_t>::min();
+        EXPECT_FALSE(k.all_equal_i64(values.data(), n, -7))
+            << simd::LevelName(level) << " n=" << n << " bad=" << bad;
+        values[bad] = -7;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, FirstEmptyFindsFirstNegativeSlotInWindow) {
+  for (simd::Level level : SupportedLevels()) {
+    const simd::Kernels& k = simd::KernelsFor(level);
+    ASSERT_GE(k.probe_width, 1) << simd::LevelName(level);
+    const int w = k.probe_width;
+    std::vector<int32_t> slots(w, 5);
+    EXPECT_EQ(k.first_empty(slots.data()), w) << simd::LevelName(level);
+    for (int pos = 0; pos < w; ++pos) {
+      std::vector<int32_t> window(w, 5);
+      window[pos] = -1;
+      // Entries after the first empty slot must not matter.
+      for (int j = pos + 1; j < w; ++j) window[j] = (j % 2 == 0) ? -1 : 9;
+      EXPECT_EQ(k.first_empty(window.data()), pos)
+          << simd::LevelName(level) << " pos=" << pos;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, RequestVocabularyParsesAndApplies) {
+  simd::SimdLevel parsed = simd::SimdLevel::kAuto;
+  EXPECT_TRUE(simd::ParseSimdLevel("off", &parsed));
+  EXPECT_EQ(parsed, simd::SimdLevel::kOff);
+  EXPECT_TRUE(simd::ParseSimdLevel("scalar", &parsed));
+  EXPECT_EQ(parsed, simd::SimdLevel::kOff);
+  EXPECT_TRUE(simd::ParseSimdLevel("sse4.2", &parsed));
+  EXPECT_EQ(parsed, simd::SimdLevel::kSse42);
+  EXPECT_TRUE(simd::ParseSimdLevel("avx2", &parsed));
+  EXPECT_EQ(parsed, simd::SimdLevel::kAvx2);
+  EXPECT_TRUE(simd::ParseSimdLevel("max", &parsed));
+  EXPECT_EQ(parsed, simd::SimdLevel::kMax);
+  EXPECT_TRUE(simd::ParseSimdLevel("auto", &parsed));
+  EXPECT_EQ(parsed, simd::SimdLevel::kAuto);
+  EXPECT_FALSE(simd::ParseSimdLevel("avx512", &parsed));
+  EXPECT_FALSE(simd::ParseSimdLevel("", &parsed));
+
+  // kAuto leaves the active tier untouched; kOff always lands on scalar.
+  const simd::Level prev = simd::ActiveLevel();
+  EXPECT_EQ(simd::ApplySimdLevel(simd::SimdLevel::kAuto), prev);
+  EXPECT_EQ(simd::ApplySimdLevel(simd::SimdLevel::kOff),
+            simd::Level::kScalar);
+  EXPECT_EQ(simd::ActiveKernels().level, simd::Level::kScalar);
+  simd::SetLevel(prev);
+}
+
+// --------------------------------------------------- striped index probes --
+
+std::vector<Record> KeyedRows(size_t n, uint64_t key_space, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(MakeRecord(static_cast<int64_t>(rng.NextBounded(key_space)),
+                              static_cast<int64_t>(i)));
+  }
+  return rows;
+}
+
+void ExpectStripeMatchesFindFirst(const FlatKeyIndex& index,
+                                  const std::vector<Record>& probes) {
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(dataflow::ExtractKey64(probes, {0}, &keys));
+  std::vector<uint64_t> hashes(keys.size());
+  simd::ActiveKernels().hash_key64(keys.data(), keys.size(), hashes.data());
+  std::vector<int32_t> first(keys.size(), -2);
+  index.FindFirstStripe(keys.data(), hashes.data(), keys.size(), first.data());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(first[i], index.FindFirst(probes[i], {0},
+                                        dataflow::HashKey(probes[i], {0})))
+        << simd::LevelName(simd::ActiveLevel()) << " probe " << i;
+  }
+}
+
+TEST(FlatKeyIndexSimdTest, FindFirstStripeMatchesFindFirstOnEveryTier) {
+  std::vector<Record> rows = KeyedRows(1500, 97, 11);
+  // Probes: hits, misses, and the sub-stripe tail sizes.
+  std::vector<Record> probes = KeyedRows(777, 160, 12);
+  const simd::Level prev = simd::ActiveLevel();
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    FlatKeyIndex index;
+    index.Build(rows, {0});
+    ASSERT_TRUE(index.key64_probe_ready());
+    ExpectStripeMatchesFindFirst(index, probes);
+    for (size_t n : kSizes) {
+      std::vector<Record> tail(probes.begin(),
+                               probes.begin() + std::min(n, probes.size()));
+      ExpectStripeMatchesFindFirst(index, tail);
+    }
+  }
+  simd::SetLevel(prev);
+}
+
+TEST(FlatKeyIndexSimdTest, StripeHandlesAllDuplicateAndClusteredKeys) {
+  // All-duplicate keys produce one long chain; adversarial key values
+  // cluster hashes only if the mix function were broken — either way the
+  // probe loop must terminate and match FindFirst.
+  std::vector<Record> rows;
+  for (int64_t i = 0; i < 300; ++i) {
+    rows.push_back(MakeRecord(int64_t{42}, i));
+  }
+  std::vector<Record> probes;
+  probes.push_back(MakeRecord(int64_t{42}, int64_t{0}));
+  probes.push_back(MakeRecord(int64_t{43}, int64_t{0}));
+  probes.push_back(MakeRecord(std::numeric_limits<int64_t>::min(), int64_t{0}));
+  const simd::Level prev = simd::ActiveLevel();
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    FlatKeyIndex index;
+    index.Build(rows, {0});
+    ASSERT_TRUE(index.key64_probe_ready());
+    ExpectStripeMatchesFindFirst(index, probes);
+  }
+  simd::SetLevel(prev);
+}
+
+TEST(FlatKeyIndexSimdTest, BuildWithHashesMatchesPlainBuild) {
+  std::vector<Record> rows = KeyedRows(1200, 64, 21);
+  FlatKeyIndex plain;
+  plain.Build(rows, {0});
+
+  FlatKeyIndex adopted;
+  adopted.BuildWithHashes(rows, {0}, std::vector<uint64_t>(plain.row_hashes()));
+  EXPECT_EQ(adopted.row_hashes(), plain.row_hashes());
+  ASSERT_EQ(adopted.heads(), plain.heads());
+  for (int32_t head : plain.heads()) {
+    for (int32_t r = head; r >= 0; r = plain.Next(r)) {
+      EXPECT_EQ(adopted.Next(r), plain.Next(r));
+    }
+  }
+
+  // A size mismatch must fall back to a plain (re-hashing) Build.
+  FlatKeyIndex fallback;
+  fallback.BuildWithHashes(rows, {0}, std::vector<uint64_t>(3, 0));
+  EXPECT_EQ(fallback.row_hashes(), plain.row_hashes());
+  EXPECT_EQ(fallback.heads(), plain.heads());
+}
+
+// ------------------------------------------------------ serde tier parity --
+
+TEST(SimdSerdeTest, DatasetBytesDoNotDependOnTier) {
+  Rng rng(5);
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 800; ++i) {
+    // String lengths 0..40 make arena copies straddle vector lanes.
+    records.push_back(MakeRecord(static_cast<int64_t>(rng.Next()),
+                                 static_cast<double>(i) * 0.125,
+                                 std::string(rng.NextBounded(41), 'a' + i % 26)));
+  }
+  PartitionedDataset ds = PartitionedDataset::RoundRobin(std::move(records), 4);
+
+  const simd::Level prev = simd::ActiveLevel();
+  simd::SetLevel(simd::Level::kScalar);
+  std::vector<uint8_t> scalar_blob = SerializePartitionedDataset(ds);
+  std::vector<uint8_t> blob;
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    blob = SerializePartitionedDataset(ds);
+    EXPECT_EQ(blob, scalar_blob) << simd::LevelName(level);
+    auto back = dataflow::DeserializePartitionedDataset(scalar_blob);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    for (int p = 0; p < ds.num_partitions(); ++p) {
+      EXPECT_EQ(back->partition(p), ds.partition(p))
+          << simd::LevelName(level) << " partition " << p;
+    }
+  }
+  simd::SetLevel(prev);
+}
+
+// ------------------------------------------- executor-level equivalences --
+
+Plan BuildTypedReducePlan(ReduceKind kind, bool declare) {
+  Plan plan;
+  auto src = plan.Source("in");
+  dataflow::NodeId reduced;
+  switch (kind) {
+    case ReduceKind::kSumInt64:
+      reduced = plan.ReduceByKey(
+          src, {0},
+          [](const Record& a, const Record& b) {
+            return MakeRecord(a[0].AsInt64(), a[1].AsInt64() + b[1].AsInt64());
+          },
+          "sum64", /*pre_combine=*/true);
+      break;
+    case ReduceKind::kMinInt64:
+      reduced = plan.ReduceByKey(
+          src, {0},
+          [](const Record& a, const Record& b) {
+            return MakeRecord(a[0].AsInt64(),
+                              std::min(a[1].AsInt64(), b[1].AsInt64()));
+          },
+          "min64", /*pre_combine=*/true);
+      break;
+    case ReduceKind::kMaxInt64:
+      reduced = plan.ReduceByKey(
+          src, {0},
+          [](const Record& a, const Record& b) {
+            return MakeRecord(a[0].AsInt64(),
+                              std::max(a[1].AsInt64(), b[1].AsInt64()));
+          },
+          "max64", /*pre_combine=*/true);
+      break;
+    default:
+      reduced = plan.ReduceByKey(
+          src, {0},
+          [](const Record& a, const Record& b) {
+            return MakeRecord(a[0].AsInt64(), a[1].AsDouble() + b[1].AsDouble());
+          },
+          "sumf64", /*pre_combine=*/true);
+      break;
+  }
+  if (declare) plan.DeclareReduce(reduced, kind, 1);
+  plan.Output(reduced, "out");
+  return plan;
+}
+
+class SimdExecTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdExecTest, TypedReduceMatchesGenericReduce) {
+  const int threads = GetParam();
+  for (ReduceKind kind : {ReduceKind::kSumInt64, ReduceKind::kMinInt64,
+                          ReduceKind::kMaxInt64, ReduceKind::kSumDouble}) {
+    Rng rng(17);
+    std::vector<Record> records;
+    for (int64_t i = 0; i < 3000; ++i) {
+      int64_t key = static_cast<int64_t>(rng.NextBounded(150));
+      if (kind == ReduceKind::kSumDouble) {
+        records.push_back(MakeRecord(key, static_cast<double>(i) * 0.5));
+      } else {
+        // Duplicated extremes exercise the <=/>= keep-first tie rule.
+        int64_t v = (i % 11 == 0) ? std::numeric_limits<int64_t>::min() + i
+                                  : static_cast<int64_t>(rng.Next() >> 1);
+        records.push_back(MakeRecord(key, v));
+      }
+    }
+    auto in = PartitionedDataset::RoundRobin(std::move(records), 8);
+
+    auto run = [&](bool declare, ExecStats* stats, runtime::SimClock* clock,
+                   const runtime::CostModel* costs) {
+      Plan plan = BuildTypedReducePlan(kind, declare);
+      ExecOptions options;
+      options.num_partitions = 8;
+      options.num_threads = threads;
+      options.use_columnar = true;
+      options.clock = clock;
+      options.costs = costs;
+      Executor executor(options);
+      auto outs = executor.Execute(plan, {{"in", &in}}, stats);
+      EXPECT_TRUE(outs.ok()) << outs.status().ToString();
+      return std::move(outs->at("out"));
+    };
+
+    runtime::CostModel costs;
+    runtime::SimClock typed_clock, generic_clock;
+    ExecStats typed_stats, generic_stats;
+    PartitionedDataset typed = run(true, &typed_stats, &typed_clock, &costs);
+    PartitionedDataset generic =
+        run(false, &generic_stats, &generic_clock, &costs);
+    ASSERT_EQ(typed.num_partitions(), generic.num_partitions());
+    for (int p = 0; p < typed.num_partitions(); ++p) {
+      EXPECT_EQ(typed.partition(p), generic.partition(p))
+          << "kind " << static_cast<int>(kind) << " partition " << p;
+    }
+    EXPECT_EQ(typed_stats.records_processed, generic_stats.records_processed);
+    EXPECT_EQ(typed_stats.messages_shuffled, generic_stats.messages_shuffled);
+    EXPECT_EQ(typed_clock.TotalNs(), generic_clock.TotalNs());
+  }
+}
+
+TEST_P(SimdExecTest, BatchMapImplMatchesRecordImplAndCountsModes) {
+  const int threads = GetParam();
+  Plan plan;
+  auto src = plan.Source("in");
+  auto scaled = plan.Map(
+      src,
+      [](const Record& r) {
+        return MakeRecord(r[0].AsInt64() * 3, r[1].AsDouble() + 1.0);
+      },
+      "scale");
+  plan.BatchImpl(scaled, [](const ColumnarBatch& in, ColumnarBatch* out) {
+    out->Reset({ValueType::kInt64, ValueType::kDouble});
+    std::vector<int64_t>& ids = out->MutableInt64Column(0);
+    std::vector<double>& vals = out->MutableDoubleColumn(1);
+    ids = in.Int64Column(0);
+    vals = in.DoubleColumn(1);
+    for (auto& id : ids) id *= 3;
+    for (auto& v : vals) v += 1.0;
+    out->FinishRows(in.num_rows());
+  });
+  auto expanded = plan.FlatMap(
+      scaled,
+      [](const Record& r, std::vector<Record>* out) {
+        if (r[0].AsInt64() % 2 == 0) out->push_back(r);
+      },
+      "evens");
+  plan.BatchImpl(expanded, [](const ColumnarBatch& in, ColumnarBatch* out) {
+    out->Reset({ValueType::kInt64, ValueType::kDouble});
+    std::vector<int64_t>& ids = out->MutableInt64Column(0);
+    std::vector<double>& vals = out->MutableDoubleColumn(1);
+    for (size_t i = 0; i < in.num_rows(); ++i) {
+      if (in.Int64Column(0)[i] % 2 == 0) {
+        ids.push_back(in.Int64Column(0)[i]);
+        vals.push_back(in.DoubleColumn(1)[i]);
+      }
+    }
+    out->FinishRows(ids.size());
+  });
+  plan.Output(expanded, "out");
+
+  Rng rng(23);
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 2000; ++i) {
+    records.push_back(MakeRecord(static_cast<int64_t>(rng.NextBounded(500)),
+                                 static_cast<double>(i)));
+  }
+  auto in = PartitionedDataset::RoundRobin(std::move(records), 8);
+
+  auto run = [&](bool columnar, ExecStats* stats, runtime::SimClock* clock,
+                 const runtime::CostModel* costs) {
+    ExecOptions options;
+    options.num_partitions = 8;
+    options.num_threads = threads;
+    options.use_columnar = columnar;
+    options.clock = clock;
+    options.costs = costs;
+    Executor executor(options);
+    auto outs = executor.Execute(plan, {{"in", &in}}, stats);
+    EXPECT_TRUE(outs.ok()) << outs.status().ToString();
+    return std::move(outs->at("out"));
+  };
+
+  runtime::CostModel costs;
+  runtime::SimClock batch_clock, record_clock;
+  ExecStats batch_stats, record_stats;
+  PartitionedDataset batch = run(true, &batch_stats, &batch_clock, &costs);
+  PartitionedDataset record = run(false, &record_stats, &record_clock, &costs);
+  ASSERT_EQ(batch.num_partitions(), record.num_partitions());
+  for (int p = 0; p < batch.num_partitions(); ++p) {
+    EXPECT_EQ(batch.partition(p), record.partition(p)) << "partition " << p;
+  }
+  EXPECT_EQ(batch_stats.records_processed, record_stats.records_processed);
+  EXPECT_EQ(batch_clock.TotalNs(), record_clock.TotalNs());
+  // Both declared UDFs ran batched — no record-path fallback.
+  EXPECT_GT(batch_stats.batch_ops, 0u);
+  EXPECT_EQ(batch_stats.row_fallback_ops, 0u);
+  // With columnar off, the same plan runs the record impls.
+  EXPECT_EQ(record_stats.batch_ops, 0u);
+  EXPECT_GT(record_stats.row_fallback_ops, 0u);
+}
+
+TEST(SimdExecTest, HeterogeneousInputFallsBackToRecordImpl) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto first = plan.Map(
+      src, [](const Record& r) { return MakeRecord(r[0].AsInt64()); },
+      "first-col");
+  plan.BatchImpl(first, [](const ColumnarBatch& in, ColumnarBatch* out) {
+    out->Reset({ValueType::kInt64});
+    out->MutableInt64Column(0) = in.Int64Column(0);
+    out->FinishRows(in.num_rows());
+  });
+  plan.Output(first, "out");
+
+  PartitionedDataset in(2);
+  in.partition(0).push_back(MakeRecord(int64_t{1}, 2.0));
+  in.partition(1).push_back(MakeRecord(int64_t{3}, std::string("mixed")));
+
+  ExecOptions options;
+  options.num_partitions = 2;
+  options.use_columnar = true;
+  Executor executor(options);
+  ExecStats stats;
+  auto outs = executor.Execute(plan, {{"in", &in}}, &stats);
+  ASSERT_TRUE(outs.ok()) << outs.status().ToString();
+  EXPECT_EQ(outs->at("out").partition(0), std::vector<Record>{MakeRecord(int64_t{1})});
+  EXPECT_EQ(outs->at("out").partition(1), std::vector<Record>{MakeRecord(int64_t{3})});
+  EXPECT_EQ(stats.batch_ops, 0u);
+  EXPECT_EQ(stats.row_fallback_ops, 1u);
+}
+
+TEST(SimdExecTest, BatchMapRowCountMismatchIsAnError) {
+  Plan plan;
+  auto src = plan.Source("in");
+  auto bad = plan.Map(
+      src, [](const Record& r) { return r; }, "identity");
+  plan.BatchImpl(bad, [](const ColumnarBatch& in, ColumnarBatch* out) {
+    // A kMap batch impl must preserve the row count; dropping rows is a
+    // contract violation the executor converts into a clean error.
+    out->Reset({ValueType::kInt64});
+    if (in.num_rows() > 1) {
+      out->MutableInt64Column(0).assign(in.num_rows() - 1, 0);
+    }
+    out->FinishRows(in.num_rows() > 1 ? in.num_rows() - 1 : 0);
+  });
+  plan.Output(bad, "out");
+
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 100; ++i) records.push_back(MakeRecord(i));
+  auto in = PartitionedDataset::RoundRobin(std::move(records), 2);
+
+  ExecOptions options;
+  options.num_partitions = 2;
+  options.use_columnar = true;
+  Executor executor(options);
+  auto outs = executor.Execute(plan, {{"in", &in}}, nullptr);
+  EXPECT_FALSE(outs.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SimdExecTest, ::testing::Values(1, 2, 8));
+
+// -------------------------------------- algorithm-level tier byte-identity --
+
+struct SimdAlgoRun {
+  std::vector<double> pr_ranks;
+  std::vector<int64_t> cc_labels;
+  int pr_iterations = 0;
+  int cc_supersteps = 0;
+  uint64_t pr_messages = 0;
+  uint64_t cc_messages = 0;
+  int64_t pr_sim_ns = 0;
+  int64_t cc_sim_ns = 0;
+  uint64_t batch_ops = 0;
+  uint64_t row_fallback_ops = 0;
+  uint64_t schema_cache_hits = 0;
+};
+
+SimdAlgoRun RunAlgosAtTier(int num_threads, simd::SimdLevel tier,
+                           bool with_failures) {
+  SimdAlgoRun out;
+  Rng rng(2025);
+  graph::Graph directed = graph::Rmat(9, 6, &rng);  // 512 vertices
+
+  {  // PageRank (bulk) with the batched base-contribution UDF.
+    runtime::SimClock clock;
+    runtime::CostModel costs;
+    runtime::MetricsRegistry metrics;
+    runtime::MetricsSink sink;
+    runtime::StableStorage storage(&clock, &costs);
+    runtime::FailureSchedule failures(
+        with_failures ? std::vector<runtime::FailureEvent>{{3, {1}}, {7, {0, 2}}}
+                      : std::vector<runtime::FailureEvent>{});
+    iteration::JobEnv env;
+    env.clock = &clock;
+    env.costs = &costs;
+    env.metrics = &metrics;
+    env.metrics_sink = &sink;
+    env.failures = &failures;
+    env.storage = &storage;
+    env.job_id = "simd-pr";
+
+    algos::PageRankOptions options;
+    options.num_partitions = 4;
+    options.num_threads = num_threads;
+    options.columnar_batch = true;
+    options.simd = tier;
+    options.max_iterations = 10;
+    algos::FixRanksCompensation fix(directed.num_vertices());
+    core::OptimisticRecoveryPolicy policy(&fix);
+    auto result = algos::RunPageRank(directed, options, env, &policy, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    out.pr_ranks = result->ranks;
+    out.pr_iterations = result->iterations;
+    out.pr_sim_ns = clock.TotalNs();
+    for (const auto& it : metrics.iterations()) {
+      out.pr_messages += it.messages_shuffled;
+    }
+    runtime::MetricsSnapshot snap = sink.Collect();
+    out.batch_ops += snap.CounterTotal(runtime::metric::kExecBatchOps);
+    out.row_fallback_ops +=
+        snap.CounterTotal(runtime::metric::kExecRowFallbackOps);
+    out.schema_cache_hits +=
+        snap.CounterTotal(runtime::metric::kSchemaCacheHits);
+  }
+
+  {  // Connected components (delta) with the batched label-update UDF.
+    graph::Graph undirected(directed.num_vertices(), /*directed=*/false);
+    for (const graph::Edge& e : directed.edges()) {
+      Status s = undirected.AddEdge(e.src, e.dst);
+      EXPECT_TRUE(s.ok());
+    }
+    runtime::SimClock clock;
+    runtime::CostModel costs;
+    runtime::MetricsRegistry metrics;
+    runtime::MetricsSink sink;
+    runtime::StableStorage storage(&clock, &costs);
+    runtime::FailureSchedule failures(
+        with_failures ? std::vector<runtime::FailureEvent>{{2, {3}}}
+                      : std::vector<runtime::FailureEvent>{});
+    iteration::JobEnv env;
+    env.clock = &clock;
+    env.costs = &costs;
+    env.metrics = &metrics;
+    env.metrics_sink = &sink;
+    env.failures = &failures;
+    env.storage = &storage;
+    env.job_id = "simd-cc";
+
+    algos::ConnectedComponentsOptions options;
+    options.num_partitions = 4;
+    options.num_threads = num_threads;
+    options.columnar_batch = true;
+    options.simd = tier;
+    algos::FixComponentsCompensation fix(&undirected);
+    core::OptimisticRecoveryPolicy policy(&fix);
+    auto result = algos::RunConnectedComponents(undirected, options, env,
+                                                &policy, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    out.cc_labels = result->labels;
+    out.cc_supersteps = result->supersteps_executed;
+    out.cc_sim_ns = clock.TotalNs();
+    for (const auto& it : metrics.iterations()) {
+      out.cc_messages += it.messages_shuffled;
+    }
+    runtime::MetricsSnapshot snap = sink.Collect();
+    out.batch_ops += snap.CounterTotal(runtime::metric::kExecBatchOps);
+    out.row_fallback_ops +=
+        snap.CounterTotal(runtime::metric::kExecRowFallbackOps);
+    out.schema_cache_hits +=
+        snap.CounterTotal(runtime::metric::kSchemaCacheHits);
+  }
+  return out;
+}
+
+void ExpectTierRunsIdentical(const SimdAlgoRun& a, const SimdAlgoRun& b) {
+  EXPECT_EQ(a.pr_ranks, b.pr_ranks);
+  EXPECT_EQ(a.cc_labels, b.cc_labels);
+  EXPECT_EQ(a.pr_iterations, b.pr_iterations);
+  EXPECT_EQ(a.cc_supersteps, b.cc_supersteps);
+  EXPECT_EQ(a.pr_messages, b.pr_messages);
+  EXPECT_EQ(a.cc_messages, b.cc_messages);
+  EXPECT_EQ(a.pr_sim_ns, b.pr_sim_ns);
+  EXPECT_EQ(a.cc_sim_ns, b.cc_sim_ns);
+}
+
+class SimdTierSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(SimdTierSweepTest, AlgosAreByteIdenticalAcrossTiers) {
+  const auto [threads, failures] = GetParam();
+  SimdAlgoRun off = RunAlgosAtTier(threads, simd::SimdLevel::kOff, failures);
+  SimdAlgoRun max = RunAlgosAtTier(threads, simd::SimdLevel::kMax, failures);
+  ExpectTierRunsIdentical(off, max);
+  // And the vectorized run still matches a serial vectorized run.
+  SimdAlgoRun serial = RunAlgosAtTier(1, simd::SimdLevel::kMax, failures);
+  ExpectTierRunsIdentical(serial, max);
+}
+
+TEST_P(SimdTierSweepTest, PortedWorkloadsNeverFallBackToRowPath) {
+  const auto [threads, failures] = GetParam();
+  // The acceptance bar for the batched UDF boundary: with columnar
+  // execution on, every declared Map/FlatMap on both headline workloads
+  // runs its batch impl — zero row-path fallbacks, at every tier.
+  for (simd::SimdLevel tier : {simd::SimdLevel::kOff, simd::SimdLevel::kMax}) {
+    SimdAlgoRun run = RunAlgosAtTier(threads, tier, failures);
+    EXPECT_GT(run.batch_ops, 0u);
+    EXPECT_EQ(run.row_fallback_ops, 0u);
+    // Multi-superstep runs resolve batch schemas from the per-node cache.
+    EXPECT_GT(run.schema_cache_hits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndFailures, SimdTierSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 8), ::testing::Bool()));
+
+}  // namespace
+}  // namespace flinkless
