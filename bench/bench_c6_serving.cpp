@@ -1,0 +1,326 @@
+// Experiment C6: serving point reads from an in-flight iteration
+// (DESIGN.md §16). A Connected Components job runs on the JobServer while
+// a lookup storm probes its evolving solution set between supersteps; the
+// same workload is measured failure-free and with an injected failure, per
+// recovery strategy (optimistic compensation, checkpoint rollback k=2,
+// confined-log replay k=2).
+//
+// Shape to observe: queries keep being answered in *every* superstep —
+// including the recovery supersteps, served from the epoch the view pinned
+// when the failure was detected — so the qps floor never touches zero.
+// The failure run's overall qps trails the failure-free run (recovery
+// burns simulated time the reads must ride out); the gap per strategy is
+// the availability cost of that strategy. Answer streams are byte-identical
+// at any executor thread count.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algos/connected_components.h"
+#include "algos/datasets.h"
+#include "algos/refreshers.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "server/job_server.h"
+
+using namespace flinkless;
+
+namespace {
+
+using dataflow::MakeRecord;
+
+constexpr int kParts = 4;
+constexpr int64_t kProbeKeys = 12;
+constexpr const char* kWorkload = "connected-components-rmat-512v";
+
+struct PumpSample {
+  int pump = 0;
+  int epoch = -1;
+  uint64_t answers = 0;
+  uint64_t recovery_answers = 0;
+  int64_t window_ns = 0;
+  double qps = 0;
+};
+
+struct ServingResult {
+  std::vector<PumpSample> pumps;
+  uint64_t lookups_answered = 0;
+  uint64_t recovery_answers = 0;
+  double qps = 0;
+  double mean_latency_ms = 0;
+  double max_latency_ms = 0;
+  double sim_total_ms = 0;
+  int supersteps = 0;
+  int failures_recovered = 0;
+  bool correct = false;
+  /// Order-sensitive digest of the full answer stream (FNV-1a), for the
+  /// cross-thread-count identity check.
+  uint64_t answer_digest = 1469598103934665603ull;
+};
+
+void DigestMix(uint64_t* digest, const std::string& bytes) {
+  for (unsigned char c : bytes) {
+    *digest ^= c;
+    *digest *= 1099511628211ull;
+  }
+}
+
+/// One serving run: a CC job under `policy`, probed with kProbeKeys point
+/// reads before every pump.
+ServingResult RunServing(const graph::Graph& graph,
+                         const std::vector<int64_t>& truth,
+                         iteration::FaultTolerancePolicy* policy,
+                         const std::string& failures, bool message_log,
+                         int num_threads) {
+  dataflow::Plan plan = algos::BuildConnectedComponentsPlan();
+  dataflow::PartitionedDataset edges = algos::EdgePairs(graph, kParts);
+  std::vector<dataflow::Record> labels = algos::InitialLabels(graph);
+
+  runtime::SimClock clock;
+  runtime::CostModel costs;
+  runtime::StableStorage storage(&clock, &costs);
+  server::JobServer jobs(&clock, &costs, &storage, server::ServerOptions{});
+
+  server::JobSpec spec;
+  spec.job_id = "cc-serving";
+  spec.plan = &plan;
+  spec.bindings["edges"] = &edges;
+  spec.exec.num_partitions = kParts;
+  spec.exec.num_threads = num_threads;
+  spec.policy = policy;
+  if (!failures.empty()) {
+    auto parsed = runtime::FailureSchedule::Parse(failures);
+    FLINKLESS_CHECK(parsed.ok(), parsed.status().ToString());
+    spec.failures = *parsed;
+  }
+  spec.delta.max_iterations = 60;
+  spec.delta.message_log = message_log;
+  spec.initial_solution = labels;
+  spec.initial_workset =
+      dataflow::PartitionedDataset::HashPartitioned(labels, {0}, kParts);
+  FLINKLESS_CHECK(jobs.Submit(std::move(spec)).ok(), "submit failed");
+
+  ServingResult out;
+  double latency_sum_ms = 0;
+  int pump = 0;
+  bool more = true;
+  while (more) {
+    for (int64_t k = 0; k < kProbeKeys; ++k) {
+      // Rotate the probes through the key space so cold partitions get
+      // touched (and materialized) as the run progresses.
+      int64_t v = (k * 17 + pump * 3) % graph.num_vertices();
+      FLINKLESS_CHECK(jobs.EnqueueLookup("cc-serving", MakeRecord(v)).ok(),
+                      "enqueue failed");
+    }
+    const int64_t before_ns = clock.TotalNs();
+    more = jobs.Pump();
+    ++pump;
+    FLINKLESS_CHECK(pump < 1000, "serving run did not drain");
+
+    PumpSample sample;
+    sample.pump = pump;
+    sample.window_ns = clock.TotalNs() - before_ns;
+    for (const server::LookupAnswer& a : jobs.TakeAnswers()) {
+      ++sample.answers;
+      if (a.during_recovery) ++sample.recovery_answers;
+      sample.epoch = std::max(sample.epoch, a.epoch);
+      const double latency_ms =
+          static_cast<double>(a.answer_sim_ns - a.submit_sim_ns) / 1e6;
+      latency_sum_ms += latency_ms;
+      out.max_latency_ms = std::max(out.max_latency_ms, latency_ms);
+      std::ostringstream fp;
+      fp << a.ticket << '|' << a.key[0].AsInt64() << '|' << a.found << '|'
+         << (a.found ? a.record[1].AsInt64() : -1) << '|' << a.partition
+         << '|' << a.epoch << '|' << a.during_recovery << '|'
+         << a.submit_sim_ns << '|' << a.answer_sim_ns;
+      DigestMix(&out.answer_digest, fp.str());
+    }
+    if (sample.window_ns > 0 && sample.answers > 0) {
+      sample.qps = static_cast<double>(sample.answers) /
+                   (static_cast<double>(sample.window_ns) / 1e9);
+    }
+    out.pumps.push_back(sample);
+  }
+
+  out.lookups_answered = jobs.lookups_answered();
+  out.recovery_answers = jobs.answered_during_recovery();
+  out.sim_total_ms = clock.TotalMs();
+  out.qps = static_cast<double>(out.lookups_answered) /
+            (static_cast<double>(clock.TotalNs()) / 1e9);
+  out.mean_latency_ms =
+      out.lookups_answered > 0
+          ? latency_sum_ms / static_cast<double>(out.lookups_answered)
+          : 0;
+
+  auto report = jobs.Report("cc-serving");
+  FLINKLESS_CHECK(report.ok(), report.status().ToString());
+  FLINKLESS_CHECK(report->status.ok(), report->status.ToString());
+  out.supersteps = report->supersteps_executed;
+  out.failures_recovered = report->failures_recovered;
+
+  auto solution = jobs.FinalSolution("cc-serving");
+  FLINKLESS_CHECK(solution.ok(), solution.status().ToString());
+  out.correct = true;
+  for (int64_t v = 0; v < graph.num_vertices(); ++v) {
+    const dataflow::Record* entry = (*solution)->Lookup(MakeRecord(v));
+    if (entry == nullptr || (*entry)[1].AsInt64() != truth[v]) {
+      out.correct = false;
+      break;
+    }
+  }
+  return out;
+}
+
+struct Strategy {
+  std::string name;
+  bool message_log = false;
+  std::function<std::unique_ptr<iteration::FaultTolerancePolicy>()> make;
+};
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::Banner("C6",
+                "Serving reads during in-flight iterations: qps stays above "
+                "zero through failure + recovery, per recovery strategy");
+
+  Rng rng(2025);
+  graph::Graph directed = graph::Rmat(9, 6, &rng);  // 512 vertices
+  graph::Graph graph(directed.num_vertices(), /*directed=*/false);
+  for (const graph::Edge& e : directed.edges()) {
+    FLINKLESS_CHECK(graph.AddEdge(e.src, e.dst).ok(), "bad edge");
+  }
+  auto truth = graph::ReferenceConnectedComponents(graph);
+  algos::FixComponentsCompensation fix(&graph);
+
+  const std::string failure_schedule = "3:1";
+  std::vector<Strategy> strategies;
+  strategies.push_back(
+      {"optimistic", false, [&] {
+         return std::unique_ptr<iteration::FaultTolerancePolicy>(
+             std::make_unique<core::OptimisticRecoveryPolicy>(&fix));
+       }});
+  strategies.push_back(
+      {"rollback(k=2)", false, [&] {
+         return std::unique_ptr<iteration::FaultTolerancePolicy>(
+             std::make_unique<core::CheckpointRollbackPolicy>(2));
+       }});
+  strategies.push_back(
+      {"confined-log(k=2)", true, [&] {
+         return std::unique_ptr<iteration::FaultTolerancePolicy>(
+             std::make_unique<core::ConfinedLogReplayPolicy>(
+                 2, algos::MakeNeighborhoodRefresher(&graph)));
+       }});
+
+  bench::JsonReport json("C6-serving", kWorkload);
+  TablePrinter table({"strategy", "failure", "supersteps", "lookups", "qps",
+                      "mean_lat_ms", "max_lat_ms", "recovery_answers",
+                      "qps_gap", "correct"});
+
+  for (const Strategy& strategy : strategies) {
+    auto clean_policy = strategy.make();
+    ServingResult clean = RunServing(graph, truth, clean_policy.get(), "",
+                                     strategy.message_log, /*num_threads=*/1);
+    auto failed_policy = strategy.make();
+    ServingResult failed =
+        RunServing(graph, truth, failed_policy.get(), failure_schedule,
+                   strategy.message_log, /*num_threads=*/1);
+
+    FLINKLESS_CHECK(clean.correct && failed.correct,
+                    strategy.name + ": wrong labels");
+    FLINKLESS_CHECK(failed.failures_recovered > 0,
+                    strategy.name + ": failure did not fire");
+    FLINKLESS_CHECK(failed.recovery_answers > 0,
+                    strategy.name + ": no reads answered during recovery");
+    // The acceptance gate: once the view has warmed (the first pump is the
+    // bootstrap turn — lookups only *mark* partitions wanted there, and the
+    // epoch-0 publish precedes the marks), queries are answered in every
+    // superstep the job executed, recovery supersteps included.
+    bool warmed = false;
+    for (const PumpSample& sample : failed.pumps) {
+      warmed = warmed || sample.answers > 0;
+      if (!warmed || sample.window_ns == 0) continue;
+      FLINKLESS_CHECK(sample.qps > 0, strategy.name + ": qps hit zero in pump " +
+                                          std::to_string(sample.pump));
+    }
+    FLINKLESS_CHECK(warmed, strategy.name + ": no pump answered anything");
+
+    for (const bool with_failure : {false, true}) {
+      const ServingResult& run = with_failure ? failed : clean;
+      for (const PumpSample& sample : run.pumps) {
+        json.AddEntry()
+            .Set("kind", "per_superstep")
+            .Set("strategy", strategy.name)
+            .Set("with_failure", with_failure)
+            .Set("pump", sample.pump)
+            .Set("epoch", sample.epoch)
+            .Set("answers", sample.answers)
+            .Set("recovery_answers", sample.recovery_answers)
+            .Set("window_ms", static_cast<double>(sample.window_ns) / 1e6)
+            .Set("qps", sample.qps);
+      }
+      json.AddEntry()
+          .Set("kind", "run_summary")
+          .Set("strategy", strategy.name)
+          .Set("with_failure", with_failure)
+          .Set("supersteps", run.supersteps)
+          .Set("failures_recovered", run.failures_recovered)
+          .Set("lookups_answered", run.lookups_answered)
+          .Set("recovery_answers", run.recovery_answers)
+          .Set("qps", run.qps)
+          .Set("qps_gap_vs_failure_free", clean.qps - run.qps)
+          .Set("mean_latency_ms", run.mean_latency_ms)
+          .Set("max_latency_ms", run.max_latency_ms)
+          .Set("sim_total_ms", run.sim_total_ms)
+          .Set("correct", run.correct);
+      table.Row()
+          .Cell(strategy.name)
+          .Cell(with_failure ? "yes" : "no")
+          .Cell(static_cast<int64_t>(run.supersteps))
+          .Cell(static_cast<int64_t>(run.lookups_answered))
+          .Cell(run.qps)
+          .Cell(run.mean_latency_ms)
+          .Cell(run.max_latency_ms)
+          .Cell(static_cast<int64_t>(run.recovery_answers))
+          .Cell(clean.qps - run.qps)
+          .Cell(run.correct ? "yes" : "NO");
+    }
+  }
+  bench::Emit(table);
+
+  // Determinism: the failure run's full answer stream — tickets, records,
+  // epochs, simulated timestamps — is byte-identical at any thread count.
+  {
+    std::vector<uint64_t> digests;
+    for (int threads : {1, 2, 8}) {
+      auto policy = strategies[0].make();
+      ServingResult run = RunServing(graph, truth, policy.get(),
+                                     failure_schedule, false, threads);
+      digests.push_back(run.answer_digest);
+      json.AddEntry()
+          .Set("kind", "determinism")
+          .Set("strategy", strategies[0].name)
+          .Set("num_threads", threads)
+          .Set("answer_digest", run.answer_digest)
+          .Set("lookups_answered", run.lookups_answered);
+    }
+    FLINKLESS_CHECK(digests[0] == digests[1] && digests[0] == digests[2],
+                    "answer stream depends on the thread count");
+    std::cout << "determinism: answer digests identical at threads {1,2,8}\n";
+  }
+
+  const std::string json_path = "BENCH_serving.json";
+  FLINKLESS_CHECK(json.WriteFile(json_path), "cannot write " + json_path);
+  std::cout << "json: wrote " << json_path << "\n";
+  return 0;
+}

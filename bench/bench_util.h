@@ -159,8 +159,14 @@ class JsonReport {
     std::vector<std::pair<std::string, std::string>> fields_;
   };
 
-  explicit JsonReport(std::string experiment_id)
-      : experiment_id_(std::move(experiment_id)) {}
+  /// `workload` names the input/driver the experiment ran against (graph
+  /// family, query mix, ...). Always serialized — as "" when unset — so
+  /// every BENCH_*.json carries the same header schema.
+  explicit JsonReport(std::string experiment_id, std::string workload = "")
+      : experiment_id_(std::move(experiment_id)),
+        workload_(std::move(workload)) {}
+
+  void set_workload(std::string workload) { workload_ = std::move(workload); }
 
 // Build provenance, injected per-target by bench/CMakeLists.txt; the
 // fallbacks keep the header usable from translation units without them.
@@ -183,6 +189,7 @@ class JsonReport {
 
   void Serialize(std::ostream& out) const {
     out << "{\n  \"experiment\": " << Entry::Quote(experiment_id_)
+        << ",\n  \"workload\": " << Entry::Quote(workload_)
         << ",\n  \"build\": {"
         << "\"git_sha\": " << Entry::Quote(FLINKLESS_GIT_SHA) << ", "
         << "\"build_type\": " << Entry::Quote(FLINKLESS_BUILD_TYPE) << ", "
@@ -212,6 +219,7 @@ class JsonReport {
 
  private:
   std::string experiment_id_;
+  std::string workload_;
   std::vector<Entry> entries_;
 };
 

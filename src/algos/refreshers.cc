@@ -1,5 +1,6 @@
 #include "algos/refreshers.h"
 
+#include <map>
 #include <set>
 
 #include "algos/datasets.h"
@@ -54,6 +55,35 @@ core::WorksetRefresher MakeNeighborhoodRefresher(
     }
     return Status::OK();
   };
+}
+
+dataflow::PartitionedDataset MakeChangeSeedWorkset(
+    const graph::Graph* graph, const std::vector<Record>& solution,
+    const std::vector<int64_t>& changed_vertices, int num_partitions,
+    std::function<bool(const Record&)> should_propagate) {
+  FLINKLESS_CHECK(graph != nullptr, "seed workset needs the graph");
+  FLINKLESS_CHECK(num_partitions > 0, "seed workset needs partitions");
+
+  std::map<int64_t, const Record*> by_vertex;
+  for (const Record& r : solution) {
+    by_vertex[r[0].AsInt64()] = &r;
+  }
+
+  std::set<int64_t> activated;
+  for (int64_t v : changed_vertices) {
+    activated.insert(v);
+    for (int64_t u : graph->Neighbors(v)) activated.insert(u);
+  }
+
+  dataflow::PartitionedDataset workset(num_partitions);
+  for (int64_t v : activated) {
+    auto it = by_vertex.find(v);
+    if (it == by_vertex.end()) continue;  // fresh vertex; caller appends it
+    if (should_propagate && !should_propagate(*it->second)) continue;
+    workset.partition(PartitionOfVertex(v, num_partitions))
+        .push_back(*it->second);
+  }
+  return workset;
 }
 
 }  // namespace flinkless::algos

@@ -7,9 +7,12 @@
 #ifndef FLINKLESS_ALGOS_REFRESHERS_H_
 #define FLINKLESS_ALGOS_REFRESHERS_H_
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/policies.h"
+#include "dataflow/dataset.h"
 #include "dataflow/record.h"
 #include "graph/graph.h"
 
@@ -22,6 +25,23 @@ namespace flinkless::algos {
 /// The graph is borrowed and must outlive the refresher.
 core::WorksetRefresher MakeNeighborhoodRefresher(
     const graph::Graph* graph,
+    std::function<bool(const dataflow::Record&)> should_propagate = {});
+
+/// Base-data-change → re-run path. When edges or vertex inputs change after
+/// a job converged, the fixpoint does not have to be recomputed from scratch:
+/// resubmit the dataflow with the previous final solution as the initial
+/// solution set and a workset seeded from the changed region only. This
+/// builds that seed workset: every vertex in `changed_vertices` plus all of
+/// its graph neighbors, each carrying its record from `solution` (keyed by
+/// vertex id in column 0). Changed vertices missing from `solution` (newly
+/// added base data) are skipped — their record must be appended by the
+/// caller, which knows the algorithm's initial value for a fresh vertex.
+/// `should_propagate` (optional) filters entries exactly as in
+/// MakeNeighborhoodRefresher. The graph passed here must be the *updated*
+/// graph, so that new neighbors are re-activated too.
+dataflow::PartitionedDataset MakeChangeSeedWorkset(
+    const graph::Graph* graph, const std::vector<dataflow::Record>& solution,
+    const std::vector<int64_t>& changed_vertices, int num_partitions,
     std::function<bool(const dataflow::Record&)> should_propagate = {});
 
 }  // namespace flinkless::algos

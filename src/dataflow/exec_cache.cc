@@ -148,7 +148,12 @@ struct ExecCache::Segment : public runtime::SpillableSegment {
 ExecCache::ExecCache(std::vector<std::string> volatile_bindings)
     : volatile_bindings_(std::move(volatile_bindings)) {}
 
-ExecCache::~ExecCache() { Clear(); }
+ExecCache::~ExecCache() {
+  Clear();
+  if (storage_ != nullptr && !spill_prefix_.empty()) {
+    storage_->ReleasePrefix(spill_prefix_);
+  }
+}
 
 void ExecCache::AttachMemoryManager(runtime::MemoryManager* manager,
                                     runtime::StableStorage* storage,
@@ -157,9 +162,16 @@ void ExecCache::AttachMemoryManager(runtime::MemoryManager* manager,
                   "AttachMemoryManager needs a manager and a storage");
   FLINKLESS_CHECK(entries_.empty(),
                   "attach the memory manager before the first Execute");
+  if (storage_ != nullptr && !spill_prefix_.empty()) {
+    storage_->ReleasePrefix(spill_prefix_);  // re-attach moves the namespace
+  }
   manager_ = manager;
   storage_ = storage;
-  spill_prefix_ = "spill/" + (job_id.empty() ? "job" : job_id) + "/";
+  owner_ = job_id.empty() ? "job" : job_id;
+  spill_prefix_ = "spill/" + owner_ + "/";
+  // Dies when another live owner already spills under this namespace —
+  // concurrent jobs must never mix blobs (DESIGN.md §16).
+  storage_->AcquirePrefix(spill_prefix_);
 }
 
 ExecCache::Entry* ExecCache::Find(int node_id, Role role) {
@@ -211,7 +223,7 @@ Status ExecCache::OnEntryFilled(int node_id, Role role,
   Segment* seg = it->second.get();
   seg->MeasureResident();
   if (manager_ == nullptr) return Status::OK();
-  manager_->Register(seg);
+  manager_->Register(seg, owner_);
   // The just-built segment is exempt: the executor consumes it right after
   // this call, and a lone artifact bigger than the whole budget must still
   // be usable (the documented one-segment slack).

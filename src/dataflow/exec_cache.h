@@ -124,7 +124,12 @@ class ExecCache {
   /// Puts the cache under `manager`'s budget: entries become spillable
   /// segments writing to `storage` under "spill/<job_id>/". Neither
   /// pointer is owned; both must outlive the cache. Call before the first
-  /// Execute.
+  /// Execute. Acquires exclusive ownership of the spill prefix on
+  /// `storage` (StableStorage::AcquirePrefix) — attaching a second live
+  /// cache with the same job id to the same storage dies, since two owners
+  /// of one namespace would mix blobs. The prefix is released when the
+  /// cache is destroyed (or re-attached elsewhere). `job_id` also tags the
+  /// registered segments for the manager's per-owner breakdown.
   void AttachMemoryManager(runtime::MemoryManager* manager,
                            runtime::StableStorage* storage,
                            const std::string& job_id);
@@ -228,8 +233,12 @@ class ExecCache {
   runtime::MemoryManager* manager_ = nullptr;
   runtime::MetricsSink* metrics_ = nullptr;
   runtime::StableStorage* storage_ = nullptr;
-  /// Spill key prefix: "spill/<job_id>/".
+  /// Spill key prefix: "spill/<job_id>/". Held exclusively on storage_
+  /// while attached (AcquirePrefix).
   std::string spill_prefix_;
+  /// Owner tag for the manager's per-owner accounting (the job id given to
+  /// AttachMemoryManager).
+  std::string owner_;
   /// (node id, role) -> segment. std::map: deterministic iteration order.
   std::map<std::pair<int, int>, std::unique_ptr<Segment>> entries_;
   /// Per-node cached batch schemas (FindSchema/StoreSchema).

@@ -69,8 +69,13 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
   // exceeds memory_budget_bytes. Attached even with an unlimited budget so
   // peak residency is always measured (no spills happen then). Declared
   // before the cache: the cache unregisters its segments on destruction.
-  runtime::MemoryManager memory(exec_options_.memory_budget_bytes);
-  memory.set_metrics(metrics);
+  // A JobEnv-supplied manager (the multi-job server's shared budget) wins
+  // over the private one; its metrics sink is the server's to set, so only
+  // the private manager is wired to this run's sink here.
+  runtime::MemoryManager own_memory(exec_options_.memory_budget_bytes);
+  own_memory.set_metrics(metrics);
+  runtime::MemoryManager& memory =
+      env_.memory != nullptr ? *env_.memory : own_memory;
   dataflow::ExecCache cache(std::vector<std::string>{config_.state_binding});
   cache.set_metrics(metrics);
   dataflow::ExecOptions exec_opts = exec_options_;
@@ -168,6 +173,14 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
       metrics->Count(runtime::metric::kInitialCheckpointBytes, -1,
                      initial_checkpoint_bytes);
     }
+  }
+
+  if (config_.epoch_hook) {
+    EpochInfo info;
+    info.event = EpochEvent::kJobStart;
+    info.epoch = 0;
+    info.state = &state;
+    config_.epoch_hook(info);
   }
 
   // Running count of failure-schedule ids dropped for being out of range
@@ -309,6 +322,17 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
       // rebuild instead of reloading stale state; the next superstep
       // rebuilds from the (static) bindings.
       if (exec_opts.cache != nullptr) exec_opts.cache->Invalidate(lost);
+      if (config_.epoch_hook) {
+        // Mid-recovery service point: the state is inconsistent (partitions
+        // cleared, nothing restored yet) — observers keep serving their
+        // previously published epoch.
+        EpochInfo info;
+        info.event = EpochEvent::kFailureDetected;
+        info.epoch = iteration;
+        info.state = &state;
+        info.lost = &lost;
+        config_.epoch_hook(info);
+      }
       runtime::TraceSpan comp_span(tracer, runtime::SpanKind::kCompensation,
                                    policy->name());
       if (comp_span.active()) {
@@ -393,6 +417,21 @@ Result<BulkIterationResult> BulkIterationDriver::Run(
     env_.metrics->RecordIteration(std::move(istats));
 
     result.iterations = std::max(result.iterations, executed_iteration);
+
+    if (config_.epoch_hook) {
+      // Consistent superstep boundary. After the recovery switch the state
+      // corresponds to iteration - 1 regardless of the action taken
+      // (kContinue: the executed superstep; kRewind: the rewind target;
+      // kRestart: 0).
+      EpochInfo info;
+      info.event = lost.empty() ? EpochEvent::kEpochComplete
+                                : EpochEvent::kRecoveryComplete;
+      info.epoch = iteration - 1;
+      info.state = &state;
+      info.lost = lost.empty() ? nullptr : &lost;
+      config_.epoch_hook(info);
+    }
+
     if (converged) {
       if (tracer != nullptr) {
         tracer->Instant(runtime::InstantKind::kConvergenceReached, -1,

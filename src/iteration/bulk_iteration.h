@@ -11,6 +11,7 @@
 #include "dataflow/executor.h"
 #include "dataflow/plan.h"
 #include "iteration/context.h"
+#include "iteration/epoch.h"
 #include "iteration/policy.h"
 #include "iteration/state.h"
 
@@ -72,6 +73,14 @@ struct BulkIterationConfig {
   /// and shares the driver's memory budget, spilling to stable storage
   /// under pressure. Outputs are byte-identical with the flag on or off.
   bool message_log = false;
+
+  /// Optional superstep-boundary observer (iteration/epoch.h): fired after
+  /// OnJobStart (kJobStart), at each consistent superstep boundary
+  /// (kEpochComplete / kRecoveryComplete) and mid-recovery
+  /// (kFailureDetected). The driver blocks while the hook runs — the job
+  /// server parks the job thread here to hand out superstep turns. Empty =
+  /// off; the hook never changes outputs, stats, or simulated charges.
+  EpochHook epoch_hook;
 };
 
 /// Result of a bulk-iterative run.

@@ -11,6 +11,7 @@
 #include "runtime/cluster.h"
 #include "runtime/cost_model.h"
 #include "runtime/failure.h"
+#include "runtime/memory_manager.h"
 #include "runtime/metrics.h"
 #include "runtime/sim_clock.h"
 #include "runtime/stable_storage.h"
@@ -38,6 +39,13 @@ struct JobEnv {
   /// executor, cache, and memory manager, and record recovery counters
   /// (partitions lost, compensation records) on it. Null = metrics v2 off.
   runtime::MetricsSink* metrics_sink = nullptr;
+  /// Optional shared memory manager (the multi-job server, DESIGN.md §16):
+  /// when set, the drivers register their cache and message-log segments
+  /// here instead of a private per-run manager, so many concurrent jobs
+  /// arbitrate one byte budget — one job's superstep may spill another
+  /// job's cold artifacts. Null = the driver owns a private manager sized
+  /// by ExecOptions::memory_budget_bytes (the pre-server behavior).
+  runtime::MemoryManager* memory = nullptr;
   std::string job_id = "job";
 };
 

@@ -13,6 +13,7 @@
 #include "dataflow/executor.h"
 #include "dataflow/plan.h"
 #include "iteration/context.h"
+#include "iteration/epoch.h"
 #include "iteration/policy.h"
 #include "iteration/state.h"
 
@@ -64,6 +65,14 @@ struct DeltaIterationConfig {
   /// co-partitioned by solution_key (true for every plan in src/algos —
   /// their final shuffle keys on the vertex id).
   bool message_log = false;
+
+  /// Optional superstep-boundary observer (iteration/epoch.h): fired after
+  /// OnJobStart (kJobStart), at each consistent superstep boundary
+  /// (kEpochComplete / kRecoveryComplete) and mid-recovery
+  /// (kFailureDetected). The driver blocks while the hook runs — the job
+  /// server parks the job thread here to hand out superstep turns. Empty =
+  /// off; the hook never changes outputs, stats, or simulated charges.
+  EpochHook epoch_hook;
 };
 
 /// Result of a delta-iterative run.

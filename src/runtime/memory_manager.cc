@@ -20,11 +20,12 @@ void MemoryManager::NotePeak() {
       std::max(stats_.peak_resident_bytes, resident_bytes());
 }
 
-void MemoryManager::Register(SpillableSegment* segment) {
+void MemoryManager::Register(SpillableSegment* segment,
+                             const std::string& owner) {
   FLINKLESS_CHECK(segment != nullptr, "cannot register a null segment");
   Slot* slot = FindSlot(segment);
   if (slot == nullptr) {
-    segments_.push_back(Slot{segment, 0});
+    segments_.push_back(Slot{segment, 0, owner, 0});
     slot = &segments_.back();
   }
   slot->last_access = next_access_++;
@@ -51,6 +52,8 @@ Status MemoryManager::Touch(SpillableSegment* segment, Tracer* tracer,
   uint64_t bytes = segment->resident_bytes();
   ++stats_.unspills;
   stats_.unspilled_bytes += bytes;
+  slot->spilled_bytes = 0;
+  ++owner_counters_[slot->owner].unspills;
   if (metrics_ != nullptr) {
     metrics_->Count(metric::kMemoryUnspills, -1);
     metrics_->Count(metric::kMemoryUnspilledBytes, -1, bytes);
@@ -88,6 +91,8 @@ Status MemoryManager::EnforceBudget(const SpillableSegment* keep,
     FLINKLESS_RETURN_NOT_OK(seg->Spill());
     ++stats_.spills;
     stats_.spilled_bytes += bytes;
+    victim->spilled_bytes = bytes;
+    ++owner_counters_[victim->owner].spills;
     if (metrics_ != nullptr) {
       metrics_->Count(metric::kMemorySpills, -1);
       metrics_->Count(metric::kMemorySpilledBytes, -1, bytes);
@@ -106,6 +111,25 @@ uint64_t MemoryManager::resident_bytes() const {
   uint64_t total = 0;
   for (const Slot& s : segments_) total += s.segment->resident_bytes();
   return total;
+}
+
+std::map<std::string, MemoryManager::OwnerStats>
+MemoryManager::OwnerBreakdown() const {
+  std::map<std::string, OwnerStats> out;
+  for (const Slot& s : segments_) {
+    OwnerStats& owner = out[s.owner];
+    ++owner.segments;
+    owner.resident_bytes += s.segment->resident_bytes();
+    if (s.segment->spilled()) owner.spilled_bytes += s.spilled_bytes;
+  }
+  for (auto& [name, owner] : out) {
+    auto it = owner_counters_.find(name);
+    if (it != owner_counters_.end()) {
+      owner.spills = it->second.spills;
+      owner.unspills = it->second.unspills;
+    }
+  }
+  return out;
 }
 
 }  // namespace flinkless::runtime

@@ -23,6 +23,7 @@
 #define FLINKLESS_RUNTIME_MEMORY_MANAGER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,20 @@ class MemoryManager {
     uint64_t peak_resident_bytes = 0;
   };
 
+  /// Per-owner residency breakdown (owners are the job/dataflow ids passed
+  /// to Register). Admission control reads this to see who occupies the
+  /// shared budget; the dashboards to see which job got spilled.
+  struct OwnerStats {
+    uint64_t segments = 0;
+    uint64_t resident_bytes = 0;
+    /// Serialized bytes of this owner's segments currently sitting in
+    /// StableStorage (not cumulative — drops back on unspill/unregister).
+    uint64_t spilled_bytes = 0;
+    /// Cumulative spills/unspills charged to this owner's segments.
+    uint64_t spills = 0;
+    uint64_t unspills = 0;
+  };
+
   explicit MemoryManager(uint64_t budget_bytes)
       : budget_bytes_(budget_bytes) {}
 
@@ -90,8 +105,11 @@ class MemoryManager {
   void set_metrics(MetricsSink* metrics) { metrics_ = metrics; }
 
   /// Registers a segment as most-recently-used. The caller still owns it
-  /// and must Unregister before destroying it.
-  void Register(SpillableSegment* segment);
+  /// and must Unregister before destroying it. `owner` tags the segment
+  /// for the per-owner breakdown (the registering component's job or
+  /// dataflow id; empty = untagged, reported under ""). Re-registering an
+  /// existing segment refreshes recency and keeps the first owner tag.
+  void Register(SpillableSegment* segment, const std::string& owner = "");
 
   /// Drops the segment from the LRU list (its blob, if any, is the
   /// caller's to delete).
@@ -116,6 +134,12 @@ class MemoryManager {
 
   const Stats& stats() const { return stats_; }
 
+  /// Per-owner breakdown of the registered segments, keyed by the owner
+  /// tag given at Register (std::map: deterministic order). Residency is
+  /// recomputed from the segments; spill counters accumulate per owner as
+  /// events happen.
+  std::map<std::string, OwnerStats> OwnerBreakdown() const;
+
  private:
   struct Slot {
     SpillableSegment* segment = nullptr;
@@ -123,6 +147,20 @@ class MemoryManager {
     /// thread. Unique, so LRU order is total; spill_key breaks the (never
     /// observed) tie defensively.
     uint64_t last_access = 0;
+    /// Owner tag for the per-owner breakdown (job/dataflow id).
+    std::string owner;
+    /// Serialized bytes this segment wrote when it was spilled; 0 while
+    /// resident. Tracked here because SpillableSegment reports 0 resident
+    /// bytes while spilled and has no "spilled size" accessor.
+    uint64_t spilled_bytes = 0;
+  };
+
+  /// Cumulative per-owner spill/unspill counters (survive Unregister of
+  /// individual segments while the owner still has any live segment; an
+  /// owner with no live segments drops out of the breakdown).
+  struct OwnerCounters {
+    uint64_t spills = 0;
+    uint64_t unspills = 0;
   };
 
   Slot* FindSlot(const SpillableSegment* segment);
@@ -133,6 +171,7 @@ class MemoryManager {
   uint64_t next_access_ = 1;
   std::vector<Slot> segments_;
   Stats stats_;
+  std::map<std::string, OwnerCounters> owner_counters_;
 };
 
 }  // namespace flinkless::runtime

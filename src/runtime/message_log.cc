@@ -75,7 +75,10 @@ class MessageLog::Segment final : public SpillableSegment {
 MessageLog::MessageLog(std::vector<std::string> volatile_bindings)
     : volatile_bindings_(std::move(volatile_bindings)) {}
 
-MessageLog::~MessageLog() { BeginSuperstep(superstep_); }
+MessageLog::~MessageLog() {
+  BeginSuperstep(superstep_);
+  if (storage_ != nullptr) storage_->ReleasePrefix(spill_prefix_);
+}
 
 void MessageLog::AttachMemoryManager(MemoryManager* manager,
                                      StableStorage* storage,
@@ -84,9 +87,14 @@ void MessageLog::AttachMemoryManager(MemoryManager* manager,
                   "AttachMemoryManager needs a manager and a storage");
   FLINKLESS_CHECK(channels_.empty(),
                   "attach the memory manager before the first Append");
+  if (storage_ != nullptr) storage_->ReleasePrefix(spill_prefix_);
   manager_ = manager;
   storage_ = storage;
-  spill_prefix_ = "spill/" + (job_id.empty() ? "job" : job_id) + "/msglog/";
+  owner_ = job_id.empty() ? "job" : job_id;
+  spill_prefix_ = "spill/" + owner_ + "/msglog/";
+  // Exact-string namespace claim: distinct from the job's cache prefix
+  // ("spill/<job>/"), colliding only with another live log of the same job.
+  storage_->AcquirePrefix(spill_prefix_);
 }
 
 std::string MessageLog::SpillKey(const std::string& channel) const {
@@ -124,7 +132,7 @@ Status MessageLog::Append(const std::string& channel,
     span.AddArg("bytes", static_cast<int64_t>(seg->serialized_bytes()));
     span.AddArg("records", static_cast<int64_t>(shuffled.NumRecords()));
   }
-  if (manager_ != nullptr) manager_->Register(seg);
+  if (manager_ != nullptr) manager_->Register(seg, owner_);
   // Deliberately NO EnforceBudget here: Append runs in the middle of
   // Execute, right after a shuffle's gather, while the executor may hold a
   // pointer into another budget-managed segment (a cache entry whose join

@@ -118,6 +118,9 @@ class MessageLog {
   StableStorage* storage_ = nullptr;
   MetricsSink* metrics_ = nullptr;
   std::string spill_prefix_ = "spill/job/msglog/";
+  /// Owner tag for the manager's per-owner accounting (the job id given
+  /// to AttachMemoryManager).
+  std::string owner_ = "job";
   int superstep_ = 0;
   uint64_t appended_bytes_ = 0;
   uint64_t appended_records_ = 0;

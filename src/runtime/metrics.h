@@ -177,12 +177,23 @@ inline constexpr char kInitialCheckpointBytes[] = "checkpoint.initial_bytes";
 inline constexpr char kMsglogBytes[] = "msglog.bytes";
 inline constexpr char kMsglogMessages[] = "msglog.messages";
 inline constexpr char kMsglogMessagesReplayed[] = "msglog.messages_replayed";
+// Job server (DESIGN.md §16). Lookups are counted per partition of the
+// queried job's state; publishes/turns/admissions are job-level.
+inline constexpr char kServerLookups[] = "server.lookups";
+inline constexpr char kServerLookupsMissed[] = "server.lookups_missed";
+inline constexpr char kServerLookupsDeferred[] = "server.lookups_deferred";
+inline constexpr char kServerPublishes[] = "server.publishes";
+inline constexpr char kServerPublishesSkipped[] = "server.publishes_skipped";
+inline constexpr char kServerTurns[] = "server.turns";
+inline constexpr char kServerJobsAdmitted[] = "server.jobs_admitted";
 // Histograms (job-level distributions).
 inline constexpr char kHistBatchRows[] = "exec.batch_rows";
 inline constexpr char kHistProbeChain[] = "join.probe_chain";
 inline constexpr char kHistSpillBytes[] = "memory.spill_bytes";
 inline constexpr char kHistShuffleFanout[] = "shuffle.fanout_records";
 inline constexpr char kHistCompensationRecords[] = "compensation.records_hist";
+// SimClock latency from lookup enqueue to answer (DESIGN.md §16).
+inline constexpr char kHistLookupLatency[] = "server.lookup_latency_ns";
 // Gauges (orchestration-set, per-partition).
 inline constexpr char kGaugeStateRecords[] = "state.records";
 // Running count of failure-schedule partition ids the drivers dropped as

@@ -1,6 +1,21 @@
 #include "runtime/stable_storage.h"
 
+#include "common/logging.h"
+
 namespace flinkless::runtime {
+
+void StableStorage::AcquirePrefix(const std::string& prefix) {
+  FLINKLESS_CHECK(!prefix.empty(), "cannot acquire an empty spill prefix");
+  FLINKLESS_CHECK(acquired_prefixes_.insert(prefix).second,
+                  "spill prefix '" << prefix
+                                   << "' is already owned by a live "
+                                      "component; concurrent owners under "
+                                      "one namespace would mix blobs");
+}
+
+void StableStorage::ReleasePrefix(const std::string& prefix) {
+  acquired_prefixes_.erase(prefix);
+}
 
 Status StableStorage::Write(const std::string& key,
                             std::vector<uint8_t> blob) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,26 @@ class StableStorage {
   /// Write/Delete/DeleteWithPrefix (it sits on the hot spill path).
   uint64_t live_bytes() const { return live_bytes_; }
 
+  /// Exclusive-ownership registry for spill-key namespaces. Concurrent
+  /// owners (exec caches, message logs — any component spilling under
+  /// "spill/<job>/...") must acquire their exact prefix string before the
+  /// first write and release it on teardown; acquiring a prefix another
+  /// live owner already holds dies via FLINKLESS_CHECK — two owners
+  /// sharing a namespace would silently mix blobs (the bytewax rule:
+  /// per-dataflow recovery stores never mix). Matching is on the exact
+  /// string, so a job's cache ("spill/j/") and its message log
+  /// ("spill/j/msglog/") coexist; it is the *same* namespace twice that is
+  /// the bug this catches. The job server additionally rejects duplicate
+  /// live job ids with a Status before any prefix is touched.
+  void AcquirePrefix(const std::string& prefix);
+
+  /// Releases a prefix acquired by AcquirePrefix (no-op when not held).
+  void ReleasePrefix(const std::string& prefix);
+
+  bool PrefixAcquired(const std::string& prefix) const {
+    return acquired_prefixes_.count(prefix) > 0;
+  }
+
  private:
   SimClock* clock_;
   const CostModel* costs_;
@@ -66,6 +87,8 @@ class StableStorage {
   mutable uint64_t bytes_read_ = 0;
   uint64_t num_writes_ = 0;
   uint64_t live_bytes_ = 0;
+  /// Live exclusive spill-key namespaces (see AcquirePrefix).
+  std::set<std::string> acquired_prefixes_;
 };
 
 }  // namespace flinkless::runtime

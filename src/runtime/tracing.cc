@@ -96,6 +96,8 @@ const char* SpanKindName(SpanKind kind) {
       return "msglog.append";
     case SpanKind::kMessageLogReplay:
       return "msglog.replay";
+    case SpanKind::kServerPublish:
+      return "server.publish";
   }
   return "?";
 }

@@ -55,6 +55,7 @@ enum class SpanKind : int {
   kMessageLogAppend,   // outbound message log: one shuffled channel recorded
   kMessageLogReplay,   // confined recovery: logged messages replayed into
                        // the lost partitions
+  kServerPublish,      // job server: epoch published into a read view
 };
 
 /// Stable category name of a span kind ("operator", "shuffle.scatter", ...).
